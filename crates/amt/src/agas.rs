@@ -1,0 +1,126 @@
+//! Active Global Address Space: sub-domain ownership directory.
+//!
+//! HPX's AGAS resolves global object ids to their current locality even as
+//! objects migrate. The solver needs exactly one such mapping — *which
+//! locality owns sub-domain `i`* — and the load balancer rewrites it when it
+//! migrates SDs. [`Agas`] is that directory: an epoch-versioned ownership
+//! table shared by all localities of a cluster (an in-process stand-in for
+//! the distributed AGAS service; every read/update below corresponds to an
+//! AGAS resolve/rebind in the paper's implementation).
+
+use crate::parcel::LocalityId;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Ownership directory mapping object id → locality, with an epoch counter
+/// bumped on every rebind (so caches can detect staleness).
+pub struct Agas {
+    owners: RwLock<Vec<LocalityId>>,
+    epoch: AtomicU64,
+}
+
+impl Agas {
+    /// Create a directory from the initial ownership table.
+    pub fn new(owners: Vec<LocalityId>) -> Self {
+        Agas {
+            owners: RwLock::new(owners),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of registered objects.
+    pub fn len(&self) -> usize {
+        self.owners.read().len()
+    }
+
+    /// True if no objects are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current owner of object `id`.
+    pub fn owner(&self, id: usize) -> LocalityId {
+        self.owners.read()[id]
+    }
+
+    /// Copy of the full ownership table.
+    pub fn snapshot(&self) -> Vec<LocalityId> {
+        self.owners.read().clone()
+    }
+
+    /// Ids owned by `locality`, ascending.
+    pub fn owned_by(&self, locality: LocalityId) -> Vec<usize> {
+        self.owners
+            .read()
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o == locality)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Rebind object `id` to `to`. Bumps the epoch.
+    pub fn migrate(&self, id: usize, to: LocalityId) {
+        self.owners.write()[id] = to;
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Apply a batch of rebinds atomically (single epoch bump).
+    pub fn migrate_many(&self, moves: &[(usize, LocalityId)]) {
+        if moves.is_empty() {
+            return;
+        }
+        let mut owners = self.owners.write();
+        for &(id, to) in moves {
+            owners[id] = to;
+        }
+        drop(owners);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Monotone version counter; changes whenever ownership changes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_lookup_and_snapshot() {
+        let agas = Agas::new(vec![0, 0, 1, 2]);
+        assert_eq!(agas.len(), 4);
+        assert_eq!(agas.owner(2), 1);
+        assert_eq!(agas.snapshot(), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn owned_by_lists_ids() {
+        let agas = Agas::new(vec![0, 1, 0, 1, 0]);
+        assert_eq!(agas.owned_by(0), vec![0, 2, 4]);
+        assert_eq!(agas.owned_by(1), vec![1, 3]);
+        assert_eq!(agas.owned_by(9), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn migrate_updates_owner_and_epoch() {
+        let agas = Agas::new(vec![0, 0]);
+        let e0 = agas.epoch();
+        agas.migrate(1, 3);
+        assert_eq!(agas.owner(1), 3);
+        assert!(agas.epoch() > e0);
+    }
+
+    #[test]
+    fn migrate_many_single_epoch_bump() {
+        let agas = Agas::new(vec![0; 5]);
+        let e0 = agas.epoch();
+        agas.migrate_many(&[(0, 1), (2, 1), (4, 2)]);
+        assert_eq!(agas.epoch(), e0 + 1);
+        assert_eq!(agas.snapshot(), vec![1, 0, 1, 0, 2]);
+        agas.migrate_many(&[]);
+        assert_eq!(agas.epoch(), e0 + 1, "empty batch must not bump epoch");
+    }
+}

@@ -1,0 +1,317 @@
+//! Hand-rolled binary wire format.
+//!
+//! Parcels between localities carry serialized payloads. The offline crate
+//! allowlist has no serde *format* crate, so this module provides a small
+//! explicit little-endian codec: the [`Wire`] trait plus implementations for
+//! the primitives and containers the solver's messages are built from.
+//! Everything round-trips exactly (floats bit-for-bit), and decoding is
+//! length-checked so truncated messages surface as [`WireError`] rather than
+//! panics.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failure: message too short or a malformed field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes remained than the field required.
+    Truncated { needed: usize, remaining: usize },
+    /// An enum discriminant or flag byte had an invalid value.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes after a complete top-level decode.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "truncated message: needed {needed} bytes, {remaining} remain")
+            }
+            WireError::BadTag(t) => write!(f, "invalid discriminant byte {t}"),
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated {
+            needed: n,
+            remaining: buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Types that can be serialized to / deserialized from the wire format.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut BytesMut);
+    /// Decode a value, advancing `buf` past it.
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        self.encode(&mut buf);
+        buf.freeze()
+    }
+
+    /// Decode from a complete message, rejecting trailing bytes.
+    fn from_bytes(bytes: Bytes) -> Result<Self, WireError> {
+        let mut b = bytes;
+        let v = Self::decode(&mut b)?;
+        if b.has_remaining() {
+            return Err(WireError::TrailingBytes(b.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty => $put:ident / $get:ident / $n:expr),* $(,)?) => {
+        $(impl Wire for $t {
+            fn encode(&self, buf: &mut BytesMut) {
+                buf.$put(*self);
+            }
+            fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+                need(buf, $n)?;
+                Ok(buf.$get())
+            }
+        })*
+    };
+}
+
+impl_wire_int! {
+    u8 => put_u8 / get_u8 / 1,
+    u16 => put_u16_le / get_u16_le / 2,
+    u32 => put_u32_le / get_u32_le / 4,
+    u64 => put_u64_le / get_u64_le / 8,
+    i32 => put_i32_le / get_i32_le / 4,
+    i64 => put_i64_le / get_i64_le / 8,
+    f32 => put_f32_le / get_f32_le / 4,
+    f64 => put_f64_le / get_f64_le / 8,
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut BytesMut) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(u64::decode(buf)? as usize)
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u64).encode(buf);
+        buf.put_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = u64::decode(buf)? as usize;
+        need(buf, len)?;
+        let raw = buf.copy_to_bytes(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        let len = u64::decode(buf)? as usize;
+        // Guard absurd lengths before reserving (truncation would fail anyway,
+        // but this avoids a huge allocation on corrupt input).
+        if len > buf.remaining() {
+            return Err(WireError::Truncated {
+                needed: len,
+                remaining: buf.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            None => buf.put_u8(0),
+            Some(v) => {
+                buf.put_u8(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        need(buf, 1)?;
+        match buf.get_u8() {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+}
+
+/// Fast bulk encoding for `f64` fields — the dominant payload (ghost-zone
+/// temperature values). Writes the length then raw little-endian words.
+pub fn encode_f64_slice(values: &[f64], buf: &mut BytesMut) {
+    (values.len() as u64).encode(buf);
+    buf.reserve(values.len() * 8);
+    for v in values {
+        buf.put_f64_le(*v);
+    }
+}
+
+/// Counterpart to [`encode_f64_slice`].
+pub fn decode_f64_vec(buf: &mut Bytes) -> Result<Vec<f64>, WireError> {
+    let len = u64::decode(buf)? as usize;
+    need(buf, len.saturating_mul(8))?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(buf.get_f64_le());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(123456789u32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i32);
+        roundtrip(i64::MIN);
+        roundtrip(0.57721f32);
+        roundtrip(-1.25e-7f64);
+        roundtrip(f64::INFINITY);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(usize::MAX / 2);
+    }
+
+    #[test]
+    fn nan_roundtrips_bitwise() {
+        let bytes = f64::NAN.to_bytes();
+        let back = f64::from_bytes(bytes).unwrap();
+        assert_eq!(back.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(String::from("nonlocal ♨"));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip(Some(9u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip((1u32, 2.5f64));
+        roundtrip((1u8, String::from("x"), vec![true, false]));
+        roundtrip(vec![vec![1u8], vec![], vec![2, 3]]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = 12345u64.to_bytes();
+        let short = bytes.slice(0..4);
+        assert!(matches!(
+            u64::from_bytes(short),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = BytesMut::new();
+        7u32.encode(&mut buf);
+        buf.put_u8(0xFF);
+        assert!(matches!(
+            u32::from_bytes(buf.freeze()),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        assert_eq!(bool::from_bytes(buf.freeze()), Err(WireError::BadTag(7)));
+    }
+
+    #[test]
+    fn corrupt_vec_length_is_safe() {
+        let mut buf = BytesMut::new();
+        (u64::MAX).encode(&mut buf); // absurd element count
+        let res = Vec::<u8>::from_bytes(buf.freeze());
+        assert!(matches!(res, Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn f64_slice_fast_path_roundtrips() {
+        let values: Vec<f64> = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let mut buf = BytesMut::new();
+        encode_f64_slice(&values, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_f64_vec(&mut bytes).unwrap();
+        assert_eq!(back, values);
+        assert!(!bytes.has_remaining());
+    }
+}

@@ -1,0 +1,198 @@
+//! Cluster-wide collective operations built on parcels.
+//!
+//! HPX ships collectives (`hpx::collectives::{broadcast, reduce, barrier}`)
+//! on top of its parcel transport; the load-balancing epoch of the solver
+//! is exactly a gather → plan → broadcast round. This module provides the
+//! same three primitives for localities, using a dedicated tag class and an
+//! epoch counter so successive collectives never collide.
+//!
+//! All collectives are **symmetric calls**: every locality of the cluster
+//! must call the same operation with the same epoch, like an MPI
+//! communicator-wide call. Root is always locality 0.
+
+use crate::codec::{Wire, WireError};
+use crate::future::Future;
+use crate::locality::Locality;
+use crate::parcel::tag;
+use bytes::Bytes;
+
+/// Tag class reserved for collective traffic (solver classes are 1–4).
+pub const CLASS_COLLECTIVE: u8 = 0xC0;
+
+/// Sub-operations within the collective class (encoded in the tag's `c`
+/// field so gather/broadcast phases of the same epoch stay distinct).
+const OP_GATHER: u64 = 1;
+const OP_BCAST: u64 = 2;
+const OP_BARRIER_UP: u64 = 3;
+const OP_BARRIER_DOWN: u64 = 4;
+
+fn coll_tag(epoch: u64, node: u64, op: u64) -> u64 {
+    tag(CLASS_COLLECTIVE, epoch, node, op)
+}
+
+/// Gather every locality's `value` on locality 0.
+///
+/// Returns `Some(values)` (indexed by locality id) on locality 0, `None`
+/// elsewhere. `n` is the cluster size.
+pub fn gather<T: Wire>(
+    loc: &Locality,
+    n: u32,
+    epoch: u64,
+    value: &T,
+) -> Result<Option<Vec<T>>, WireError> {
+    let me = loc.id();
+    loc.send(0, coll_tag(epoch, me as u64, OP_GATHER), value.to_bytes());
+    if me != 0 {
+        return Ok(None);
+    }
+    let futures: Vec<Future<Bytes>> = (0..n)
+        .map(|node| loc.expect(coll_tag(epoch, node as u64, OP_GATHER)))
+        .collect();
+    let mut out = Vec::with_capacity(n as usize);
+    for fut in futures {
+        out.push(T::from_bytes(fut.get())?);
+    }
+    Ok(Some(out))
+}
+
+/// Broadcast `value` (significant on locality 0 only) to every locality;
+/// returns the received value everywhere.
+pub fn broadcast<T: Wire>(
+    loc: &Locality,
+    n: u32,
+    epoch: u64,
+    value: Option<&T>,
+) -> Result<T, WireError> {
+    let me = loc.id();
+    if me == 0 {
+        let payload = value.expect("root must supply the broadcast value").to_bytes();
+        for node in 0..n {
+            loc.send(node, coll_tag(epoch, node as u64, OP_BCAST), payload.clone());
+        }
+    }
+    let fut = loc.expect(coll_tag(epoch, me as u64, OP_BCAST));
+    T::from_bytes(fut.get())
+}
+
+/// Reduce every locality's `value` with `op` on locality 0, then broadcast
+/// the result back to everyone (an allreduce).
+pub fn all_reduce<T: Wire + Clone>(
+    loc: &Locality,
+    n: u32,
+    epoch: u64,
+    value: &T,
+    op: impl Fn(T, T) -> T,
+) -> Result<T, WireError> {
+    let gathered = gather(loc, n, epoch, value)?;
+    let reduced = gathered.map(|values| {
+        let mut it = values.into_iter();
+        let first = it.next().expect("cluster has at least one locality");
+        it.fold(first, &op)
+    });
+    broadcast(loc, n, epoch, reduced.as_ref())
+}
+
+/// Cluster-wide barrier: returns only after every locality has entered.
+pub fn barrier(loc: &Locality, n: u32, epoch: u64) {
+    let me = loc.id();
+    // up phase: everyone reports to the root
+    loc.send(0, coll_tag(epoch, me as u64, OP_BARRIER_UP), Bytes::new());
+    if me == 0 {
+        let futures: Vec<Future<Bytes>> = (0..n)
+            .map(|node| loc.expect(coll_tag(epoch, node as u64, OP_BARRIER_UP)))
+            .collect();
+        for fut in futures {
+            fut.get();
+        }
+        // down phase: release everyone
+        for node in 0..n {
+            loc.send(node, coll_tag(epoch, node as u64, OP_BARRIER_DOWN), Bytes::new());
+        }
+    }
+    loc.expect(coll_tag(epoch, me as u64, OP_BARRIER_DOWN)).get();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterBuilder;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn gather_collects_all_values() {
+        let cluster = ClusterBuilder::new().uniform(4, 1).build();
+        let n = cluster.len() as u32;
+        let results = cluster.run(|loc| {
+            let v = (loc.id() as u64) * 10;
+            gather(&loc, n, 0, &v).unwrap()
+        });
+        assert_eq!(results[0], Some(vec![0, 10, 20, 30]));
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let cluster = ClusterBuilder::new().uniform(3, 1).build();
+        let n = cluster.len() as u32;
+        let results = cluster.run(|loc| {
+            let value = (loc.id() == 0).then_some(42u64);
+            broadcast(&loc, n, 0, value.as_ref()).unwrap()
+        });
+        assert_eq!(results, vec![42, 42, 42]);
+    }
+
+    #[test]
+    fn all_reduce_sums() {
+        let cluster = ClusterBuilder::new().uniform(4, 1).build();
+        let n = cluster.len() as u32;
+        let results = cluster.run(|loc| {
+            let v = loc.id() as u64 + 1; // 1..=4
+            all_reduce(&loc, n, 0, &v, |a, b| a + b).unwrap()
+        });
+        assert_eq!(results, vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn successive_epochs_do_not_collide() {
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let n = cluster.len() as u32;
+        let results = cluster.run(|loc| {
+            let mut out = Vec::new();
+            for epoch in 0..5u64 {
+                let v = epoch * 100 + loc.id() as u64;
+                out.push(all_reduce(&loc, n, epoch, &v, u64::max).unwrap());
+            }
+            out
+        });
+        for r in &results {
+            assert_eq!(r, &vec![1, 101, 201, 301, 401]);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // After the barrier, every locality must observe every other
+        // locality's pre-barrier increment.
+        let cluster = ClusterBuilder::new().uniform(4, 1).build();
+        let n = cluster.len() as u32;
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = counter.clone();
+        let observed = cluster.run(move |loc| {
+            c.fetch_add(1, Ordering::SeqCst);
+            barrier(&loc, n, 7);
+            c.load(Ordering::SeqCst)
+        });
+        assert_eq!(observed, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn single_locality_collectives_are_trivial() {
+        let cluster = ClusterBuilder::new().uniform(1, 1).build();
+        let results = cluster.run(|loc| {
+            barrier(&loc, 1, 0);
+            all_reduce(&loc, 1, 1, &5u64, |a, b| a + b).unwrap()
+        });
+        assert_eq!(results, vec![5]);
+    }
+}

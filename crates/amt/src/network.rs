@@ -1,0 +1,392 @@
+//! In-memory network fabric with an optional latency/bandwidth model.
+//!
+//! Every inter-locality parcel flows through a [`Fabric`]. With the default
+//! [`NetModel::instant`] parcels are forwarded synchronously; with a modeled
+//! network each parcel is held by a delivery thread until
+//! `latency + size/bandwidth` has elapsed, so communication/computation
+//! overlap (the paper's §6.3) is observable in real executions, not only in
+//! the discrete-event simulator.
+
+use crate::parcel::{LocalityId, Parcel};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Latency/bandwidth model for parcel delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Per-message one-way latency.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second; `f64::INFINITY` disables the
+    /// serialization term.
+    pub bytes_per_sec: f64,
+}
+
+impl NetModel {
+    /// Zero latency, infinite bandwidth: parcels forwarded synchronously.
+    pub fn instant() -> Self {
+        NetModel {
+            latency: Duration::ZERO,
+            bytes_per_sec: f64::INFINITY,
+        }
+    }
+
+    /// A modeled link.
+    pub fn new(latency: Duration, bytes_per_sec: f64) -> Self {
+        NetModel {
+            latency,
+            bytes_per_sec,
+        }
+    }
+
+    /// True when no delivery delay is ever applied.
+    pub fn is_instant(&self) -> bool {
+        self.latency.is_zero() && self.bytes_per_sec.is_infinite()
+    }
+
+    /// Delay experienced by a message of `bytes` bytes.
+    pub fn delay_for(&self, bytes: usize) -> Duration {
+        if self.bytes_per_sec.is_infinite() {
+            self.latency
+        } else {
+            self.latency + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
+        }
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::instant()
+    }
+}
+
+/// Aggregate traffic statistics (message and byte totals plus a
+/// source×destination byte matrix).
+pub struct NetStats {
+    n: usize,
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+    pair_bytes: Mutex<Vec<u64>>,
+}
+
+impl NetStats {
+    fn new(n: usize) -> Self {
+        NetStats {
+            n,
+            msgs: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            pair_bytes: Mutex::new(vec![0; n * n]),
+        }
+    }
+
+    fn record(&self, src: LocalityId, dst: LocalityId, bytes: usize) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.pair_bytes.lock()[src as usize * self.n + dst as usize] += bytes as u64;
+    }
+
+    /// Total messages sent.
+    pub fn messages(&self) -> u64 {
+        self.msgs.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent (wire size including headers).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn pair_bytes(&self, src: LocalityId, dst: LocalityId) -> u64 {
+        self.pair_bytes.lock()[src as usize * self.n + dst as usize]
+    }
+
+    /// Bytes crossing locality boundaries (excludes self-sends).
+    pub fn cross_bytes(&self) -> u64 {
+        let m = self.pair_bytes.lock();
+        let mut total = 0;
+        for s in 0..self.n {
+            for d in 0..self.n {
+                if s != d {
+                    total += m[s * self.n + d];
+                }
+            }
+        }
+        total
+    }
+}
+
+struct FabricInner {
+    links: RwLock<Vec<Option<Sender<Parcel>>>>,
+    model: NetModel,
+    stats: NetStats,
+    delay_tx: Mutex<Option<Sender<(Instant, Parcel)>>>,
+}
+
+impl FabricInner {
+    fn forward(&self, parcel: Parcel) {
+        let links = self.links.read();
+        if let Some(Some(tx)) = links.get(parcel.dst as usize) {
+            // A receiver that already shut down just drops the parcel.
+            let _ = tx.send(parcel);
+        }
+    }
+}
+
+/// The cluster-wide transport. Owns the (optional) delivery thread.
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+    delay_thread: Option<JoinHandle<()>>,
+}
+
+/// Cheap per-locality sending handle.
+#[derive(Clone)]
+pub struct FabricHandle {
+    inner: Arc<FabricInner>,
+}
+
+impl Fabric {
+    /// Create a fabric for `n` localities; returns the fabric and one inbox
+    /// receiver per locality.
+    pub fn new(n: usize, model: NetModel) -> (Self, Vec<Receiver<Parcel>>) {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(Some(tx));
+            receivers.push(rx);
+        }
+        let inner = Arc::new(FabricInner {
+            links: RwLock::new(senders),
+            model,
+            stats: NetStats::new(n),
+            delay_tx: Mutex::new(None),
+        });
+        let delay_thread = if model.is_instant() {
+            None
+        } else {
+            let (tx, rx) = unbounded();
+            *inner.delay_tx.lock() = Some(tx);
+            let inner2 = inner.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("amt-net-delay".into())
+                    .spawn(move || delay_loop(inner2, rx))
+                    .expect("failed to spawn network delay thread"),
+            )
+        };
+        (
+            Fabric {
+                inner,
+                delay_thread,
+            },
+            receivers,
+        )
+    }
+
+    /// Sending handle to share with localities.
+    pub fn handle(&self) -> FabricHandle {
+        FabricHandle {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// Tear down: close all links (inbox pumps observe disconnect) and stop
+    /// the delivery thread after it drains in-flight parcels.
+    pub fn shutdown(&mut self) {
+        self.inner.delay_tx.lock().take();
+        if let Some(t) = self.delay_thread.take() {
+            let _ = t.join();
+        }
+        let mut links = self.inner.links.write();
+        for l in links.iter_mut() {
+            l.take();
+        }
+    }
+}
+
+impl Drop for Fabric {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl FabricHandle {
+    /// Send a parcel, subject to the network model. Self-sends are legal and
+    /// take the same path (so code need not special-case them).
+    pub fn send(&self, parcel: Parcel) {
+        self.inner
+            .stats
+            .record(parcel.src, parcel.dst, parcel.wire_size());
+        let delay = self.inner.model.delay_for(parcel.wire_size());
+        if delay.is_zero() {
+            self.inner.forward(parcel);
+        } else {
+            let deliver_at = Instant::now() + delay;
+            let guard = self.inner.delay_tx.lock();
+            // A `None` here means the fabric already shut down; the parcel
+            // is dropped, like a packet into a closed socket.
+            if let Some(tx) = &*guard {
+                let _ = tx.send((deliver_at, parcel));
+            }
+        }
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+}
+
+struct Delayed {
+    at: Instant,
+    seq: u64,
+    parcel: Parcel,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+fn delay_loop(inner: Arc<FabricInner>, rx: Receiver<(Instant, Parcel)>) {
+    let mut heap: BinaryHeap<Reverse<Delayed>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut disconnected = false;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|Reverse(d)| d.at <= now) {
+            let Reverse(d) = heap.pop().unwrap();
+            inner.forward(d.parcel);
+        }
+        match heap.peek() {
+            None if disconnected => break,
+            None => match rx.recv() {
+                Ok((at, parcel)) => {
+                    heap.push(Reverse(Delayed { at, seq, parcel }));
+                    seq += 1;
+                }
+                Err(_) => disconnected = true,
+            },
+            Some(Reverse(next)) => {
+                let wait = next.at.saturating_duration_since(Instant::now());
+                if disconnected {
+                    std::thread::sleep(wait);
+                    continue;
+                }
+                match rx.recv_timeout(wait) {
+                    Ok((at, parcel)) => {
+                        heap.push(Reverse(Delayed { at, seq, parcel }));
+                        seq += 1;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    #[test]
+    fn instant_fabric_delivers_synchronously() {
+        let (fabric, rx) = Fabric::new(2, NetModel::instant());
+        let h = fabric.handle();
+        h.send(Parcel::new(0, 1, 42, Bytes::from_static(b"x")));
+        let p = rx[1].try_recv().expect("delivered synchronously");
+        assert_eq!(p.tag, 42);
+        assert_eq!(fabric.stats().messages(), 1);
+    }
+
+    #[test]
+    fn self_send_works() {
+        let (fabric, rx) = Fabric::new(1, NetModel::instant());
+        fabric.handle().send(Parcel::new(0, 0, 1, Bytes::new()));
+        assert!(rx[0].try_recv().is_ok());
+    }
+
+    #[test]
+    fn delayed_fabric_respects_latency() {
+        let model = NetModel::new(Duration::from_millis(20), f64::INFINITY);
+        let (fabric, rx) = Fabric::new(2, model);
+        let t0 = Instant::now();
+        fabric.handle().send(Parcel::new(0, 1, 7, Bytes::new()));
+        assert!(rx[1].try_recv().is_err(), "must not arrive immediately");
+        let p = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(p.tag, 7);
+        assert!(t0.elapsed() >= Duration::from_millis(19));
+    }
+
+    #[test]
+    fn bandwidth_term_increases_delay() {
+        let model = NetModel::new(Duration::from_millis(1), 1_000_000.0);
+        // 1 MB at 1 MB/s -> about 1 s; use a small message and just check
+        // delay_for arithmetic rather than sleeping.
+        assert!(model.delay_for(500_000) > Duration::from_millis(400));
+        assert!(model.delay_for(0) >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn stats_track_pairs_and_cross_traffic() {
+        let (fabric, _rx) = Fabric::new(3, NetModel::instant());
+        let h = fabric.handle();
+        h.send(Parcel::new(0, 1, 0, Bytes::from_static(&[0; 10])));
+        h.send(Parcel::new(0, 1, 1, Bytes::from_static(&[0; 10])));
+        h.send(Parcel::new(2, 2, 2, Bytes::from_static(&[0; 10])));
+        assert_eq!(fabric.stats().messages(), 3);
+        assert_eq!(fabric.stats().pair_bytes(0, 1), 2 * 34);
+        assert_eq!(fabric.stats().cross_bytes(), 2 * 34);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_parcels() {
+        let model = NetModel::new(Duration::from_millis(10), f64::INFINITY);
+        let (mut fabric, rx) = Fabric::new(2, model);
+        fabric.handle().send(Parcel::new(0, 1, 9, Bytes::new()));
+        fabric.shutdown();
+        // The delay thread sleeps out remaining deliveries before exiting,
+        // and shutdown joins it, so the parcel must be in the inbox now.
+        assert!(rx[1].try_recv().is_ok());
+    }
+
+    #[test]
+    fn ordering_preserved_per_pair_with_equal_sizes() {
+        let model = NetModel::new(Duration::from_millis(5), f64::INFINITY);
+        let (fabric, rx) = Fabric::new(2, model);
+        let h = fabric.handle();
+        for i in 0..20u64 {
+            h.send(Parcel::new(0, 1, i, Bytes::new()));
+        }
+        let mut tags = Vec::new();
+        for _ in 0..20 {
+            tags.push(rx[1].recv_timeout(Duration::from_secs(2)).unwrap().tag);
+        }
+        assert_eq!(tags, (0..20u64).collect::<Vec<_>>());
+    }
+}

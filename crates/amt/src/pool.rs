@@ -1,0 +1,354 @@
+//! Work-stealing thread pool with per-worker busy-time accounting.
+//!
+//! This is the threading subsystem of the AMT runtime (Fig. 3 of the paper):
+//! wait-free task submission onto a global injector, per-worker LIFO deques
+//! with random-victim stealing, and nanosecond busy-time counters that back
+//! the `busy_time` performance counter used by the load balancer (§7).
+
+use crate::future::{channel, Future};
+use crate::task::{Spawn, Task};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use crossbeam::utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+struct PoolInner {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    shutdown: AtomicBool,
+    /// Tasks submitted but not yet finished.
+    pending: AtomicUsize,
+    busy_ns: Vec<CachePadded<AtomicU64>>,
+    executed: AtomicU64,
+    panics: AtomicU64,
+    first_panic: Mutex<Option<String>>,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size work-stealing pool. Dropping the pool drains queued tasks and
+/// joins the workers.
+pub struct ThreadPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+}
+
+/// Cheap, cloneable submission handle (implements [`Spawn`]).
+#[derive(Clone)]
+pub struct PoolHandle {
+    inner: Arc<PoolInner>,
+}
+
+impl ThreadPool {
+    /// Spin up `n_workers` worker threads named `<name>-w<i>`.
+    pub fn new(n_workers: usize, name: &str) -> Self {
+        assert!(n_workers > 0, "a pool needs at least one worker");
+        let locals: Vec<Worker<Task>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = locals.iter().map(|w| w.stealer()).collect();
+        let inner = Arc::new(PoolInner {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            pending: AtomicUsize::new(0),
+            busy_ns: (0..n_workers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            executed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            first_panic: Mutex::new(None),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        });
+        let workers = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-w{i}"))
+                    .spawn(move || worker_loop(inner, local, i))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            inner,
+            workers,
+            started: Instant::now(),
+        }
+    }
+
+    /// Submission handle for this pool.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.inner.busy_ns.len()
+    }
+
+    /// Submit a task.
+    pub fn spawn<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.handle().spawn(f);
+    }
+
+    /// Block the calling thread (which must not be a pool worker) until every
+    /// submitted task has finished.
+    ///
+    /// # Panics
+    /// Re-raises the first panic observed in any task.
+    pub fn wait_idle(&self) {
+        let inner = &self.inner;
+        let mut guard = inner.idle_lock.lock();
+        while inner.pending.load(Ordering::Acquire) != 0 {
+            inner
+                .idle_cv
+                .wait_for(&mut guard, Duration::from_millis(1));
+        }
+        drop(guard);
+        if inner.panics.load(Ordering::Acquire) != 0 {
+            let msg = inner
+                .first_panic
+                .lock()
+                .clone()
+                .unwrap_or_else(|| "<unknown>".into());
+            panic!("pool task panicked: {msg}");
+        }
+    }
+
+    /// Total busy time (sum over workers) in nanoseconds since construction.
+    pub fn busy_ns_total(&self) -> u64 {
+        self.inner
+            .busy_ns
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Busy time of a single worker in nanoseconds.
+    pub fn busy_ns(&self, worker: usize) -> u64 {
+        self.inner.busy_ns[worker].load(Ordering::Relaxed)
+    }
+
+    /// Number of completed tasks.
+    pub fn tasks_executed(&self) -> u64 {
+        self.inner.executed.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since pool construction.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Number of tasks that panicked.
+    pub fn task_panics(&self) -> u64 {
+        self.inner.panics.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Wake every sleeper so they observe the flag.
+        let _g = self.inner.sleep_lock.lock();
+        self.inner.sleep_cv.notify_all();
+        drop(_g);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Spawn for PoolHandle {
+    fn spawn_boxed(&self, task: Task) {
+        self.inner.pending.fetch_add(1, Ordering::AcqRel);
+        self.inner.injector.push(task);
+        let _g = self.inner.sleep_lock.lock();
+        self.inner.sleep_cv.notify_one();
+    }
+}
+
+impl PoolHandle {
+    /// `hpx::async` analogue: run `f` on the pool, returning a future for the
+    /// result.
+    pub fn async_call<T, F>(&self, f: F) -> Future<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (p, fut) = channel();
+        self.spawn_boxed(Box::new(move || p.set(f())));
+        fut
+    }
+}
+
+/// Free-function form of [`PoolHandle::async_call`] usable with any spawner.
+pub fn async_call<T, F, S>(spawner: &S, f: F) -> Future<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+    S: Spawn + ?Sized,
+{
+    let (p, fut) = channel();
+    spawner.spawn_boxed(Box::new(move || p.set(f())));
+    fut
+}
+
+fn find_task(inner: &PoolInner, local: &Worker<Task>, me: usize) -> Option<Task> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match inner.injector.steal_batch_and_pop(local) {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    for (i, stealer) in inner.stealers.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        loop {
+            match stealer.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+fn worker_loop(inner: Arc<PoolInner>, local: Worker<Task>, me: usize) {
+    loop {
+        match find_task(&inner, &local, me) {
+            Some(task) => {
+                let t0 = Instant::now();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+                let dt = t0.elapsed().as_nanos() as u64;
+                inner.busy_ns[me].fetch_add(dt, Ordering::Relaxed);
+                inner.executed.fetch_add(1, Ordering::Relaxed);
+                if let Err(payload) = result {
+                    inner.panics.fetch_add(1, Ordering::AcqRel);
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".into());
+                    let mut slot = inner.first_panic.lock();
+                    slot.get_or_insert(msg);
+                }
+                if inner.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    let _g = inner.idle_lock.lock();
+                    inner.idle_cv.notify_all();
+                }
+            }
+            None => {
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let mut g = inner.sleep_lock.lock();
+                // Re-check under the lock so a spawn cannot slip between the
+                // failed steal and the wait (bounded staleness: short timeout).
+                if inner.injector.is_empty() {
+                    inner.sleep_cv.wait_for(&mut g, Duration::from_micros(200));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future::when_all;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn executes_all_tasks() {
+        let pool = ThreadPool::new(3, "t");
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(pool.tasks_executed(), 100);
+    }
+
+    #[test]
+    fn async_call_returns_value() {
+        let pool = ThreadPool::new(2, "t");
+        let f = pool.handle().async_call(|| 6 * 7);
+        assert_eq!(f.get(), 42);
+    }
+
+    #[test]
+    fn futures_compose_across_pool() {
+        let pool = ThreadPool::new(2, "t");
+        let h = pool.handle();
+        let futs: Vec<_> = (0..16u64).map(|i| h.async_call(move || i * i)).collect();
+        let sum: u64 = when_all(futs).get().into_iter().sum();
+        assert_eq!(sum, (0..16u64).map(|i| i * i).sum());
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let pool = ThreadPool::new(1, "t");
+        pool.spawn(|| {
+            let t0 = Instant::now();
+            while t0.elapsed() < Duration::from_millis(5) {
+                std::hint::spin_loop();
+            }
+        });
+        pool.wait_idle();
+        assert!(pool.busy_ns_total() >= 4_000_000);
+    }
+
+    #[test]
+    fn wait_idle_with_no_tasks_returns() {
+        let pool = ThreadPool::new(1, "t");
+        pool.wait_idle();
+    }
+
+    #[test]
+    #[should_panic(expected = "pool task panicked")]
+    fn task_panic_is_reported() {
+        let pool = ThreadPool::new(1, "t");
+        pool.spawn(|| panic!("boom"));
+        pool.wait_idle();
+    }
+
+    #[test]
+    fn nested_spawn_from_task() {
+        let pool = ThreadPool::new(2, "t");
+        let h = pool.handle();
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = counter.clone();
+        let h2 = h.clone();
+        h.spawn(move || {
+            for _ in 0..10 {
+                let c = c.clone();
+                h2.spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        pool.wait_idle();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+}

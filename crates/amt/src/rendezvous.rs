@@ -1,0 +1,152 @@
+//! Tag-matched rendezvous between expected and delivered messages.
+//!
+//! The receive side of ghost-zone exchange: a consumer calls
+//! [`Rendezvous::expect`] to obtain a future for a tagged payload, the inbox
+//! pump calls [`Rendezvous::deliver`] when the parcel arrives. Either order
+//! works — early deliveries are stashed until expected, early expectations
+//! park a promise until delivery. Each tag matches exactly once.
+
+use crate::future::{channel, ready, Future, Promise};
+use crate::parcel::Tag;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+enum Entry {
+    /// `expect` arrived first; deliver fulfils this promise.
+    Waiting(Promise<Bytes>),
+    /// The payload arrived first; expect consumes it.
+    Arrived(Bytes),
+}
+
+/// A matching table pairing `expect(tag)` with `deliver(tag, payload)`.
+#[derive(Default)]
+pub struct Rendezvous {
+    table: Mutex<HashMap<Tag, Entry>>,
+}
+
+impl Rendezvous {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Future for the payload that will be (or already was) delivered under
+    /// `tag`.
+    ///
+    /// # Panics
+    /// Panics if `tag` is already being expected — tags are single-use.
+    pub fn expect(&self, tag: Tag) -> Future<Bytes> {
+        let mut table = self.table.lock();
+        match table.remove(&tag) {
+            Some(Entry::Arrived(payload)) => ready(payload),
+            Some(Entry::Waiting(_)) => panic!("tag {tag:#x} expected twice"),
+            None => {
+                let (p, f) = channel();
+                table.insert(tag, Entry::Waiting(p));
+                f
+            }
+        }
+    }
+
+    /// Deliver a payload under `tag`, fulfilling a parked expectation or
+    /// stashing for a future one.
+    ///
+    /// # Panics
+    /// Panics if `tag` already has an unconsumed delivery.
+    pub fn deliver(&self, tag: Tag, payload: Bytes) {
+        let entry = {
+            let mut table = self.table.lock();
+            match table.remove(&tag) {
+                Some(Entry::Waiting(p)) => Some(p),
+                Some(Entry::Arrived(_)) => panic!("tag {tag:#x} delivered twice"),
+                None => {
+                    table.insert(tag, Entry::Arrived(payload.clone()));
+                    None
+                }
+            }
+        };
+        // Fulfil outside the lock: the continuation may re-enter (e.g. a
+        // solver callback expecting the next tag).
+        if let Some(p) = entry {
+            p.set(payload);
+        }
+    }
+
+    /// Number of unmatched entries (waiting expectations + stashed arrivals).
+    /// Useful for leak assertions in tests: a finished exchange leaves zero.
+    pub fn outstanding(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expect_then_deliver() {
+        let rv = Rendezvous::new();
+        let f = rv.expect(7);
+        assert!(!f.is_ready());
+        rv.deliver(7, Bytes::from_static(b"hi"));
+        assert_eq!(f.get().as_ref(), b"hi");
+        assert_eq!(rv.outstanding(), 0);
+    }
+
+    #[test]
+    fn deliver_then_expect() {
+        let rv = Rendezvous::new();
+        rv.deliver(9, Bytes::from_static(b"early"));
+        assert_eq!(rv.outstanding(), 1);
+        let f = rv.expect(9);
+        assert!(f.is_ready());
+        assert_eq!(f.get().as_ref(), b"early");
+        assert_eq!(rv.outstanding(), 0);
+    }
+
+    #[test]
+    fn distinct_tags_do_not_cross() {
+        let rv = Rendezvous::new();
+        let f1 = rv.expect(1);
+        let f2 = rv.expect(2);
+        rv.deliver(2, Bytes::from_static(b"two"));
+        rv.deliver(1, Bytes::from_static(b"one"));
+        assert_eq!(f1.get().as_ref(), b"one");
+        assert_eq!(f2.get().as_ref(), b"two");
+    }
+
+    #[test]
+    #[should_panic(expected = "delivered twice")]
+    fn double_delivery_panics() {
+        let rv = Rendezvous::new();
+        rv.deliver(3, Bytes::new());
+        rv.deliver(3, Bytes::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected twice")]
+    fn double_expect_panics() {
+        let rv = Rendezvous::new();
+        let _f1 = rv.expect(4);
+        let _f2 = rv.expect(4);
+    }
+
+    #[test]
+    fn concurrent_expect_deliver() {
+        use std::sync::Arc;
+        let rv = Arc::new(Rendezvous::new());
+        let futures: Vec<_> = (0..64u64).map(|t| rv.expect(t)).collect();
+        let rv2 = rv.clone();
+        let sender = std::thread::spawn(move || {
+            for t in (0..64u64).rev() {
+                rv2.deliver(t, Bytes::from(t.to_le_bytes().to_vec()));
+            }
+        });
+        for (t, f) in futures.into_iter().enumerate() {
+            let payload = f.get();
+            assert_eq!(payload.as_ref(), &(t as u64).to_le_bytes());
+        }
+        sender.join().unwrap();
+        assert_eq!(rv.outstanding(), 0);
+    }
+}

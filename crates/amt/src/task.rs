@@ -1,0 +1,49 @@
+//! Task and spawner abstractions.
+
+/// A unit of work scheduled onto a worker pool.
+pub type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Anything that can accept tasks for asynchronous execution.
+///
+/// Implemented by [`crate::pool::PoolHandle`] (run on a work-stealing pool)
+/// and [`InlineSpawner`] (run immediately on the calling thread, useful in
+/// tests and for cheap continuations).
+pub trait Spawn: Send + Sync {
+    /// Schedule `task` for execution.
+    fn spawn_boxed(&self, task: Task);
+
+    /// Convenience wrapper accepting any closure.
+    fn spawn<F: FnOnce() + Send + 'static>(&self, f: F)
+    where
+        Self: Sized,
+    {
+        self.spawn_boxed(Box::new(f));
+    }
+}
+
+/// A [`Spawn`] implementation that runs tasks synchronously on the calling
+/// thread. Continuations scheduled through it execute inside the completing
+/// thread, exactly like an HPX `hpx::launch::sync` policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InlineSpawner;
+
+impl Spawn for InlineSpawner {
+    fn spawn_boxed(&self, task: Task) {
+        task();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn inline_spawner_runs_immediately() {
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = hit.clone();
+        InlineSpawner.spawn(move || h.store(true, Ordering::SeqCst));
+        assert!(hit.load(Ordering::SeqCst));
+    }
+}

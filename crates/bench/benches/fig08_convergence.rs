@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Fig 8 (quick parameters so `cargo bench`
+//! terminates; run `figures fig8` for the paper-scale sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlheat_bench::fig8;
+
+fn bench(c: &mut Criterion) {
+    // Emit the regenerated series once so the bench log contains the data.
+    println!("{}", fig8(true).to_markdown());
+    let mut g = c.benchmark_group("fig08_convergence");
+    g.sample_size(10);
+    g.bench_function("quick", |b| b.iter(|| fig8(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

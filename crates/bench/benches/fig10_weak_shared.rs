@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Fig 10 (quick parameters so `cargo bench`
+//! terminates; run `figures fig10` for the paper-scale sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlheat_bench::fig10;
+
+fn bench(c: &mut Criterion) {
+    // Emit the regenerated series once so the bench log contains the data.
+    println!("{}", fig10(true).to_markdown());
+    let mut g = c.benchmark_group("fig10_weak_shared");
+    g.sample_size(10);
+    g.bench_function("quick", |b| b.iter(|| fig10(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

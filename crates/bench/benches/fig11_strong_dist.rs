@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Fig 11 (quick parameters so `cargo bench`
+//! terminates; run `figures fig11` for the paper-scale sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlheat_bench::fig11;
+
+fn bench(c: &mut Criterion) {
+    // Emit the regenerated series once so the bench log contains the data.
+    println!("{}", fig11(true).to_markdown());
+    let mut g = c.benchmark_group("fig11_strong_dist");
+    g.sample_size(10);
+    g.bench_function("quick", |b| b.iter(|| fig11(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench regenerating Fig 13 (quick parameters so `cargo bench`
+//! terminates; run `figures fig13` for the paper-scale sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlheat_bench::fig13;
+
+fn bench(c: &mut Criterion) {
+    // Emit the regenerated series once so the bench log contains the data.
+    println!("{}", fig13(true).to_markdown());
+    let mut g = c.benchmark_group("fig13_metis_scaling");
+    g.sample_size(10);
+    g.bench_function("quick", |b| b.iter(|| fig13(true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench regenerating Fig 14: Algorithm 1 rebalancing 5×5 SDs
+//! across 4 symmetric nodes from a highly imbalanced start.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nlheat_bench::fig14;
+
+fn bench(c: &mut Criterion) {
+    let out = fig14();
+    println!("{}", out.fig.to_markdown());
+    for (i, (grid, counts)) in out.grids.iter().zip(&out.counts).enumerate() {
+        println!("iteration {i}: counts {counts:?}\n{grid}");
+    }
+    let mut g = c.benchmark_group("fig14_load_balance");
+    g.sample_size(20);
+    g.bench_function("three_iterations", |b| b.iter(fig14));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,264 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+
+use crate::figdata::{FigData, Series};
+use nlheat_core::workload::WorkModel;
+use nlheat_mesh::SdGrid;
+use nlheat_partition::{edge_cut, sd_dual_graph, strip_partition};
+use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimNet, SimPartition, VirtualNode};
+
+fn nodes1(n: usize) -> Vec<VirtualNode> {
+    (0..n).map(|_| VirtualNode::with_cores(1)).collect()
+}
+
+/// **A1** — partition quality: multilevel METIS-substitute vs naive
+/// strips, by dual-graph edge cut and simulated cross-node traffic.
+pub fn a1_partition_quality(quick: bool) -> FigData {
+    let mesh = if quick { 200 } else { 800 };
+    let sd = 25;
+    let steps = if quick { 3 } else { 20 };
+    let mut fig = FigData::new(
+        format!("A1 — partition quality on {mesh}x{mesh}, SD {sd}x{sd}"),
+        "#nodes",
+        "edge cut (cells) / cross-traffic (MB)",
+    );
+    let sds = SdGrid::tile_mesh(mesh, mesh, sd);
+    let dual = sd_dual_graph(&sds);
+    let mut cut_metis = Series::new("edgecut-metis");
+    let mut cut_strip = Series::new("edgecut-strip");
+    let mut mb_metis = Series::new("MB-metis");
+    let mut mb_strip = Series::new("MB-strip");
+    for &k in &[2usize, 4, 8] {
+        let metis = nlheat_partition::part_mesh_dual(&sds, k as u32, 1);
+        let strip = strip_partition(&sds, k as u32);
+        cut_metis.push(k as f64, metis.edgecut as f64);
+        cut_strip.push(k as f64, edge_cut(&dual, &strip) as f64);
+        let mut cfg = SimConfig::paper(mesh, sd, steps, nodes1(k));
+        cfg.partition = SimPartition::Metis { seed: 1 };
+        mb_metis.push(k as f64, simulate(&cfg).cross_bytes as f64 / 1e6);
+        cfg.partition = SimPartition::Strip;
+        mb_strip.push(k as f64, simulate(&cfg).cross_bytes as f64 / 1e6);
+    }
+    fig.series = vec![cut_metis, cut_strip, mb_metis, mb_strip];
+    fig
+}
+
+/// **A2** — hiding data-exchange time: case-1/case-2 overlap ON vs OFF
+/// across a network-latency sweep (time ratio OFF/ON; > 1 means overlap
+/// wins).
+pub fn a2_overlap(quick: bool) -> FigData {
+    let steps = if quick { 3 } else { 20 };
+    let mut fig = FigData::new(
+        "A2 — communication hiding: no-overlap time / overlap time",
+        "latency (µs)",
+        "slowdown without overlap",
+    );
+    let mut ratio = Series::new("no-overlap / overlap");
+    for &lat_us in &[1.0f64, 100.0, 1000.0, 5000.0] {
+        let mut cfg = SimConfig::paper(200, 50, steps, nodes1(4));
+        cfg.net = SimNet::slow(lat_us * 1e-6, 1e9);
+        cfg.overlap = true;
+        let with = simulate(&cfg).total_time;
+        cfg.overlap = false;
+        let without = simulate(&cfg).total_time;
+        ratio.push(lat_us, without / with);
+    }
+    fig.series.push(ratio);
+    fig
+}
+
+/// **A3** — SD size sweep (§6.1: "the size of an SD can be tuned"):
+/// total time vs SD side length for a fixed mesh and node count.
+pub fn a3_sd_size(quick: bool) -> FigData {
+    let mesh = 400;
+    let steps = if quick { 3 } else { 20 };
+    let mut fig = FigData::new(
+        "A3 — SD granularity on 400x400, 4 nodes x 2 cores",
+        "SD side (cells)",
+        "total time (ms)",
+    );
+    let mut t = Series::new("time");
+    for &sd in &[10usize, 20, 25, 50, 100, 200] {
+        let nodes = (0..4)
+            .map(|_| VirtualNode { cores: 2, speed: 1.0 })
+            .collect();
+        let cfg = SimConfig::paper(mesh, sd, steps, nodes);
+        t.push(sd as f64, simulate(&cfg).total_time * 1e3);
+    }
+    fig.series.push(t);
+    fig
+}
+
+/// **A4** — load balancer ON vs OFF on a heterogeneous cluster
+/// (one node twice as fast).
+pub fn a4_lb_heterogeneous(quick: bool) -> FigData {
+    let steps = if quick { 8 } else { 40 };
+    let mut fig = FigData::new(
+        "A4 — LB under node heterogeneity (speeds 2:1:1:1)",
+        "LB period (steps; 0 = off)",
+        "total time (ms)",
+    );
+    let nodes = vec![
+        VirtualNode { cores: 1, speed: 2.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+    ];
+    let mut t = Series::new("time");
+    let mut cfg = SimConfig::paper(400, 25, steps, nodes);
+    cfg.lb = None;
+    t.push(0.0, simulate(&cfg).total_time * 1e3);
+    for &period in &[2usize, 4, 8] {
+        cfg.lb = Some(SimLbConfig { period });
+        t.push(period as f64, simulate(&cfg).total_time * 1e3);
+    }
+    fig.series.push(t);
+    fig
+}
+
+/// **A5** — the crack workload (§7 motivation): a low-work crack band
+/// makes its host SDs cheap; LB ON vs OFF.
+pub fn a5_crack(quick: bool) -> FigData {
+    let steps = if quick { 8 } else { 40 };
+    let mut fig = FigData::new(
+        "A5 — crack workload (band of quarter-work SDs), 4 symmetric nodes",
+        "LB period (steps; 0 = off)",
+        "total time (ms)",
+    );
+    let mut t = Series::new("time");
+    let mut cfg = SimConfig::paper(400, 25, steps, nodes1(4));
+    // crack through the middle: the strip partition gives one node the
+    // whole cheap band, so the others become the bottleneck
+    cfg.partition = SimPartition::Strip;
+    cfg.work = WorkModel::Crack {
+        y_cell: 200,
+        half_width: 30,
+        factor: 0.25,
+    };
+    cfg.lb = None;
+    t.push(0.0, simulate(&cfg).total_time * 1e3);
+    for &period in &[2usize, 4, 8] {
+        cfg.lb = Some(SimLbConfig { period });
+        t.push(period as f64, simulate(&cfg).total_time * 1e3);
+    }
+    fig.series.push(t);
+    fig
+}
+
+/// **A5b** — a *propagating* crack (the §9 outlook toward fracture): the
+/// quarter-work band jumps to a new position every `dwell` steps. The
+/// balancer (period 4) wins when the dwell exceeds its adaptation time and
+/// loses when the crack outruns it — the boundary this ablation maps out.
+pub fn a5b_moving_crack(quick: bool) -> FigData {
+    let steps = if quick { 32 } else { 64 };
+    let mut fig = FigData::new(
+        "A5b - propagating crack: LB gain vs crack dwell time",
+        "dwell (steps between crack jumps)",
+        "time without LB / time with LB (period 4)",
+    );
+    let mut ratio = Series::new("no-LB / LB");
+    for &dwell in &[4usize, 8, 16, 32] {
+        let mut cfg = SimConfig::paper(400, 25, steps, nodes1(4));
+        cfg.partition = SimPartition::Strip;
+        let jumps = steps / dwell;
+        // Partial band (as in A5): eq. 8 models power per *node*, so a
+        // crack that makes a whole strip cheap inflates that node's power
+        // estimate and the plan oscillates — a granularity limitation of
+        // the algorithm documented in EXPERIMENTS.md. A partial band keeps
+        // the per-node estimate sound.
+        cfg.work_schedule = (0..jumps)
+            .map(|seg| {
+                (
+                    seg * dwell,
+                    WorkModel::Crack {
+                        y_cell: 100 + ((seg * 100) % 300) as i64,
+                        half_width: 30,
+                        factor: 0.25,
+                    },
+                )
+            })
+            .collect();
+        cfg.lb = None;
+        let off = simulate(&cfg).total_time;
+        cfg.lb = Some(SimLbConfig { period: 4 });
+        let on = simulate(&cfg).total_time;
+        ratio.push(dwell as f64, off / on);
+    }
+    fig.series.push(ratio);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a5b_lb_wins_for_slow_cracks() {
+        let fig = a5b_moving_crack(true);
+        let pts = &fig.series[0].points;
+        let at = |d: f64| pts.iter().find(|p| p.0 == d).unwrap().1;
+        assert!(
+            at(32.0) > 1.02,
+            "a static-ish crack (dwell 32) must favour LB: ratio {}",
+            at(32.0)
+        );
+        assert!(
+            at(32.0) > at(4.0),
+            "LB gain must grow with dwell: {:?}",
+            pts
+        );
+    }
+
+    #[test]
+    fn a1_metis_cuts_less_than_strip_for_many_parts() {
+        // For k = 2 a horizontal strip IS the optimal bisection of a
+        // square, so parity is acceptable there; the multilevel partition
+        // must win once strips become thin (k = 8 on the quick 8x8 SD
+        // grid).
+        let fig = a1_partition_quality(true);
+        let metis = &fig.series[0].points;
+        let strip = &fig.series[1].points;
+        let at = |pts: &[(f64, f64)], k: f64| {
+            pts.iter().find(|p| p.0 == k).map(|p| p.1).unwrap()
+        };
+        assert!(
+            at(metis, 8.0) < at(strip, 8.0),
+            "k=8: metis {} vs strip {}",
+            at(metis, 8.0),
+            at(strip, 8.0)
+        );
+        assert!(
+            at(metis, 2.0) <= at(strip, 2.0) * 1.6,
+            "k=2: metis must stay within 1.6x of the optimal strip"
+        );
+    }
+
+    #[test]
+    fn a2_overlap_gain_grows_with_latency() {
+        let fig = a2_overlap(true);
+        let pts = &fig.series[0].points;
+        assert!(
+            pts.last().unwrap().1 > pts.first().unwrap().1,
+            "{}",
+            fig.to_markdown()
+        );
+        assert!(pts.last().unwrap().1 > 1.05, "{}", fig.to_markdown());
+    }
+
+    #[test]
+    fn a4_lb_improves_heterogeneous_makespan() {
+        let fig = a4_lb_heterogeneous(true);
+        let pts = &fig.series[0].points;
+        let off = pts[0].1;
+        let best_on = pts[1..].iter().map(|p| p.1).fold(f64::MAX, f64::min);
+        assert!(best_on < off, "LB should help: off {off} on {best_on}");
+    }
+
+    #[test]
+    fn a5_lb_improves_crack_makespan() {
+        let fig = a5_crack(true);
+        let pts = &fig.series[0].points;
+        let off = pts[0].1;
+        let best_on = pts[1..].iter().map(|p| p.1).fold(f64::MAX, f64::min);
+        assert!(best_on < off, "LB should help: off {off} on {best_on}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerate the paper's evaluation figures as markdown tables.
+//!
+//! ```text
+//! figures [fig8|fig9|fig10|fig11|fig12|fig13|fig14|ablations|all] [--quick]
+//! ```
+//!
+//! Full mode uses the paper's exact workload parameters (400×400 and
+//! 800×800 meshes, ε = 8h, 20 timesteps); `--quick` shrinks them for smoke
+//! runs.
+
+use nlheat_bench::{ablations, fig10, fig11, fig12, fig13, fig14, fig8, fig9};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+
+    let run_fig14 = || {
+        let out = fig14();
+        println!("{}", out.fig.to_markdown());
+        for (i, (grid, counts)) in out.grids.iter().zip(&out.counts).enumerate() {
+            println!("iteration {i}: counts {counts:?}");
+            println!("{grid}");
+        }
+    };
+
+    match which.as_str() {
+        "fig8" => println!("{}", fig8(quick).to_markdown()),
+        "fig9" => println!("{}", fig9(quick).to_markdown()),
+        "fig10" => println!("{}", fig10(quick).to_markdown()),
+        "fig11" => println!("{}", fig11(quick).to_markdown()),
+        "fig12" => println!("{}", fig12(quick).to_markdown()),
+        "fig13" => println!("{}", fig13(quick).to_markdown()),
+        "fig14" => run_fig14(),
+        "ablations" => {
+            println!("{}", ablations::a1_partition_quality(quick).to_markdown());
+            println!("{}", ablations::a2_overlap(quick).to_markdown());
+            println!("{}", ablations::a3_sd_size(quick).to_markdown());
+            println!("{}", ablations::a4_lb_heterogeneous(quick).to_markdown());
+            println!("{}", ablations::a5_crack(quick).to_markdown());
+            println!("{}", ablations::a5b_moving_crack(quick).to_markdown());
+        }
+        "all" => {
+            println!("{}", fig8(quick).to_markdown());
+            println!("{}", fig9(quick).to_markdown());
+            println!("{}", fig10(quick).to_markdown());
+            println!("{}", fig11(quick).to_markdown());
+            println!("{}", fig12(quick).to_markdown());
+            println!("{}", fig13(quick).to_markdown());
+            run_fig14();
+            println!("{}", ablations::a1_partition_quality(quick).to_markdown());
+            println!("{}", ablations::a2_overlap(quick).to_markdown());
+            println!("{}", ablations::a3_sd_size(quick).to_markdown());
+            println!("{}", ablations::a4_lb_heterogeneous(quick).to_markdown());
+            println!("{}", ablations::a5_crack(quick).to_markdown());
+            println!("{}", ablations::a5b_moving_crack(quick).to_markdown());
+        }
+        other => {
+            eprintln!("unknown figure '{other}'");
+            eprintln!("usage: figures [fig8..fig14|ablations|all] [--quick]");
+            std::process::exit(2);
+        }
+    }
+}

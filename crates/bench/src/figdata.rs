@@ -1,0 +1,141 @@
+//! Tabular figure data and markdown rendering.
+
+/// One plotted curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label (e.g. "4CPU").
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A figure as a table: shared x values, one column per series.
+#[derive(Debug, Clone)]
+pub struct FigData {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+}
+
+impl FigData {
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        FigData {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// All distinct x values in first-seen order.
+    fn x_values(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = Vec::new();
+        for s in &self.series {
+            for &(x, _) in &s.points {
+                if !xs.contains(&x) {
+                    xs.push(x);
+                }
+            }
+        }
+        xs
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!(
+            "| {} | {} |\n",
+            self.x_label,
+            self.series
+                .iter()
+                .map(|s| s.label.clone())
+                .collect::<Vec<_>>()
+                .join(" | ")
+        ));
+        out.push_str(&format!(
+            "|{}|\n",
+            "---|".repeat(self.series.len() + 1)
+        ));
+        for x in self.x_values() {
+            let mut row = format!("| {} ", trim_float(x));
+            for s in &self.series {
+                let cell = s
+                    .points
+                    .iter()
+                    .find(|&&(px, _)| px == x)
+                    .map(|&(_, y)| trim_float_sig(y))
+                    .unwrap_or_else(|| "—".into());
+                row.push_str(&format!("| {cell} "));
+            }
+            out.push_str(&row);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!("\n*(y = {})*\n", self.y_label));
+        out
+    }
+}
+
+fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+fn trim_float_sig(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e-3 && v.abs() < 1e6 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let mut fig = FigData::new("Test", "x", "speedup");
+        let mut s1 = Series::new("a");
+        s1.push(1.0, 1.0);
+        s1.push(2.0, 1.9);
+        let mut s2 = Series::new("b");
+        s2.push(1.0, 1.0);
+        fig.series.push(s1);
+        fig.series.push(s2);
+        let md = fig.to_markdown();
+        assert!(md.contains("### Test"));
+        assert!(md.contains("| x | a | b |"));
+        assert!(md.contains("| 1 | 1.000 | 1.000 |"));
+        assert!(md.contains("| 2 | 1.900 | — |"), "missing cell dashed:\n{md}");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(trim_float(4.0), "4");
+        assert_eq!(trim_float_sig(0.000123), "1.230e-4");
+        assert_eq!(trim_float_sig(9.87654), "9.877");
+    }
+}

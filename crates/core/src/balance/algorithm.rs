@@ -1,0 +1,282 @@
+//! The Algorithm 1 driver: metrics → tree → ordered transfers → plan.
+
+use crate::balance::power::{compute_metrics, LoadMetrics};
+use crate::balance::transfer::select_transfer;
+use crate::balance::tree::build_forest;
+use crate::ownership::{NodeId, Ownership};
+use nlheat_mesh::SdId;
+
+/// One SD migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// The migrating sub-domain.
+    pub sd: SdId,
+    /// Current owner.
+    pub from: NodeId,
+    /// New owner.
+    pub to: NodeId,
+}
+
+/// The outcome of one load-balancing iteration.
+#[derive(Debug, Clone)]
+pub struct MigrationPlan {
+    /// SD migrations in application order.
+    pub moves: Vec<Move>,
+    /// The metrics (eqs. 8–10) the plan was derived from.
+    pub metrics: LoadMetrics,
+    /// The ownership after applying `moves`.
+    pub new_ownership: Ownership,
+}
+
+impl MigrationPlan {
+    /// True when the iteration found nothing to move.
+    pub fn is_noop(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// One iteration of Algorithm 1.
+///
+/// `busy` are the per-node busy times (any consistent unit) accumulated
+/// since the previous iteration's counter reset.
+///
+/// Sign conventions follow eq. 9 (`imbalance = expected − count`, positive
+/// = node should *gain* SDs). Each node in topological order settles its
+/// imbalance against its not-yet-visited adjacent nodes, `imbalance/L`
+/// each with the remainder spread deterministically; transfers are
+/// realized immediately by frontier ring growth, and unrealizable
+/// residuals (exhausted frontiers) simply remain for the next iteration —
+/// the algorithm is iterative by design (the paper's Fig. 14 converges in
+/// three iterations).
+pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
+    let n = own.n_nodes() as usize;
+    assert_eq!(busy.len(), n, "one busy time per node");
+    let metrics = compute_metrics(&own.counts(), busy);
+    let adjacency = own.node_adjacency();
+    let forest = build_forest(&adjacency, &metrics.imbalance);
+
+    let mut imbalance = metrics.imbalance.clone();
+    let mut working = own.clone();
+    let mut moves: Vec<Move> = Vec::new();
+    let mut visited = vec![false; n];
+
+    for tree in &forest {
+        for &i in &tree.order {
+            visited[i as usize] = true;
+            if imbalance[i as usize] == 0 {
+                continue;
+            }
+            // Non-visited adjacent nodes (graph adjacency; the tree only
+            // fixes the ordering). Recompute from the *working* ownership:
+            // earlier transfers may have created or removed borders.
+            let neighbors: Vec<NodeId> = working.node_adjacency()[i as usize]
+                .iter()
+                .copied()
+                .filter(|&m| !visited[m as usize])
+                .collect();
+            let l = neighbors.len() as i64;
+            if l == 0 {
+                continue;
+            }
+            let want = imbalance[i as usize];
+            let base = want / l;
+            let mut rem = want - base * l;
+            for &m in &neighbors {
+                let mut x = base;
+                if rem != 0 {
+                    x += rem.signum();
+                    rem -= rem.signum();
+                }
+                if x == 0 {
+                    continue;
+                }
+                let (src, dst, amount) = if x > 0 {
+                    (m, i, x as usize) // i borrows from m
+                } else {
+                    (i, m, (-x) as usize) // i lends to m
+                };
+                let chosen = select_transfer(&working, src, dst, amount);
+                for &sd in &chosen {
+                    working.set_owner(sd, dst);
+                    moves.push(Move {
+                        sd,
+                        from: src,
+                        to: dst,
+                    });
+                }
+                let realized = chosen.len() as i64;
+                // bookkeeping: dst gained `realized`, src lost them
+                imbalance[dst as usize] -= realized;
+                imbalance[src as usize] += realized;
+            }
+        }
+    }
+    MigrationPlan {
+        moves,
+        metrics,
+        new_ownership: working,
+    }
+}
+
+/// Run `plan_rebalance` repeatedly (at most `max_iters` times) with busy
+/// times supplied by `busy_model` (a function of the current ownership —
+/// e.g. virtual busy times for a known node-speed vector). Returns the
+/// ownership history including the initial state.
+pub fn iterate_rebalance(
+    own: &Ownership,
+    max_iters: usize,
+    mut busy_model: impl FnMut(&Ownership) -> Vec<f64>,
+) -> Vec<Ownership> {
+    let mut history = vec![own.clone()];
+    let mut current = own.clone();
+    for _ in 0..max_iters {
+        let busy = busy_model(&current);
+        let plan = plan_rebalance(&current, &busy);
+        if plan.is_noop() {
+            break;
+        }
+        current = plan.new_ownership.clone();
+        history.push(current.clone());
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlheat_mesh::SdGrid;
+
+    /// Busy time proportional to SD count over identical nodes.
+    fn symmetric_busy(own: &Ownership) -> Vec<f64> {
+        own.counts().iter().map(|&c| c.max(1) as f64).collect()
+    }
+
+    /// Busy time for nodes with given speeds: count / speed.
+    fn busy_for_speeds(own: &Ownership, speeds: &[f64]) -> Vec<f64> {
+        own.counts()
+            .iter()
+            .zip(speeds)
+            .map(|(&c, &s)| c as f64 / s)
+            .collect()
+    }
+
+    /// The paper's Fig. 14 initial state: 5x5 SDs, 4 symmetric nodes,
+    /// highly imbalanced — node 0 owns almost everything.
+    fn fig14_initial() -> Ownership {
+        let sds = SdGrid::new(5, 5, 4);
+        let mut owners = vec![0u32; 25];
+        owners[sds.id(4, 0) as usize] = 1;
+        owners[sds.id(4, 4) as usize] = 3;
+        owners[sds.id(0, 4) as usize] = 2;
+        Ownership::new(sds, owners, 4)
+    }
+
+    #[test]
+    fn balanced_input_is_noop() {
+        let sds = SdGrid::new(4, 4, 5);
+        let mut owners = vec![0u32; 16];
+        for sd in 0..16 {
+            let (sx, sy) = sds.coords(sd);
+            owners[sd as usize] = (sy / 2 * 2 + sx / 2) as u32;
+        }
+        let own = Ownership::new(sds, owners, 4);
+        let plan = plan_rebalance(&own, &symmetric_busy(&own));
+        assert!(plan.is_noop(), "already balanced quadrants");
+    }
+
+    #[test]
+    fn moves_preserve_sd_conservation() {
+        let own = fig14_initial();
+        let plan = plan_rebalance(&own, &symmetric_busy(&own));
+        let before: usize = own.counts().iter().sum();
+        let after: usize = plan.new_ownership.counts().iter().sum();
+        assert_eq!(before, after);
+        // every move's `from` owned the SD at its time of application
+        let mut check = own.clone();
+        for m in &plan.moves {
+            assert_eq!(check.owner(m.sd), m.from, "stale move source");
+            check.set_owner(m.sd, m.to);
+        }
+        assert_eq!(check, plan.new_ownership);
+    }
+
+    #[test]
+    fn fig14_converges_within_three_iterations() {
+        // The paper's validation: highly imbalanced start, symmetric
+        // nodes; within 3 iterations the distribution is near-balanced.
+        let own = fig14_initial();
+        let history = iterate_rebalance(&own, 3, symmetric_busy);
+        let final_counts = history.last().unwrap().counts();
+        let max = *final_counts.iter().max().unwrap();
+        let min = *final_counts.iter().min().unwrap();
+        assert!(
+            max - min <= 2,
+            "counts after 3 iterations too uneven: {final_counts:?}"
+        );
+    }
+
+    #[test]
+    fn heterogeneous_speeds_get_proportional_shares() {
+        // Node 0 twice as fast as the others: it should end up with about
+        // twice the SDs.
+        let sds = SdGrid::new(6, 6, 4);
+        let mut owners = vec![0u32; 36];
+        for sd in 0..36u32 {
+            let (sx, _) = sds.coords(sd);
+            owners[sd as usize] = (sx / 2) as u32; // vertical thirds
+        }
+        let own = Ownership::new(sds, owners, 3);
+        let speeds = [2.0, 1.0, 1.0];
+        let history = iterate_rebalance(&own, 5, |o| busy_for_speeds(o, &speeds));
+        let counts = history.last().unwrap().counts();
+        // expectation: 36 * 2/4 = 18 vs 9 and 9
+        assert!(
+            (16..=20).contains(&counts[0]),
+            "fast node share: {counts:?}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 36);
+    }
+
+    #[test]
+    fn contiguity_preserved_through_iterations() {
+        let own = fig14_initial();
+        let history = iterate_rebalance(&own, 3, symmetric_busy);
+        for (it, state) in history.iter().enumerate() {
+            for node in 0..4 {
+                assert!(
+                    state.is_contiguous(node),
+                    "node {node} fragmented at iteration {it}:\n{}",
+                    state.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_is_trivially_balanced() {
+        let own = Ownership::single_node(SdGrid::new(4, 4, 5));
+        let plan = plan_rebalance(&own, &[1.0]);
+        assert!(plan.is_noop());
+    }
+
+    #[test]
+    fn two_nodes_direct_exchange() {
+        // 1x6 row: node 0 owns 5, node 1 owns 1; symmetric busy.
+        let sds = SdGrid::new(6, 1, 4);
+        let own = Ownership::new(sds, vec![0, 0, 0, 0, 0, 1], 2);
+        let plan = plan_rebalance(&own, &symmetric_busy(&own));
+        let counts = plan.new_ownership.counts();
+        assert_eq!(counts, vec![3, 3]);
+        // the moved SDs are the ones bordering node 1 (ids 4 then 3)
+        let moved: Vec<SdId> = plan.moves.iter().map(|m| m.sd).collect();
+        assert_eq!(moved, vec![4, 3]);
+    }
+
+    #[test]
+    fn plan_records_metrics() {
+        let own = fig14_initial();
+        let plan = plan_rebalance(&own, &symmetric_busy(&own));
+        assert_eq!(plan.metrics.counts, vec![22, 1, 1, 1]);
+        assert_eq!(plan.metrics.imbalance.iter().sum::<i64>(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! **Algorithm 1** — the paper's novel load balancing algorithm (§7).
+//!
+//! The pipeline per balancing iteration:
+//!
+//! 1. read the per-node `busy_time` performance counters;
+//! 2. compute node *power* `Power(N_i) = SD̄(N_i)/Busy(N_i)` (eq. 8),
+//!    *expected* SD counts `E(N_i) = total·Power_i/ΣPower` (eq. 10) and the
+//!    *load imbalance* `E(N_i) − SD̄(N_i)` (eq. 9) — [`power`];
+//! 3. build the data-dependency tree over node adjacency, rooted at the
+//!    node of minimum imbalance, and order nodes topologically
+//!    (BFS preorder, Fig. 7) — [`tree`];
+//! 4. in that order, each node borrows/lends SDs from its not-yet-visited
+//!    adjacent nodes, `LoadImbalance/L` per neighbour, realized by uniform
+//!    ring growth along the shared frontier to preserve the contiguity the
+//!    mesh partitioner established (Fig. 6) — [`transfer`];
+//! 5. emit the migration plan and reset the busy-time counters
+//!    (Algorithm 1 line 35) — [`algorithm`].
+
+pub mod algorithm;
+pub mod power;
+pub mod transfer;
+pub mod tree;
+
+pub use algorithm::{iterate_rebalance, plan_rebalance, MigrationPlan, Move};
+pub use power::{compute_metrics, LoadMetrics};
+pub use transfer::select_transfer;
+pub use tree::{build_forest, DependencyTree};

@@ -1,0 +1,177 @@
+//! Realizing a transfer: uniform ring growth along the shared frontier.
+//!
+//! When node `to` borrows `count` SDs from node `from`, the paper requires
+//! the borrowed SDs to be taken "uniformly in all the directions" so the
+//! contiguous locality produced by the mesh partitioner is preserved
+//! (Fig. 6). We realize that as breadth-first ring growth: the borrower's
+//! territory expands into the lender's ring by ring; within the final
+//! partial ring, cells with the most contact to the borrower (and the
+//! least entanglement with the lender) are preferred.
+
+use crate::ownership::{NodeId, Ownership};
+use nlheat_mesh::SdId;
+use std::collections::HashSet;
+
+/// Choose up to `count` SDs currently owned by `from` for transfer to
+/// `to`, growing `to`'s territory uniformly. Returns fewer than `count`
+/// ids when the lender's reachable territory is exhausted.
+pub fn select_transfer(own: &Ownership, from: NodeId, to: NodeId, count: usize) -> Vec<SdId> {
+    assert_ne!(from, to);
+    let sds = own.sds();
+    let mut selected: Vec<SdId> = Vec::with_capacity(count);
+    let mut selected_set: HashSet<SdId> = HashSet::new();
+    // `to`'s territory including what we have taken so far.
+    let mut region: HashSet<SdId> = own.owned_by(to).into_iter().collect();
+    if region.is_empty() && count > 0 {
+        // The borrower owns nothing yet (can happen when more nodes than
+        // SDs existed at some point): seed its territory with the lender's
+        // most peripheral SD so ring growth has somewhere to start.
+        let seed = own
+            .owned_by(from)
+            .into_iter()
+            .min_by_key(|&sd| {
+                let lender_neighbors = sds
+                    .adjacent4(sd)
+                    .iter()
+                    .filter(|&&nb| own.owner(nb) == from)
+                    .count();
+                (lender_neighbors, sd)
+            });
+        if let Some(sd) = seed {
+            selected.push(sd);
+            selected_set.insert(sd);
+            region.insert(sd);
+        }
+    }
+    while selected.len() < count {
+        // the ring: `from`-owned SDs adjacent to the current region
+        let mut ring: Vec<SdId> = own
+            .owned_by(from)
+            .into_iter()
+            .filter(|sd| !selected_set.contains(sd))
+            .filter(|&sd| {
+                sds.adjacent4(sd).iter().any(|nb| region.contains(nb))
+            })
+            .collect();
+        if ring.is_empty() {
+            break;
+        }
+        let remaining = count - selected.len();
+        if ring.len() > remaining {
+            // partial ring: prefer maximal contact with the borrower and
+            // minimal remaining contact with the lender (keeps the lender
+            // compact); ties by id for determinism.
+            ring.sort_by_key(|&sd| {
+                let nbs = sds.adjacent4(sd);
+                let contact = nbs.iter().filter(|nb| region.contains(nb)).count() as i64;
+                let lender_ties = nbs
+                    .iter()
+                    .filter(|&&nb| {
+                        own.owner(nb) == from && !selected_set.contains(&nb)
+                    })
+                    .count() as i64;
+                (-contact, lender_ties, sd)
+            });
+            ring.truncate(remaining);
+        }
+        for sd in ring {
+            selected.push(sd);
+            selected_set.insert(sd);
+            region.insert(sd);
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlheat_mesh::SdGrid;
+
+    /// 6x6 grid: left half node 0, right half node 1.
+    fn halves() -> Ownership {
+        let sds = SdGrid::new(6, 6, 4);
+        let mut owners = vec![0u32; 36];
+        for sy in 0..6i64 {
+            for sx in 3..6i64 {
+                owners[sds.id(sx, sy) as usize] = 1;
+            }
+        }
+        Ownership::new(sds, owners, 2)
+    }
+
+    #[test]
+    fn takes_frontier_first() {
+        let own = halves();
+        let sds = *own.sds();
+        // node 0 borrows a full ring (6) from node 1: must be column sx=3
+        let taken = select_transfer(&own, 1, 0, 6);
+        assert_eq!(taken.len(), 6);
+        for sd in &taken {
+            let (sx, _) = sds.coords(*sd);
+            assert_eq!(sx, 3, "first ring is the boundary column");
+        }
+    }
+
+    #[test]
+    fn grows_ring_by_ring() {
+        let own = halves();
+        let sds = *own.sds();
+        let taken = select_transfer(&own, 1, 0, 12);
+        assert_eq!(taken.len(), 12);
+        // two full columns: sx=3 and sx=4
+        let mut cols: Vec<i64> = taken.iter().map(|&sd| sds.coords(sd).0).collect();
+        cols.sort_unstable();
+        assert_eq!(&cols[..6], &[3; 6]);
+        assert_eq!(&cols[6..], &[4; 6]);
+    }
+
+    #[test]
+    fn partial_ring_preserves_contiguity() {
+        let own = halves();
+        let taken = select_transfer(&own, 1, 0, 3);
+        assert_eq!(taken.len(), 3);
+        let mut working = own.clone();
+        for &sd in &taken {
+            working.set_owner(sd, 0);
+        }
+        assert!(working.is_contiguous(0), "borrower stays contiguous");
+        assert!(working.is_contiguous(1), "lender stays contiguous");
+    }
+
+    #[test]
+    fn caps_at_available_reachable_sds() {
+        let own = halves();
+        let taken = select_transfer(&own, 1, 0, 100);
+        assert_eq!(taken.len(), 18, "lender only has 18 SDs");
+    }
+
+    #[test]
+    fn no_adjacency_no_transfer() {
+        // three columns: 0 | 2 | 1 — nodes 0 and 1 are not adjacent
+        let sds = SdGrid::new(3, 1, 4);
+        let own = Ownership::new(sds, vec![0, 2, 1], 3);
+        assert!(select_transfer(&own, 1, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let own = halves();
+        assert_eq!(
+            select_transfer(&own, 1, 0, 7),
+            select_transfer(&own, 1, 0, 7)
+        );
+    }
+
+    #[test]
+    fn uniform_growth_spreads_over_frontier() {
+        // Borrow 2 from a 6-cell frontier: the two picks must not be the
+        // same corner twice — contact ranking spreads them.
+        let own = halves();
+        let sds = *own.sds();
+        let taken = select_transfer(&own, 1, 0, 2);
+        assert_eq!(taken.len(), 2);
+        let ys: Vec<i64> = taken.iter().map(|&sd| sds.coords(sd).1).collect();
+        assert_ne!(ys[0], ys[1]);
+    }
+}

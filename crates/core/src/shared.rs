@@ -1,0 +1,305 @@
+//! Shared-memory asynchronous solver (paper §8.2).
+//!
+//! One computational node, many threads: the mesh is decomposed into SDs,
+//! every timestep spawns one task per SD onto the work-stealing pool, and
+//! futurization synchronizes the step (the `hpx::async`/`hpx::future`
+//! pattern of Listing 1). All data lives in one address space, so halo
+//! fills are plain copies and there is no case-1/case-2 distinction — that
+//! split only matters across localities.
+
+use crate::workload::WorkModel;
+use nlheat_amt::future::when_all;
+use nlheat_amt::pool::ThreadPool;
+use nlheat_mesh::{build_halo_plan, HaloPlan, PatchSource, SdGrid, Tile};
+use nlheat_model::{ErrorAccumulator, ProblemParts, ProblemSpec, SourceFn};
+use parking_lot::{Mutex, RwLock};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a shared-memory run.
+#[derive(Debug, Clone)]
+pub struct SharedConfig {
+    /// The physical problem.
+    pub spec: ProblemSpec,
+    /// SD side length in cells (must divide the mesh).
+    pub sd_size: usize,
+    /// Timesteps to run.
+    pub n_steps: usize,
+    /// Worker threads.
+    pub n_threads: usize,
+    /// Record the eq.-7 error against the manufactured solution each step.
+    pub record_error: bool,
+    /// Per-SD work factors.
+    pub work: WorkModel,
+}
+
+impl SharedConfig {
+    /// Paper-style configuration (manufactured problem, uniform work).
+    pub fn new(n: usize, eps_mult: f64, sd_size: usize, n_steps: usize, n_threads: usize) -> Self {
+        SharedConfig {
+            spec: ProblemSpec::square(n, eps_mult),
+            sd_size,
+            n_steps,
+            n_threads,
+            record_error: false,
+            work: WorkModel::Uniform,
+        }
+    }
+}
+
+/// Per-SD double-buffered storage shared between driver and tasks.
+struct SdCell {
+    curr: RwLock<Tile>,
+    next: Mutex<Tile>,
+}
+
+struct SdUnit {
+    origin: (i64, i64),
+    plan: HaloPlan,
+    cell: Arc<SdCell>,
+    repeats: u32,
+}
+
+/// Outcome of a shared-memory run.
+#[derive(Debug, Clone)]
+pub struct SharedReport {
+    /// Wall time of the stepping loop.
+    pub elapsed: Duration,
+    /// Per-step errors when requested.
+    pub error: Option<ErrorAccumulator>,
+    /// Final interior field, row-major over the global mesh.
+    pub field: Vec<f64>,
+    /// Total busy nanoseconds across workers.
+    pub busy_ns: u64,
+    /// Tasks executed by the pool.
+    pub tasks: u64,
+}
+
+/// The shared-memory solver: owns the pool and the SD storage.
+pub struct SharedSolver {
+    cfg: SharedConfig,
+    parts: ProblemParts,
+    sds: SdGrid,
+    units: Vec<SdUnit>,
+    pool: ThreadPool,
+    kernel_offsets: Arc<Vec<isize>>,
+    source: SourceFn,
+    step: usize,
+}
+
+impl SharedSolver {
+    /// Build the solver, decompose the mesh, set the initial condition.
+    pub fn new(cfg: SharedConfig) -> Self {
+        let parts = cfg.spec.build();
+        let grid = parts.grid;
+        let sds = SdGrid::tile_mesh(grid.nx as usize, grid.ny as usize, cfg.sd_size);
+        let halo = grid.halo;
+        let m = parts.manufactured.clone();
+        let units: Vec<SdUnit> = sds
+            .ids()
+            .map(|id| {
+                let origin = sds.origin(id);
+                let mut curr = Tile::new(sds.sd, halo);
+                for lj in 0..sds.sd {
+                    for li in 0..sds.sd {
+                        curr.set(li, lj, m.initial(origin.0 + li, origin.1 + lj));
+                    }
+                }
+                SdUnit {
+                    origin,
+                    plan: build_halo_plan(&sds, halo, id),
+                    cell: Arc::new(SdCell {
+                        curr: RwLock::new(curr),
+                        next: Mutex::new(Tile::new(sds.sd, halo)),
+                    }),
+                    repeats: cfg.work.repeats(&sds, id, 1.0),
+                }
+            })
+            .collect();
+        let pool = ThreadPool::new(cfg.n_threads, "shared");
+        let kernel_offsets =
+            Arc::new(parts.kernel.storage_offsets(sds.sd + 2 * halo));
+        let source = m.source_fn();
+        SharedSolver {
+            cfg,
+            parts,
+            sds,
+            units,
+            pool,
+            kernel_offsets,
+            source,
+            step: 0,
+        }
+    }
+
+    /// Simulated time.
+    pub fn time(&self) -> f64 {
+        self.step as f64 * self.parts.dt
+    }
+
+    /// Advance one futurized timestep.
+    pub fn step(&mut self) {
+        // 1. halo fill: all-local copies (single address space)
+        for unit in &self.units {
+            let mut dst = unit.cell.curr.write();
+            for patch in &unit.plan.patches {
+                if let PatchSource::Sd(src_id) = patch.source {
+                    let src = self.units[src_id as usize].cell.curr.read();
+                    dst.copy_rect_from(&src, &patch.src_rect, &patch.dst_rect);
+                }
+                // collar patches stay zero (boundary condition eq. 4)
+            }
+        }
+        // 2. one asynchronous task per SD (the unit of work, §6.1)
+        let t = self.time();
+        let dt = self.parts.dt;
+        let kernel = Arc::new(self.parts.kernel.clone());
+        let handle = self.pool.handle();
+        let futures: Vec<_> = self
+            .units
+            .iter()
+            .map(|unit| {
+                let cell = unit.cell.clone();
+                let kernel = kernel.clone();
+                let offsets = self.kernel_offsets.clone();
+                let source = self.source.clone();
+                let origin = unit.origin;
+                let repeats = unit.repeats;
+                handle.async_call(move || {
+                    let curr = cell.curr.read();
+                    let mut next = cell.next.lock();
+                    let region = curr.interior_rect();
+                    kernel.apply_region(
+                        &curr, &mut next, &region, &offsets, origin, t, dt, &source, repeats,
+                    );
+                })
+            })
+            .collect();
+        when_all(futures).get();
+        // 3. swap buffers
+        for unit in &self.units {
+            let mut curr = unit.cell.curr.write();
+            let mut next = unit.cell.next.lock();
+            std::mem::swap(&mut *curr, &mut *next);
+        }
+        self.step += 1;
+    }
+
+    /// Current error `e_k` (eq. 7) against the manufactured solution.
+    pub fn error_now(&self) -> f64 {
+        let m = &self.parts.manufactured;
+        let t = self.time();
+        let h = self.parts.grid.h;
+        let mut sum = 0.0;
+        for unit in &self.units {
+            let curr = unit.cell.curr.read();
+            for lj in 0..self.sds.sd {
+                for li in 0..self.sds.sd {
+                    let (gi, gj) = (unit.origin.0 + li, unit.origin.1 + lj);
+                    let d = m.exact(t, gi, gj) - curr.get(li, lj);
+                    sum += d * d;
+                }
+            }
+        }
+        h * h * sum
+    }
+
+    /// Assemble the global interior field row-major.
+    pub fn field(&self) -> Vec<f64> {
+        let (nx, ny) = self.sds.mesh_extent();
+        let mut out = vec![0.0; (nx * ny) as usize];
+        for unit in &self.units {
+            let curr = unit.cell.curr.read();
+            for lj in 0..self.sds.sd {
+                for li in 0..self.sds.sd {
+                    let (gi, gj) = (unit.origin.0 + li, unit.origin.1 + lj);
+                    out[(gj * nx + gi) as usize] = curr.get(li, lj);
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the configured number of steps and report.
+    pub fn run(mut self) -> SharedReport {
+        let mut acc = self.cfg.record_error.then(ErrorAccumulator::new);
+        let t0 = Instant::now();
+        for _ in 0..self.cfg.n_steps {
+            self.step();
+            if let Some(acc) = acc.as_mut() {
+                acc.push(self.error_now());
+            }
+        }
+        let elapsed = t0.elapsed();
+        // `when_all` resolves inside the final task, slightly before the
+        // pool retires it — drain fully so the counters below are final.
+        self.pool.wait_idle();
+        SharedReport {
+            elapsed,
+            error: acc,
+            field: self.field(),
+            busy_ns: self.pool.busy_ns_total(),
+            tasks: self.pool.tasks_executed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nlheat_model::SerialSolver;
+
+    #[test]
+    fn matches_serial_solver_bitwise() {
+        let mut cfg = SharedConfig::new(16, 2.0, 4, 5, 2);
+        cfg.record_error = true;
+        let report = SharedSolver::new(cfg).run();
+
+        let parts = ProblemSpec::square(16, 2.0).build();
+        let mut serial = SerialSolver::manufactured(&parts);
+        serial.run(5);
+        let serial_field = serial.field();
+
+        assert_eq!(report.field.len(), serial_field.len());
+        for (i, (a, b)) in report.field.iter().zip(&serial_field).enumerate() {
+            assert_eq!(a, b, "cell {i} differs: shared {a} vs serial {b}");
+        }
+    }
+
+    #[test]
+    fn single_sd_equals_many_sds() {
+        let one = SharedSolver::new(SharedConfig::new(16, 2.0, 16, 4, 1)).run();
+        let many = SharedSolver::new(SharedConfig::new(16, 2.0, 4, 4, 3)).run();
+        assert_eq!(one.field, many.field, "decomposition must not change numerics");
+    }
+
+    #[test]
+    fn error_stays_small() {
+        let mut cfg = SharedConfig::new(24, 3.0, 8, 8, 2);
+        cfg.record_error = true;
+        let report = SharedSolver::new(cfg).run();
+        let total = report.error.unwrap().total();
+        assert!(total < 1e-4, "error {total}");
+    }
+
+    #[test]
+    fn tasks_scale_with_sds_and_steps() {
+        let report = SharedSolver::new(SharedConfig::new(16, 2.0, 4, 3, 2)).run();
+        // 16 SDs x 3 steps
+        assert_eq!(report.tasks, 48);
+        assert!(report.busy_ns > 0);
+    }
+
+    #[test]
+    fn work_model_changes_cost_not_result() {
+        let uniform = SharedSolver::new(SharedConfig::new(16, 2.0, 4, 3, 2)).run();
+        let mut cfg = SharedConfig::new(16, 2.0, 4, 3, 2);
+        cfg.work = WorkModel::Crack {
+            y_cell: 8,
+            half_width: 2,
+            factor: 3.0,
+        };
+        let crack = SharedSolver::new(cfg).run();
+        assert_eq!(uniform.field, crack.field);
+    }
+}

@@ -1,0 +1,131 @@
+//! Workload heterogeneity models (paper §7).
+//!
+//! Two sources of imbalance motivate the load balancer:
+//!
+//! * **Node heterogeneity** — a node's compute capacity varies (other jobs
+//!   scheduled on it, different hardware). Modeled by the locality speed
+//!   factor of the AMT cluster.
+//! * **Model-intrinsic imbalance** — in nonlocal *fracture* models the SDs
+//!   containing the crack do less bond work than intact SDs (points across
+//!   the crack stop interacting). [`WorkModel::Crack`] reproduces that
+//!   shape for the heat substrate: a horizontal band of SDs with a reduced
+//!   work factor, optionally moving over time like a propagating crack.
+
+use nlheat_mesh::{SdGrid, SdId};
+
+/// Per-SD relative work factor (1.0 = nominal cost per DP).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkModel {
+    /// Every SD costs the same.
+    Uniform,
+    /// SDs intersecting the horizontal cell band
+    /// `[y_cell − half_width, y_cell + half_width]` cost `factor` (< 1 for
+    /// the crack's reduced bond work; > 1 models refinement hot spots).
+    Crack {
+        y_cell: i64,
+        half_width: i64,
+        factor: f64,
+    },
+    /// Arbitrary per-SD factors.
+    PerSd(Vec<f64>),
+}
+
+impl WorkModel {
+    /// The work factor of `sd`.
+    pub fn factor(&self, sds: &SdGrid, sd: SdId) -> f64 {
+        match self {
+            WorkModel::Uniform => 1.0,
+            WorkModel::Crack {
+                y_cell,
+                half_width,
+                factor,
+            } => {
+                let rect = sds.rect(sd);
+                let band_lo = y_cell - half_width;
+                let band_hi = y_cell + half_width;
+                if rect.y0 <= band_hi && rect.y1() > band_lo {
+                    *factor
+                } else {
+                    1.0
+                }
+            }
+            WorkModel::PerSd(f) => f[sd as usize],
+        }
+    }
+
+    /// Kernel repetition count emulating `factor/speed` on the real
+    /// runtime (≥ 1; the emulation is quantized to whole repeats).
+    pub fn repeats(&self, sds: &SdGrid, sd: SdId, node_speed: f64) -> u32 {
+        let f = self.factor(sds, sd) / node_speed;
+        f.round().max(1.0) as u32
+    }
+
+    /// Exact relative cost for the discrete-event simulator.
+    pub fn cost(&self, sds: &SdGrid, sd: SdId, node_speed: f64) -> f64 {
+        self.factor(sds, sd) / node_speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_one_everywhere() {
+        let sds = SdGrid::new(4, 4, 5);
+        for sd in sds.ids() {
+            assert_eq!(WorkModel::Uniform.factor(&sds, sd), 1.0);
+        }
+    }
+
+    #[test]
+    fn crack_band_hits_expected_rows() {
+        let sds = SdGrid::new(4, 4, 5); // 20 cells per side
+        let crack = WorkModel::Crack {
+            y_cell: 10,
+            half_width: 1,
+            factor: 0.25,
+        };
+        for sd in sds.ids() {
+            let (_, sy) = sds.coords(sd);
+            let expected = if sy == 1 || sy == 2 { 0.25 } else { 1.0 };
+            assert_eq!(crack.factor(&sds, sd), expected, "sd row {sy}");
+        }
+    }
+
+    #[test]
+    fn crack_at_grid_edge() {
+        let sds = SdGrid::new(2, 2, 4);
+        let crack = WorkModel::Crack {
+            y_cell: 0,
+            half_width: 0,
+            factor: 0.5,
+        };
+        assert_eq!(crack.factor(&sds, sds.id(0, 0)), 0.5);
+        assert_eq!(crack.factor(&sds, sds.id(0, 1)), 1.0);
+    }
+
+    #[test]
+    fn per_sd_lookup() {
+        let sds = SdGrid::new(2, 1, 4);
+        let m = WorkModel::PerSd(vec![1.0, 2.5]);
+        assert_eq!(m.factor(&sds, 1), 2.5);
+    }
+
+    #[test]
+    fn repeats_quantize_and_floor_at_one() {
+        let sds = SdGrid::new(2, 1, 4);
+        let m = WorkModel::Uniform;
+        assert_eq!(m.repeats(&sds, 0, 1.0), 1);
+        assert_eq!(m.repeats(&sds, 0, 0.5), 2);
+        assert_eq!(m.repeats(&sds, 0, 0.25), 4);
+        assert_eq!(m.repeats(&sds, 0, 4.0), 1, "fast nodes floor at 1");
+    }
+
+    #[test]
+    fn cost_is_exact_ratio() {
+        let sds = SdGrid::new(2, 1, 4);
+        let m = WorkModel::PerSd(vec![0.5, 1.0]);
+        assert_eq!(m.cost(&sds, 0, 2.0), 0.25);
+    }
+}

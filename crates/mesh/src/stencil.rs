@@ -1,0 +1,113 @@
+//! The ε-ball interaction stencil.
+//!
+//! After discretization, a point interacts with every grid point within
+//! Euclidean distance ε (paper eq. 5): offsets `(di, dj) ≠ (0,0)` with
+//! `h·√(di²+dj²) ≤ ε`. The stencil is purely geometric — the influence
+//! function J and quadrature weights live in the model crate, which pairs
+//! each offset's distance with a weight.
+
+/// Precomputed ε-ball offsets for a given `ε/h` ratio.
+#[derive(Debug, Clone)]
+pub struct Stencil {
+    /// Interaction offsets `(di, dj)`, excluding the center.
+    pub offsets: Vec<(i64, i64)>,
+    /// Euclidean distance `h·√(di²+dj²)` for each offset.
+    pub dists: Vec<f64>,
+    /// Maximum |offset| component — the reach in cells (≤ grid halo).
+    pub reach: i64,
+}
+
+impl Stencil {
+    /// Build the stencil for grid spacing `h` and horizon `eps`.
+    pub fn build(h: f64, eps: f64) -> Self {
+        assert!(h > 0.0 && eps > 0.0);
+        let r = (eps / h).floor() as i64 + 1;
+        let mut offsets = Vec::new();
+        let mut dists = Vec::new();
+        let mut reach = 0;
+        for dj in -r..=r {
+            for di in -r..=r {
+                if di == 0 && dj == 0 {
+                    continue;
+                }
+                let dist = h * ((di * di + dj * dj) as f64).sqrt();
+                if dist <= eps + 1e-12 {
+                    offsets.push((di, dj));
+                    dists.push(dist);
+                    reach = reach.max(di.abs()).max(dj.abs());
+                }
+            }
+        }
+        Stencil {
+            offsets,
+            dists,
+            reach,
+        }
+    }
+
+    /// Number of interacting neighbors.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True for a degenerate stencil (ε < h).
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eps_equal_h_gives_von_neumann_neighbors() {
+        // distance h: 4 axis neighbors; diagonal is h·√2 > h.
+        let s = Stencil::build(0.1, 0.1);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.reach, 1);
+    }
+
+    #[test]
+    fn eps_2h_matches_hand_count() {
+        // offsets with di²+dj² ≤ 4: (±1,0),(0,±1),(±1,±1),(±2,0),(0,±2) = 12
+        let s = Stencil::build(0.1, 0.2);
+        assert_eq!(s.len(), 12);
+        assert_eq!(s.reach, 2);
+    }
+
+    #[test]
+    fn stencil_is_symmetric() {
+        let s = Stencil::build(1.0 / 64.0, 8.0 / 64.0);
+        for &(di, dj) in &s.offsets {
+            assert!(
+                s.offsets.contains(&(-di, -dj)),
+                "offset ({di},{dj}) lacks its mirror"
+            );
+        }
+    }
+
+    #[test]
+    fn count_approaches_disk_area() {
+        // For ε = 8h the number of offsets approximates π·8² ≈ 201.
+        let s = Stencil::build(1.0 / 400.0, 8.0 / 400.0);
+        assert!((180..=220).contains(&s.len()), "got {}", s.len());
+        assert_eq!(s.reach, 8);
+    }
+
+    #[test]
+    fn distances_within_horizon() {
+        let s = Stencil::build(0.01, 0.05);
+        for &d in &s.dists {
+            assert!(d > 0.0 && d <= 0.05 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn reach_never_exceeds_eps_over_h_ceil() {
+        for mult in [1.0, 2.0, 3.5, 8.0] {
+            let s = Stencil::build(0.01, 0.01 * mult);
+            assert!(s.reach <= mult.ceil() as i64);
+        }
+    }
+}

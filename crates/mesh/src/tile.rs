@@ -1,0 +1,276 @@
+//! Per-SD padded field storage.
+//!
+//! Each sub-domain stores its `sd × sd` interior plus a halo ring of width
+//! `halo` cells holding ghost copies of neighbour data (or the collar's
+//! zeros). Indices are SD-local: interior `[0, sd)`, full tile
+//! `[-halo, sd + halo)`.
+
+use crate::rect::Rect;
+
+/// A square tile of `f64` values with halo padding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tile {
+    sd: i64,
+    halo: i64,
+    stride: i64,
+    data: Vec<f64>,
+}
+
+impl Tile {
+    /// A zero-initialized tile for `sd` interior cells per side and halo
+    /// width `halo`.
+    pub fn new(sd: i64, halo: i64) -> Self {
+        assert!(sd > 0 && halo >= 0);
+        let stride = sd + 2 * halo;
+        Tile {
+            sd,
+            halo,
+            stride,
+            data: vec![0.0; (stride * stride) as usize],
+        }
+    }
+
+    /// Interior cells per side.
+    pub fn sd(&self) -> i64 {
+        self.sd
+    }
+
+    /// Halo width in cells.
+    pub fn halo(&self) -> i64 {
+        self.halo
+    }
+
+    /// Row stride of the underlying storage.
+    pub fn stride(&self) -> i64 {
+        self.stride
+    }
+
+    /// The interior as a local-coordinate rectangle.
+    pub fn interior_rect(&self) -> Rect {
+        Rect::new(0, 0, self.sd, self.sd)
+    }
+
+    /// The full padded extent as a local-coordinate rectangle.
+    pub fn padded_rect(&self) -> Rect {
+        Rect::new(-self.halo, -self.halo, self.stride, self.stride)
+    }
+
+    #[inline]
+    fn index(&self, li: i64, lj: i64) -> usize {
+        debug_assert!(
+            li >= -self.halo && li < self.sd + self.halo,
+            "li={li} out of tile"
+        );
+        debug_assert!(
+            lj >= -self.halo && lj < self.sd + self.halo,
+            "lj={lj} out of tile"
+        );
+        ((lj + self.halo) * self.stride + (li + self.halo)) as usize
+    }
+
+    /// Read the value at local `(li, lj)` (halo cells allowed).
+    #[inline]
+    pub fn get(&self, li: i64, lj: i64) -> f64 {
+        self.data[self.index(li, lj)]
+    }
+
+    /// Write the value at local `(li, lj)` (halo cells allowed).
+    #[inline]
+    pub fn set(&mut self, li: i64, lj: i64, v: f64) {
+        let idx = self.index(li, lj);
+        self.data[idx] = v;
+    }
+
+    /// Raw storage (row-major, padded) — used by the compute kernel.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw storage.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Storage index of local `(li, lj)` — pairs with [`data`](Self::data)
+    /// for kernel inner loops.
+    #[inline]
+    pub fn storage_index(&self, li: i64, lj: i64) -> usize {
+        self.index(li, lj)
+    }
+
+    /// Copy the cells of `rect` (local coordinates) into a row-major vector.
+    pub fn pack(&self, rect: &Rect) -> Vec<f64> {
+        debug_assert!(self.padded_rect().contains_rect(rect));
+        let mut out = Vec::with_capacity(rect.area() as usize);
+        for lj in rect.y0..rect.y1() {
+            let row = self.index(rect.x0, lj);
+            out.extend_from_slice(&self.data[row..row + rect.w as usize]);
+        }
+        out
+    }
+
+    /// Write a row-major vector into the cells of `rect` (local coords).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rect.area()`.
+    pub fn unpack(&mut self, rect: &Rect, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            rect.area() as usize,
+            "unpack size mismatch for rect {rect:?}"
+        );
+        debug_assert!(self.padded_rect().contains_rect(rect));
+        for (row_idx, lj) in (rect.y0..rect.y1()).enumerate() {
+            let dst = self.index(rect.x0, lj);
+            let src = row_idx * rect.w as usize;
+            self.data[dst..dst + rect.w as usize]
+                .copy_from_slice(&values[src..src + rect.w as usize]);
+        }
+    }
+
+    /// Copy `src_rect` from another tile into this tile at `dst_rect`
+    /// (rect shapes must match). Used for same-locality halo fills where no
+    /// serialization is needed.
+    pub fn copy_rect_from(&mut self, src: &Tile, src_rect: &Rect, dst_rect: &Rect) {
+        assert_eq!(src_rect.w, dst_rect.w);
+        assert_eq!(src_rect.h, dst_rect.h);
+        for dy in 0..src_rect.h {
+            let s = src.index(src_rect.x0, src_rect.y0 + dy);
+            let d = self.index(dst_rect.x0, dst_rect.y0 + dy);
+            let w = src_rect.w as usize;
+            // Split borrows via split_at_mut is unnecessary: different tiles.
+            let (src_slice, dst_slice) = (&src.data[s..s + w], &mut self.data[d..d + w]);
+            dst_slice.copy_from_slice(src_slice);
+        }
+    }
+
+    /// Set every cell of `rect` (local coords) to `value`.
+    pub fn fill_rect(&mut self, rect: &Rect, value: f64) {
+        debug_assert!(self.padded_rect().contains_rect(rect));
+        for lj in rect.y0..rect.y1() {
+            let row = self.index(rect.x0, lj);
+            self.data[row..row + rect.w as usize].fill(value);
+        }
+    }
+
+    /// Zero the whole halo ring (used when rebuilding plans after migration).
+    pub fn zero_halo(&mut self) {
+        let full = self.padded_rect();
+        let interior = self.interior_rect();
+        for lj in full.y0..full.y1() {
+            for li in full.x0..full.x1() {
+                if !interior.contains(li, lj) {
+                    let idx = self.index(li, lj);
+                    self.data[idx] = 0.0;
+                }
+            }
+        }
+    }
+
+    /// Sum of interior values (diagnostic).
+    pub fn interior_sum(&self) -> f64 {
+        let mut s = 0.0;
+        for lj in 0..self.sd {
+            for li in 0..self.sd {
+                s += self.get(li, lj);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tile_is_zero() {
+        let t = Tile::new(4, 2);
+        assert_eq!(t.data().len(), 64);
+        assert_eq!(t.get(0, 0), 0.0);
+        assert_eq!(t.get(-2, -2), 0.0);
+        assert_eq!(t.get(5, 5), 0.0);
+    }
+
+    #[test]
+    fn set_get_interior_and_halo() {
+        let mut t = Tile::new(4, 2);
+        t.set(0, 0, 1.5);
+        t.set(-2, 3, 2.5);
+        t.set(5, -1, 3.5);
+        assert_eq!(t.get(0, 0), 1.5);
+        assert_eq!(t.get(-2, 3), 2.5);
+        assert_eq!(t.get(5, -1), 3.5);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let mut a = Tile::new(6, 2);
+        for lj in 0..6 {
+            for li in 0..6 {
+                a.set(li, lj, (10 * li + lj) as f64);
+            }
+        }
+        let rect = Rect::new(1, 2, 3, 2);
+        let packed = a.pack(&rect);
+        assert_eq!(packed.len(), 6);
+        let mut b = Tile::new(6, 2);
+        b.unpack(&rect, &packed);
+        for (x, y) in rect.cells() {
+            assert_eq!(b.get(x, y), a.get(x, y));
+        }
+    }
+
+    #[test]
+    fn pack_row_major_order() {
+        let mut t = Tile::new(3, 1);
+        t.set(0, 0, 1.0);
+        t.set(1, 0, 2.0);
+        t.set(0, 1, 3.0);
+        t.set(1, 1, 4.0);
+        assert_eq!(t.pack(&Rect::new(0, 0, 2, 2)), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unpack_into_halo_region() {
+        let mut t = Tile::new(4, 2);
+        let halo_rect = Rect::new(-2, 0, 2, 4);
+        let values: Vec<f64> = (0..8).map(f64::from).collect();
+        t.unpack(&halo_rect, &values);
+        assert_eq!(t.get(-2, 0), 0.0);
+        assert_eq!(t.get(-1, 0), 1.0);
+        assert_eq!(t.get(-2, 3), 6.0);
+        // interior untouched
+        assert_eq!(t.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn unpack_wrong_size_panics() {
+        let mut t = Tile::new(4, 1);
+        t.unpack(&Rect::new(0, 0, 2, 2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn copy_rect_between_tiles() {
+        let mut src = Tile::new(4, 1);
+        src.fill_rect(&Rect::new(0, 0, 4, 4), 7.0);
+        let mut dst = Tile::new(4, 1);
+        // copy src's rightmost column into dst's left halo
+        dst.copy_rect_from(&src, &Rect::new(3, 0, 1, 4), &Rect::new(-1, 0, 1, 4));
+        assert_eq!(dst.get(-1, 0), 7.0);
+        assert_eq!(dst.get(-1, 3), 7.0);
+        assert_eq!(dst.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn zero_halo_preserves_interior() {
+        let mut t = Tile::new(3, 1);
+        t.fill_rect(&t.padded_rect().clone(), 5.0);
+        t.zero_halo();
+        assert_eq!(t.get(-1, -1), 0.0);
+        assert_eq!(t.get(3, 3), 0.0);
+        assert_eq!(t.get(1, 1), 5.0);
+        assert_eq!(t.interior_sum(), 45.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! The 1d nonlocal diffusion equation.
+//!
+//! The paper derives the conductivity constant for both dimensions
+//! (eq. 2); the evaluation uses 2d, but the 1d problem is the standard
+//! entry point for nonlocal models (Burch & Lehoucq, the paper's [3]) and
+//! exercises the same discrete structure: an ε-ball of interacting
+//! neighbours, a zero collar, forward Euler in time, and the manufactured
+//! solution `w(t,x) = cos(2πt)·sin(2πx)` on D = [0,1].
+
+use crate::influence::{conductivity_constant_1d, Influence};
+use crate::norms::ErrorAccumulator;
+use std::f64::consts::PI;
+
+/// Geometric stencil in 1d: offsets `0 < |di| ≤ ε/h`.
+#[derive(Debug, Clone)]
+pub struct Stencil1d {
+    /// Signed offsets, excluding 0.
+    pub offsets: Vec<i64>,
+    /// Quadrature weight `J(|di|·h/ε)·h` per offset.
+    pub weights: Vec<f64>,
+    /// Σ weights (stability).
+    pub sum_w: f64,
+}
+
+impl Stencil1d {
+    /// Build for spacing `h`, horizon `eps`, influence `j`.
+    pub fn build(h: f64, eps: f64, j: Influence) -> Self {
+        assert!(h > 0.0 && eps > 0.0);
+        // +1 then distance-filter: guards against eps/h like 0.3/0.1
+        // flooring to 2 instead of 3.
+        let r = (eps / h).floor() as i64 + 1;
+        let mut offsets = Vec::new();
+        let mut weights = Vec::new();
+        for di in -r..=r {
+            if di == 0 {
+                continue;
+            }
+            let dist = h * di.abs() as f64;
+            if dist <= eps + 1e-12 {
+                offsets.push(di);
+                // clamp: float noise can push dist/eps to 1+1e-16,
+                // which would wrongly zero the boundary weight
+                weights.push(j.eval((dist / eps).min(1.0)) * h);
+            }
+        }
+        let sum_w = weights.iter().sum();
+        Stencil1d {
+            offsets,
+            weights,
+            sum_w,
+        }
+    }
+}
+
+/// Single-threaded 1d nonlocal heat solver with the manufactured solution.
+pub struct Serial1dSolver {
+    n: i64,
+    h: f64,
+    halo: i64,
+    c: f64,
+    stencil: Stencil1d,
+    /// S(x) = sin(2πx) on the padded line (zero collar).
+    s: Vec<f64>,
+    /// L_i = Σ_j w_j (S_j − S_i) on the interior.
+    l: Vec<f64>,
+    curr: Vec<f64>,
+    next: Vec<f64>,
+    dt: f64,
+    step: usize,
+}
+
+impl Serial1dSolver {
+    /// Square-root analogue of [`crate::problem::ProblemSpec`]: `n` cells
+    /// on [0,1], `ε = eps_mult·h`, conductivity `k`, Δt at
+    /// `safety/(c·Σw)`.
+    pub fn new(n: usize, eps_mult: f64, k: f64, safety: f64) -> Self {
+        assert!(n > 0 && eps_mult > 0.0 && safety > 0.0 && safety <= 1.0);
+        let h = 1.0 / n as f64;
+        let eps = eps_mult * h;
+        let j = Influence::Constant;
+        let stencil = Stencil1d::build(h, eps, j);
+        let c = conductivity_constant_1d(k, eps, j);
+        let halo = (eps / h).ceil() as i64;
+        let n = n as i64;
+        let pad = (n + 2 * halo) as usize;
+        let idx = |i: i64| (i + halo) as usize;
+        let mut s = vec![0.0; pad];
+        for i in 0..n {
+            let x = (i as f64 + 0.5) * h;
+            s[idx(i)] = (2.0 * PI * x).sin();
+        }
+        let mut l = vec![0.0; pad];
+        for i in 0..n {
+            let si = s[idx(i)];
+            let mut acc = 0.0;
+            for (&di, &w) in stencil.offsets.iter().zip(&stencil.weights) {
+                acc += w * (s[idx(i + di)] - si);
+            }
+            l[idx(i)] = acc;
+        }
+        let curr = s.clone(); // u₀ = w(0,·) = S
+        let next = vec![0.0; pad];
+        let dt = safety / (c * stencil.sum_w);
+        Serial1dSolver {
+            n,
+            h,
+            halo,
+            c,
+            stencil,
+            s,
+            l,
+            curr,
+            next,
+            dt,
+            step: 0,
+        }
+    }
+
+    fn idx(&self, i: i64) -> usize {
+        (i + self.halo) as usize
+    }
+
+    /// Exact solution `w(t, x_i)`.
+    pub fn exact(&self, t: f64, i: i64) -> f64 {
+        if i < 0 || i >= self.n {
+            return 0.0;
+        }
+        (2.0 * PI * t).cos() * self.s[self.idx(i)]
+    }
+
+    /// Manufactured source at `(t, x_i)` with the solver's own quadrature.
+    pub fn source(&self, t: f64, i: i64) -> f64 {
+        let phase = 2.0 * PI * t;
+        -2.0 * PI * phase.sin() * self.s[self.idx(i)]
+            - self.c * phase.cos() * self.l[self.idx(i)]
+    }
+
+    /// Simulated time.
+    pub fn time(&self) -> f64 {
+        self.step as f64 * self.dt
+    }
+
+    /// The timestep in use.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// One forward-Euler step of the discrete system (the 1d form of
+    /// eq. 5).
+    pub fn step(&mut self) {
+        let t = self.time();
+        for i in 0..self.n {
+            let base = self.idx(i);
+            let ui = self.curr[base];
+            let mut acc = 0.0;
+            for (&di, &w) in self.stencil.offsets.iter().zip(&self.stencil.weights) {
+                acc += w * (self.curr[self.idx(i + di)] - ui);
+            }
+            self.next[base] = ui + self.dt * (self.source(t, i) + self.c * acc);
+        }
+        std::mem::swap(&mut self.curr, &mut self.next);
+        // collar stays zero: `next` was zero outside the interior and the
+        // loop never writes there
+        self.step += 1;
+    }
+
+    /// Run `n` steps recording `e_k = h·Σ|w−û|²` each step.
+    pub fn run_with_error(&mut self, n: usize) -> ErrorAccumulator {
+        let mut acc = ErrorAccumulator::new();
+        for _ in 0..n {
+            self.step();
+            let t = self.time();
+            let sum: f64 = (0..self.n)
+                .map(|i| {
+                    let d = self.exact(t, i) - self.curr[self.idx(i)];
+                    d * d
+                })
+                .sum();
+            acc.push(self.h * sum);
+        }
+        acc
+    }
+
+    /// Interior temperature at cell `i`.
+    pub fn value(&self, i: i64) -> f64 {
+        self.curr[self.idx(i)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_1d_counts() {
+        let s = Stencil1d::build(0.1, 0.3, Influence::Constant);
+        assert_eq!(s.offsets, vec![-3, -2, -1, 1, 2, 3]);
+        // Σ w = 6·h·J = 0.6
+        assert!((s.sum_w - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_w_approximates_interval_length() {
+        // Σ w ≈ 2ε for J = 1.
+        let s = Stencil1d::build(1.0 / 1000.0, 8.0 / 1000.0, Influence::Constant);
+        assert!((s.sum_w - 2.0 * 8.0 / 1000.0).abs() / (0.016) < 0.1);
+    }
+
+    #[test]
+    fn manufactured_error_small() {
+        let mut solver = Serial1dSolver::new(64, 4.0, 1.0, 0.5);
+        let err = solver.run_with_error(20);
+        assert!(err.total() < 1e-6, "1d error {}", err.total());
+    }
+
+    #[test]
+    fn error_decreases_with_h() {
+        let mut errs = Vec::new();
+        for n in [16usize, 32, 64, 128] {
+            let mut solver = Serial1dSolver::new(n, 4.0, 1.0, 0.5);
+            errs.push(solver.run_with_error(10).total());
+        }
+        for w in errs.windows(2) {
+            assert!(w[1] < w[0], "1d convergence: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn boundary_cells_feel_the_zero_collar() {
+        // without a source, an initially-constant field decays fastest at
+        // the edges (heat leaks into the collar)
+        let mut solver = Serial1dSolver::new(32, 2.0, 1.0, 0.5);
+        // overwrite the manufactured initial condition with a constant
+        for i in 0..32i64 {
+            let idx = solver.idx(i);
+            solver.curr[idx] = 1.0;
+        }
+        // zero the source by stepping manually without it
+        let t_dummy = 0.25; // cos(2π·0.25)=0 kills the L-term; sin kills S?
+        let _ = t_dummy;
+        // simpler: directly apply one diffusion-only update
+        let dt = solver.dt;
+        let c = solver.c;
+        let mut next = vec![0.0; solver.curr.len()];
+        for i in 0..32i64 {
+            let base = solver.idx(i);
+            let ui = solver.curr[base];
+            let mut acc = 0.0;
+            for (&di, &w) in solver.stencil.offsets.iter().zip(&solver.stencil.weights) {
+                acc += w * (solver.curr[solver.idx(i + di)] - ui);
+            }
+            next[base] = ui + dt * c * acc;
+        }
+        let edge = next[solver.idx(0)];
+        let middle = next[solver.idx(16)];
+        assert!(edge < middle, "edge {edge} must cool faster than middle {middle}");
+        assert!((middle - 1.0).abs() < 1e-12, "interior far from edges unchanged");
+    }
+
+    #[test]
+    fn dt_respects_stability_bound() {
+        let solver = Serial1dSolver::new(50, 3.0, 2.0, 0.5);
+        let lambda = solver.c * solver.stencil.sum_w;
+        assert!(solver.dt() * lambda <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,105 @@
+//! Problem specification shared by every solver and benchmark.
+//!
+//! Bundles the knobs the paper's experiments vary — mesh size, horizon
+//! multiplier (ε = m·h), conductivity, timestep count — and derives the
+//! grid, kernel and stable timestep from them.
+
+use crate::influence::Influence;
+use crate::kernel::NonlocalKernel;
+use crate::manufactured::Manufactured;
+use nlheat_mesh::Grid;
+use std::sync::Arc;
+
+/// Declarative description of one nonlocal heat problem.
+#[derive(Debug, Clone, Copy)]
+pub struct ProblemSpec {
+    /// Interior cells per side (square mesh).
+    pub n: usize,
+    /// Horizon multiplier: ε = `eps_mult`·h (the paper uses 8).
+    pub eps_mult: f64,
+    /// Heat conductivity k.
+    pub conductivity: f64,
+    /// Influence function J.
+    pub influence: Influence,
+    /// Fraction of the forward-Euler stability bound to use for Δt.
+    pub safety: f64,
+}
+
+impl ProblemSpec {
+    /// A square problem with the paper's defaults (k = 1, J = 1,
+    /// Δt at half the stability bound).
+    pub fn square(n: usize, eps_mult: f64) -> Self {
+        ProblemSpec {
+            n,
+            eps_mult,
+            conductivity: 1.0,
+            influence: Influence::Constant,
+            safety: 0.5,
+        }
+    }
+
+    /// The paper's evaluation configuration: ε = 8h.
+    pub fn paper(n: usize) -> Self {
+        ProblemSpec::square(n, 8.0)
+    }
+
+    /// Materialize grid, kernel, timestep and manufactured fields.
+    pub fn build(&self) -> ProblemParts {
+        let grid = Grid::square(self.n, self.eps_mult);
+        let kernel = NonlocalKernel::new(&grid, self.conductivity, self.influence);
+        let dt = kernel.stable_dt(self.safety);
+        let manufactured = Arc::new(Manufactured::new(&grid, &kernel));
+        ProblemParts {
+            spec: *self,
+            grid,
+            kernel,
+            dt,
+            manufactured,
+        }
+    }
+}
+
+/// Everything derived from a [`ProblemSpec`].
+#[derive(Clone)]
+pub struct ProblemParts {
+    pub spec: ProblemSpec,
+    pub grid: Grid,
+    pub kernel: NonlocalKernel,
+    /// Stable forward-Euler timestep.
+    pub dt: f64,
+    pub manufactured: Arc<Manufactured>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_consistent_parts() {
+        let parts = ProblemSpec::square(32, 4.0).build();
+        assert_eq!(parts.grid.nx, 32);
+        assert_eq!(parts.grid.halo, 4);
+        assert!(parts.dt > 0.0);
+        assert!(parts.dt <= parts.kernel.stable_dt(1.0));
+    }
+
+    #[test]
+    fn paper_spec_uses_eps_8h() {
+        let spec = ProblemSpec::paper(400);
+        assert_eq!(spec.eps_mult, 8.0);
+        let parts = spec.build();
+        assert_eq!(parts.grid.halo, 8);
+    }
+
+    #[test]
+    fn dt_shrinks_with_mesh_refinement() {
+        // ε = m·h so c·Σw ≈ 8k/ε² grows as h² shrinks -> dt ∝ h².
+        let coarse = ProblemSpec::square(16, 4.0).build();
+        let fine = ProblemSpec::square(32, 4.0).build();
+        let ratio = coarse.dt / fine.dt;
+        assert!(
+            (3.0..5.0).contains(&ratio),
+            "expected dt ratio ≈ 4, got {ratio}"
+        );
+    }
+}

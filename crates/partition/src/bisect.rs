@@ -1,0 +1,262 @@
+//! Two-way partitioning: greedy graph growing + FM-style refinement,
+//! wrapped in the multilevel V-cycle.
+
+use crate::coarsen::coarsen_to;
+use crate::graph::Csr;
+use rand::Rng;
+
+/// Cut weight of a bisection.
+pub fn bisection_cut(g: &Csr, parts: &[u8]) -> i64 {
+    let mut cut = 0;
+    for v in 0..g.n() as u32 {
+        for (u, w) in g.neighbors(v) {
+            if u > v && parts[u as usize] != parts[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Greedy graph growing: grow part 0 from a seed until it reaches
+/// `target0` weight; repeat for `tries` seeds and keep the lowest cut.
+pub fn grow_bisection(g: &Csr, target0: i64, rng: &mut impl Rng, tries: usize) -> Vec<u8> {
+    let n = g.n();
+    assert!(n >= 2, "bisection needs at least two vertices");
+    let mut best: Option<(i64, Vec<u8>)> = None;
+    for _ in 0..tries.max(1) {
+        let mut parts = vec![1u8; n];
+        let mut w0 = 0i64;
+        // connection weight of each unassigned vertex to the grown region
+        let mut conn = vec![0i64; n];
+        let mut in_region = vec![false; n];
+        let mut seed = rng.gen_range(0..n) as u32;
+        while w0 < target0 && w0 < g.total_vwgt() {
+            // pick the frontier vertex with max connection (greedy), or the
+            // current seed when the frontier is empty (disconnected graph /
+            // fresh start)
+            let pick = (0..n as u32)
+                .filter(|&v| !in_region[v as usize] && conn[v as usize] > 0)
+                .max_by_key(|&v| (conn[v as usize], std::cmp::Reverse(v)))
+                .unwrap_or({
+                    // find any unassigned vertex starting from `seed`
+                    let mut s = seed;
+                    while in_region[s as usize] {
+                        s = (s + 1) % n as u32;
+                    }
+                    s
+                });
+            in_region[pick as usize] = true;
+            parts[pick as usize] = 0;
+            w0 += g.vwgt[pick as usize];
+            for (u, w) in g.neighbors(pick) {
+                if !in_region[u as usize] {
+                    conn[u as usize] += w;
+                }
+            }
+            seed = pick;
+        }
+        let cut = bisection_cut(g, &parts);
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
+            best = Some((cut, parts));
+        }
+    }
+    best.unwrap().1
+}
+
+/// FM-style boundary refinement for a bisection with incremental gain
+/// updates. Moves are accepted when they reduce the cut (or keep it equal
+/// while improving balance) and keep part 0's weight within
+/// `target0 ± slack`.
+pub fn refine_bisection(
+    g: &Csr,
+    parts: &mut [u8],
+    target0: i64,
+    slack: i64,
+    max_passes: u32,
+) {
+    let n = g.n();
+    let mut w0: i64 = (0..n)
+        .filter(|&v| parts[v] == 0)
+        .map(|v| g.vwgt[v])
+        .sum();
+    for _pass in 0..max_passes {
+        // gain(v): cut reduction if v switches sides
+        let mut gain = vec![0i64; n];
+        for v in 0..n as u32 {
+            for (u, w) in g.neighbors(v) {
+                if parts[u as usize] == parts[v as usize] {
+                    gain[v as usize] -= w;
+                } else {
+                    gain[v as usize] += w;
+                }
+            }
+        }
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| std::cmp::Reverse(gain[v as usize]));
+        let mut moved_any = false;
+        for &v in &order {
+            // Re-read the (incrementally updated) gain: earlier moves in
+            // this pass may have made v attractive or useless.
+            let gv = gain[v as usize];
+            if gv < 0 {
+                continue;
+            }
+            let vw = g.vwgt[v as usize];
+            let from0 = parts[v as usize] == 0;
+            let new_w0 = if from0 { w0 - vw } else { w0 + vw };
+            let balance_ok = (new_w0 - target0).abs() <= slack;
+            let improves_balance = (new_w0 - target0).abs() < (w0 - target0).abs();
+            if !balance_ok || (gv == 0 && !improves_balance) {
+                continue;
+            }
+            // apply the move
+            parts[v as usize] ^= 1;
+            w0 = new_w0;
+            moved_any = true;
+            gain[v as usize] = -gv;
+            for (u, w) in g.neighbors(v) {
+                if parts[u as usize] == parts[v as usize] {
+                    // edge became internal
+                    gain[u as usize] -= 2 * w;
+                } else {
+                    gain[u as usize] += 2 * w;
+                }
+            }
+        }
+        if !moved_any {
+            break;
+        }
+    }
+}
+
+/// Multilevel bisection of `g` with part 0 receiving roughly `frac0` of the
+/// total vertex weight.
+pub fn multilevel_bisection(g: &Csr, frac0: f64, rng: &mut impl Rng) -> Vec<u8> {
+    assert!((0.0..=1.0).contains(&frac0));
+    let total = g.total_vwgt();
+    let target0 = (total as f64 * frac0).round() as i64;
+    let max_vwgt = g.vwgt.iter().copied().max().unwrap_or(1);
+    let slack = max_vwgt.max((total as f64 * 0.02).ceil() as i64);
+
+    if g.n() < 2 {
+        return vec![0; g.n()];
+    }
+    let levels = coarsen_to(g, 40, rng);
+    let coarsest = levels.last().map_or(g, |l| &l.graph);
+    let mut parts = grow_bisection(coarsest, target0, rng, 8);
+    refine_bisection(coarsest, &mut parts, target0, slack, 8);
+    // project back through the chain, refining at every level
+    for i in (0..levels.len()).rev() {
+        let finer: &Csr = if i == 0 { g } else { &levels[i - 1].graph };
+        let map = &levels[i].map;
+        let mut fine_parts = vec![0u8; finer.n()];
+        for v in 0..finer.n() {
+            fine_parts[v] = parts[map[v] as usize];
+        }
+        parts = fine_parts;
+        refine_bisection(finer, &mut parts, target0, slack, 8);
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn grid_graph(w: usize, h: usize) -> Csr {
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y), 1));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1), 1));
+                }
+            }
+        }
+        Csr::from_edges(w * h, &edges, vec![1; w * h])
+    }
+
+    fn part_weights(g: &Csr, parts: &[u8]) -> (i64, i64) {
+        let mut w = (0, 0);
+        for (v, &side) in parts.iter().enumerate() {
+            if side == 0 {
+                w.0 += g.vwgt[v];
+            } else {
+                w.1 += g.vwgt[v];
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn grow_reaches_target_weight() {
+        let g = grid_graph(8, 8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let parts = grow_bisection(&g, 32, &mut rng, 4);
+        let (w0, w1) = part_weights(&g, &parts);
+        assert_eq!(w0 + w1, 64);
+        assert!((30..=36).contains(&w0), "w0 = {w0}");
+    }
+
+    #[test]
+    fn refine_reduces_or_keeps_cut() {
+        let g = grid_graph(8, 8);
+        // deliberately bad start: checkerboard
+        let mut parts: Vec<u8> = (0..64).map(|v| ((v / 8 + v % 8) % 2) as u8).collect();
+        let before = bisection_cut(&g, &parts);
+        refine_bisection(&g, &mut parts, 32, 4, 16);
+        let after = bisection_cut(&g, &parts);
+        // (no RNG needed: refinement is deterministic)
+        assert!(after <= before);
+        assert!(
+            after < before / 2,
+            "checkerboard must improve a lot: {before} -> {after}"
+        );
+        let (w0, _) = part_weights(&g, &parts);
+        assert!((28..=36).contains(&w0), "balance kept: {w0}");
+    }
+
+    #[test]
+    fn multilevel_bisection_on_grid_is_good() {
+        // Optimal bisection of a 10x10 grid graph cuts 10 unit edges.
+        let g = grid_graph(10, 10);
+        let mut rng = StdRng::seed_from_u64(42);
+        let parts = multilevel_bisection(&g, 0.5, &mut rng);
+        let cut = bisection_cut(&g, &parts);
+        assert!(cut <= 14, "cut {cut} too far from optimal 10");
+        let (w0, w1) = part_weights(&g, &parts);
+        assert!((w0 - w1).abs() <= 10, "weights {w0}/{w1}");
+    }
+
+    #[test]
+    fn unbalanced_fraction_respected() {
+        let g = grid_graph(8, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let parts = multilevel_bisection(&g, 0.25, &mut rng);
+        let (w0, _) = part_weights(&g, &parts);
+        assert!((12..=20).contains(&w0), "w0 = {w0}, target 16");
+    }
+
+    #[test]
+    fn both_sides_nonempty() {
+        let g = grid_graph(6, 6);
+        let mut rng = StdRng::seed_from_u64(3);
+        let parts = multilevel_bisection(&g, 0.5, &mut rng);
+        assert!(parts.contains(&0));
+        assert!(parts.contains(&1));
+    }
+
+    #[test]
+    fn bisection_deterministic_for_seed() {
+        let g = grid_graph(9, 9);
+        let a = multilevel_bisection(&g, 0.5, &mut StdRng::seed_from_u64(17));
+        let b = multilevel_bisection(&g, 0.5, &mut StdRng::seed_from_u64(17));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,211 @@
+//! Compressed-sparse-row graphs with vertex and edge weights.
+
+/// An undirected graph in CSR form (every edge stored in both directions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// Adjacency offsets, length `n + 1`.
+    pub xadj: Vec<usize>,
+    /// Flattened neighbour lists.
+    pub adjncy: Vec<u32>,
+    /// Edge weights parallel to `adjncy`.
+    pub adjwgt: Vec<i64>,
+    /// Vertex weights, length `n`.
+    pub vwgt: Vec<i64>,
+}
+
+impl Csr {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn n_edges(&self) -> usize {
+        self.adjncy.len() / 2
+    }
+
+    /// Neighbours of `v` with edge weights.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, i64)> + '_ {
+        let lo = self.xadj[v as usize];
+        let hi = self.xadj[v as usize + 1];
+        self.adjncy[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[lo..hi].iter().copied())
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.xadj[v as usize + 1] - self.xadj[v as usize]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vwgt(&self) -> i64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Build from an undirected edge list `(u, v, weight)`; duplicate edges
+    /// have their weights summed, self-loops are rejected.
+    ///
+    /// # Panics
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn from_edges(n: usize, edges: &[(u32, u32, i64)], vwgt: Vec<i64>) -> Self {
+        assert_eq!(vwgt.len(), n);
+        use std::collections::HashMap;
+        let mut adj: Vec<HashMap<u32, i64>> = vec![HashMap::new(); n];
+        for &(u, v, w) in edges {
+            assert_ne!(u, v, "self-loop on vertex {u}");
+            assert!((u as usize) < n && (v as usize) < n, "edge out of range");
+            *adj[u as usize].entry(v).or_insert(0) += w;
+            *adj[v as usize].entry(u).or_insert(0) += w;
+        }
+        let mut xadj = Vec::with_capacity(n + 1);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        xadj.push(0);
+        for nbrs in adj {
+            let mut sorted: Vec<_> = nbrs.into_iter().collect();
+            sorted.sort_unstable();
+            for (v, w) in sorted {
+                adjncy.push(v);
+                adjwgt.push(w);
+            }
+            xadj.push(adjncy.len());
+        }
+        Csr {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
+    }
+
+    /// The subgraph induced by `ids` (edges leaving the set are dropped).
+    /// Returns the subgraph and the local→global vertex map (= `ids`).
+    pub fn induced_subgraph(&self, ids: &[u32]) -> (Csr, Vec<u32>) {
+        let mut global_to_local = std::collections::HashMap::with_capacity(ids.len());
+        for (local, &g) in ids.iter().enumerate() {
+            global_to_local.insert(g, local as u32);
+        }
+        let mut xadj = Vec::with_capacity(ids.len() + 1);
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        let mut vwgt = Vec::with_capacity(ids.len());
+        xadj.push(0);
+        for &g in ids {
+            for (u, w) in self.neighbors(g) {
+                if let Some(&lu) = global_to_local.get(&u) {
+                    adjncy.push(lu);
+                    adjwgt.push(w);
+                }
+            }
+            xadj.push(adjncy.len());
+            vwgt.push(self.vwgt[g as usize]);
+        }
+        (
+            Csr {
+                xadj,
+                adjncy,
+                adjwgt,
+                vwgt,
+            },
+            ids.to_vec(),
+        )
+    }
+
+    /// Consistency check: symmetric adjacency, sorted offsets, matching
+    /// array lengths. Used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        if self.xadj.len() != n + 1 {
+            return Err(format!("xadj length {} != n+1", self.xadj.len()));
+        }
+        if self.adjncy.len() != self.adjwgt.len() {
+            return Err("adjncy/adjwgt length mismatch".into());
+        }
+        if *self.xadj.last().unwrap() != self.adjncy.len() {
+            return Err("xadj tail does not cover adjncy".into());
+        }
+        for v in 0..n as u32 {
+            for (u, w) in self.neighbors(v) {
+                if u as usize >= n {
+                    return Err(format!("edge ({v},{u}) out of range"));
+                }
+                if u == v {
+                    return Err(format!("self loop at {v}"));
+                }
+                let back = self
+                    .neighbors(u)
+                    .find(|&(x, _)| x == v)
+                    .map(|(_, bw)| bw);
+                if back != Some(w) {
+                    return Err(format!("asymmetric edge ({v},{u})"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Csr {
+        // 0 - 1 - 2
+        Csr::from_edges(3, &[(0, 1, 2), (1, 2, 5)], vec![1, 1, 1])
+    }
+
+    #[test]
+    fn from_edges_builds_symmetric_csr() {
+        let g = path3();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(1, 2)]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_edges_merge_weights() {
+        let g = Csr::from_edges(2, &[(0, 1, 2), (1, 0, 3)], vec![1, 1]);
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![(1, 5)]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        Csr::from_edges(2, &[(0, 0, 1)], vec![1, 1]);
+    }
+
+    #[test]
+    fn induced_subgraph_drops_external_edges() {
+        // square 0-1-2-3-0
+        let g = Csr::from_edges(
+            4,
+            &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 0, 1)],
+            vec![1, 2, 3, 4],
+        );
+        let (sub, map) = g.induced_subgraph(&[1, 2]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.vwgt, vec![2, 3]);
+        assert_eq!(sub.n_edges(), 1);
+        assert_eq!(map, vec![1, 2]);
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn total_vwgt_sums() {
+        let g = Csr::from_edges(3, &[(0, 1, 1)], vec![5, 7, 9]);
+        assert_eq!(g.total_vwgt(), 21);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let g = Csr::from_edges(3, &[], vec![1, 1, 1]);
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.degree(0), 0);
+        g.validate().unwrap();
+    }
+}

@@ -1,0 +1,63 @@
+//! Compute-cost model of the virtual cluster.
+
+/// Per-operation costs (seconds, at node speed 1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// One DP update — one full stencil application.
+    pub sec_per_dp: f64,
+    /// Copying one cell during local halo fill / pack / unpack.
+    pub copy_sec_per_cell: f64,
+    /// Spawning one task (scheduling overhead).
+    pub spawn_sec: f64,
+    /// Fixed cost of one load-balancing round (gather + plan + broadcast).
+    pub lb_plan_sec: f64,
+}
+
+impl CostModel {
+    /// A model calibrated to the stencil size: roughly 2 ns per
+    /// neighbour interaction (one fused multiply-add plus a load on a
+    /// ~GHz-scale core), plus conservative runtime overheads.
+    pub fn calibrated(stencil_points: usize) -> Self {
+        CostModel {
+            sec_per_dp: stencil_points.max(1) as f64 * 2e-9,
+            copy_sec_per_cell: 1e-9,
+            spawn_sec: 2e-6,
+            lb_plan_sec: 100e-6,
+        }
+    }
+
+    /// Duration of a compute task over `cells` DPs with relative work
+    /// `factor` on a node of relative `speed`.
+    pub fn task_sec(&self, cells: i64, factor: f64, speed: f64) -> f64 {
+        self.spawn_sec + cells as f64 * self.sec_per_dp * factor / speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrated_scales_with_stencil() {
+        let small = CostModel::calibrated(10);
+        let big = CostModel::calibrated(200);
+        assert!(big.sec_per_dp > small.sec_per_dp * 15.0);
+    }
+
+    #[test]
+    fn task_sec_scales_with_cells_and_speed() {
+        let c = CostModel::calibrated(100);
+        let base = c.task_sec(2500, 1.0, 1.0);
+        assert!(c.task_sec(5000, 1.0, 1.0) > base * 1.9);
+        let fast = c.task_sec(2500, 1.0, 2.0);
+        assert!(fast < base, "faster node, shorter task");
+        let cracked = c.task_sec(2500, 0.5, 1.0);
+        assert!(cracked < base, "crack SDs do less work");
+    }
+
+    #[test]
+    fn zero_cells_is_overhead_only() {
+        let c = CostModel::calibrated(100);
+        assert_eq!(c.task_sec(0, 1.0, 1.0), c.spawn_sec);
+    }
+}

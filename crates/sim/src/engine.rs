@@ -1,0 +1,611 @@
+//! The discrete-event engine: per-step task graphs, asynchronous per-node
+//! clocks (no global barrier between steps, like the real solver), and
+//! load-balancing epochs.
+
+use crate::cost::CostModel;
+use crate::net::{NicState, SimNet};
+use nlheat_core::balance::plan_rebalance;
+use nlheat_core::ownership::Ownership;
+use nlheat_core::workload::WorkModel;
+use nlheat_mesh::{build_halo_plan, split_cases, Grid, HaloPlan, PatchSource, SdGrid, Stencil};
+use nlheat_partition::{part_mesh_dual, strip_partition};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One node of the virtual cluster.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualNode {
+    /// Worker cores.
+    pub cores: usize,
+    /// Relative speed (1.0 = nominal).
+    pub speed: f64,
+}
+
+impl VirtualNode {
+    /// `n` nominal-speed cores.
+    pub fn with_cores(cores: usize) -> Self {
+        VirtualNode { cores, speed: 1.0 }
+    }
+}
+
+/// Initial SD distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimPartition {
+    /// Multilevel dual-mesh partitioner (the METIS path).
+    Metis { seed: u64 },
+    /// Row-major strips (ablation baseline).
+    Strip,
+    /// Explicit assignment.
+    Explicit(Vec<u32>),
+}
+
+/// Load-balancing epochs in the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimLbConfig {
+    /// Run Algorithm 1 every `period` simulated steps.
+    pub period: usize,
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Mesh cells per side.
+    pub mesh_n: usize,
+    /// Horizon multiplier (ε = m·h; the paper uses 8).
+    pub eps_mult: f64,
+    /// SD side length in cells.
+    pub sd_size: usize,
+    /// Timesteps to simulate.
+    pub n_steps: usize,
+    /// The virtual cluster.
+    pub nodes: Vec<VirtualNode>,
+    /// Network model.
+    pub net: SimNet,
+    /// Compute-cost model.
+    pub cost: CostModel,
+    /// Initial distribution.
+    pub partition: SimPartition,
+    /// Case-1/case-2 overlap on/off (ablation A2).
+    pub overlap: bool,
+    /// Per-SD work factors.
+    pub work: WorkModel,
+    /// Time-varying workload: `(from_step, model)` switch points, sorted by
+    /// step. At step `s` the last entry with `from_step ≤ s` overrides
+    /// `work` — this models a *propagating* crack (the paper's §9 outlook
+    /// toward nonlocal fracture), where the cheap band migrates through the
+    /// domain and the balancer must keep chasing it.
+    pub work_schedule: Vec<(usize, WorkModel)>,
+    /// Optional load balancing.
+    pub lb: Option<SimLbConfig>,
+}
+
+impl SimConfig {
+    /// The workload in effect at `step`.
+    fn work_at(&self, step: usize) -> &WorkModel {
+        self.work_schedule
+            .iter()
+            .rev()
+            .find(|&&(from, _)| from <= step)
+            .map(|(_, m)| m)
+            .unwrap_or(&self.work)
+    }
+}
+
+impl SimConfig {
+    /// Paper-style configuration over `nodes`.
+    pub fn paper(mesh_n: usize, sd_size: usize, n_steps: usize, nodes: Vec<VirtualNode>) -> Self {
+        let grid = Grid::square(mesh_n, 8.0);
+        let stencil = Stencil::build(grid.h, grid.eps);
+        SimConfig {
+            mesh_n,
+            eps_mult: 8.0,
+            sd_size,
+            n_steps,
+            nodes,
+            net: SimNet::cluster(),
+            cost: CostModel::calibrated(stencil.len()),
+            partition: SimPartition::Metis { seed: 1 },
+            overlap: true,
+            work: WorkModel::Uniform,
+            work_schedule: Vec::new(),
+            lb: None,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Virtual seconds from step 0 to the last node finishing.
+    pub total_time: f64,
+    /// Per-node total busy seconds.
+    pub busy: Vec<f64>,
+    /// Per-node busy fraction: busy / (cores · total_time).
+    pub busy_fraction: Vec<f64>,
+    /// Bytes crossing node boundaries.
+    pub cross_bytes: u64,
+    /// Messages crossing node boundaries.
+    pub messages: u64,
+    /// SD counts per node after each LB epoch.
+    pub lb_history: Vec<Vec<usize>>,
+    /// Total SDs migrated.
+    pub migrations: usize,
+    /// Final ownership.
+    pub final_ownership: Ownership,
+}
+
+struct Geometry {
+    sds: SdGrid,
+    plans: Vec<HaloPlan>,
+    halo: i64,
+}
+
+impl Geometry {
+    fn build(cfg: &SimConfig) -> Self {
+        let grid = Grid::square(cfg.mesh_n, cfg.eps_mult);
+        let sds = SdGrid::tile_mesh(cfg.mesh_n, cfg.mesh_n, cfg.sd_size);
+        let plans = sds
+            .ids()
+            .map(|id| build_halo_plan(&sds, grid.halo, id))
+            .collect();
+        Geometry {
+            sds,
+            plans,
+            halo: grid.halo,
+        }
+    }
+}
+
+/// List-schedule `tasks` (ready, duration) onto `cores` cores that are
+/// free from `t0`. Returns (finish time, busy seconds).
+fn list_schedule(tasks: &mut [(f64, f64)], cores: usize, t0: f64) -> (f64, f64) {
+    if tasks.is_empty() {
+        return (t0, 0.0);
+    }
+    tasks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut free: BinaryHeap<Reverse<Ordered>> = BinaryHeap::new();
+    for _ in 0..cores.max(1) {
+        free.push(Reverse(Ordered(t0)));
+    }
+    let mut finish = t0;
+    let mut busy = 0.0;
+    for &(ready, dur) in tasks.iter() {
+        let Reverse(Ordered(core_free)) = free.pop().unwrap();
+        let start = ready.max(core_free);
+        let end = start + dur;
+        busy += dur;
+        finish = finish.max(end);
+        free.push(Reverse(Ordered(end)));
+    }
+    (finish, busy)
+}
+
+/// Total-ordered f64 wrapper for the scheduler heap.
+#[derive(PartialEq)]
+struct Ordered(f64);
+impl Eq for Ordered {}
+impl PartialOrd for Ordered {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Run the simulation.
+pub fn simulate(cfg: &SimConfig) -> SimRun {
+    let geo = Geometry::build(cfg);
+    let n_nodes = cfg.nodes.len() as u32;
+    let owners0 = match &cfg.partition {
+        SimPartition::Metis { seed } => part_mesh_dual(&geo.sds, n_nodes, *seed).parts,
+        SimPartition::Strip => strip_partition(&geo.sds, n_nodes),
+        SimPartition::Explicit(o) => {
+            assert_eq!(o.len(), geo.sds.count());
+            o.clone()
+        }
+    };
+    let mut ownership = Ownership::new(geo.sds, owners0, n_nodes);
+
+    let nn = cfg.nodes.len();
+    let mut node_time = vec![0.0f64; nn];
+    let mut busy_total = vec![0.0f64; nn];
+    let mut busy_window = vec![0.0f64; nn]; // since last LB counter reset
+    let mut nics: Vec<NicState> = (0..nn).map(|_| NicState::default()).collect();
+    let mut cross_bytes = 0u64;
+    let mut messages = 0u64;
+    let mut lb_history: Vec<Vec<usize>> = Vec::new();
+    let mut migrations = 0usize;
+
+    for step in 0..cfg.n_steps {
+        // --- ghost messages: (dst node, dst sd) -> arrival time ---
+        // iterate destination SDs in id order; sender NICs serialize.
+        let owners = ownership.owners().to_vec();
+        let mut arrivals: Vec<Vec<f64>> = vec![Vec::new(); geo.sds.count()];
+        for sd in geo.sds.ids() {
+            let dst_node = owners[sd as usize] as usize;
+            for patch in &geo.plans[sd as usize].patches {
+                if let PatchSource::Sd(src) = patch.source {
+                    let src_node = owners[src as usize] as usize;
+                    if src_node == dst_node {
+                        continue;
+                    }
+                    let bytes = (patch.dst_rect.area() * 8 + 24) as u64;
+                    // pack cost delays the send readiness a little
+                    let ready = node_time[src_node]
+                        + cfg.cost.copy_sec_per_cell * patch.dst_rect.area() as f64;
+                    let arr = nics[src_node].send(&cfg.net, ready, bytes);
+                    arrivals[sd as usize].push(arr);
+                    cross_bytes += bytes;
+                    messages += 1;
+                }
+            }
+        }
+
+        // --- per-node task graphs and scheduling ---
+        for node in 0..nn {
+            let spec = cfg.nodes[node];
+            let owned = ownership.owned_by(node as u32);
+            // serial driver phase: local halo copies + task spawns
+            let mut local_copy_cells = 0i64;
+            for &sd in &owned {
+                for patch in &geo.plans[sd as usize].patches {
+                    if let PatchSource::Sd(src) = patch.source {
+                        if owners[src as usize] as usize == node {
+                            local_copy_cells += patch.dst_rect.area();
+                        }
+                    }
+                }
+            }
+            let n_tasks_approx = owned.len().max(1);
+            let serial = cfg.cost.copy_sec_per_cell * local_copy_cells as f64
+                + cfg.cost.spawn_sec * n_tasks_approx as f64;
+            let t0 = node_time[node] + serial;
+
+            let mut tasks: Vec<(f64, f64)> = Vec::new();
+            for &sd in &owned {
+                let factor = cfg.work_at(step).factor(&geo.sds, sd);
+                let split = split_cases(geo.sds.sd, geo.halo, &geo.plans[sd as usize], |n| {
+                    owners[n as usize] as usize != node
+                });
+                let ghosts_in = if arrivals[sd as usize].is_empty() {
+                    t0
+                } else {
+                    let unpack = cfg.cost.copy_sec_per_cell
+                        * (geo.plans[sd as usize].ghost_cells_from_sds() as f64);
+                    arrivals[sd as usize]
+                        .iter()
+                        .fold(t0, |m, &a| m.max(a))
+                        + unpack
+                };
+                if cfg.overlap {
+                    if split.case2_area() > 0 {
+                        tasks.push((
+                            t0,
+                            cfg.cost.task_sec(split.case2_area(), factor, spec.speed),
+                        ));
+                    }
+                    if split.case1_area() > 0 {
+                        tasks.push((
+                            ghosts_in,
+                            cfg.cost.task_sec(split.case1_area(), factor, spec.speed),
+                        ));
+                    }
+                } else {
+                    tasks.push((
+                        ghosts_in,
+                        cfg.cost
+                            .task_sec(geo.sds.cells_per_sd() as i64, factor, spec.speed),
+                    ));
+                }
+            }
+            let (finish, busy) = list_schedule(&mut tasks, spec.cores, t0);
+            node_time[node] = finish;
+            busy_total[node] += busy;
+            busy_window[node] += busy;
+        }
+
+        // --- load-balancing epoch ---
+        let do_lb = cfg
+            .lb
+            .is_some_and(|lb| (step + 1) % lb.period == 0 && step + 1 < cfg.n_steps);
+        if do_lb {
+            // collective: everyone synchronizes for the gather/plan
+            let barrier = node_time.iter().cloned().fold(0.0, f64::max) + cfg.cost.lb_plan_sec;
+            for t in node_time.iter_mut() {
+                *t = barrier;
+            }
+            let busy_vec: Vec<f64> = busy_window.iter().map(|&b| b.max(1e-12)).collect();
+            let plan = plan_rebalance(&ownership, &busy_vec);
+            // migration costs: tile payloads over the network
+            for nic in nics.iter_mut() {
+                nic.reset_to(barrier);
+            }
+            for mv in &plan.moves {
+                let bytes = (geo.sds.cells_per_sd() * 8 + 24) as u64;
+                let arr =
+                    nics[mv.from as usize].send(&cfg.net, node_time[mv.from as usize], bytes);
+                let dst = mv.to as usize;
+                node_time[dst] = node_time[dst].max(arr);
+                cross_bytes += bytes;
+                messages += 1;
+            }
+            migrations += plan.moves.len();
+            ownership = plan.new_ownership.clone();
+            lb_history.push(ownership.counts());
+            // Algorithm 1 line 35: reset the busy window
+            for b in busy_window.iter_mut() {
+                *b = 0.0;
+            }
+        }
+    }
+
+    let total_time = node_time.iter().cloned().fold(0.0, f64::max);
+    let busy_fraction = busy_total
+        .iter()
+        .zip(&cfg.nodes)
+        .map(|(&b, n)| {
+            if total_time > 0.0 {
+                b / (n.cores as f64 * total_time)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    SimRun {
+        total_time,
+        busy: busy_total,
+        busy_fraction,
+        cross_bytes,
+        messages,
+        lb_history,
+        migrations,
+        final_ownership: ownership,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shared_cfg(n_sds_side: usize, cores: usize) -> SimConfig {
+        // 400x400 paper mesh decomposed into n x n SDs, one node.
+        let sd = 400 / n_sds_side;
+        SimConfig::paper(400, sd, 5, vec![VirtualNode::with_cores(cores)])
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = shared_cfg(4, 2);
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.busy, b.busy);
+    }
+
+    #[test]
+    fn single_sd_cannot_use_extra_cores() {
+        // Fig. 9's 1-SD data point: speedup stays 1.
+        let t1 = simulate(&shared_cfg(1, 1)).total_time;
+        let t4 = simulate(&shared_cfg(1, 4)).total_time;
+        assert!((t1 / t4) < 1.05, "one task cannot speed up: {}", t1 / t4);
+    }
+
+    #[test]
+    fn many_sds_scale_with_cores() {
+        // Fig. 9's 64-SD point: 4 cores approach 4x.
+        let t1 = simulate(&shared_cfg(8, 1)).total_time;
+        let t4 = simulate(&shared_cfg(8, 4)).total_time;
+        let speedup = t1 / t4;
+        assert!(
+            (3.0..=4.2).contains(&speedup),
+            "64 SDs on 4 cores: speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn distributed_nodes_scale() {
+        // Fig. 13 shape: 1 vs 4 single-core nodes on a fixed mesh.
+        let mk = |n: usize| {
+            SimConfig::paper(
+                400,
+                50,
+                5,
+                (0..n).map(|_| VirtualNode::with_cores(1)).collect(),
+            )
+        };
+        let t1 = simulate(&mk(1)).total_time;
+        let t4 = simulate(&mk(4)).total_time;
+        let speedup = t1 / t4;
+        assert!(
+            (3.0..=4.2).contains(&speedup),
+            "4-node speedup {speedup}"
+        );
+    }
+
+    #[test]
+    fn communication_counted_only_across_nodes() {
+        let single = simulate(&shared_cfg(8, 4));
+        assert_eq!(single.cross_bytes, 0, "one node never crosses");
+        let mk = SimConfig::paper(
+            400,
+            50,
+            5,
+            vec![VirtualNode::with_cores(1), VirtualNode::with_cores(1)],
+        );
+        let two = simulate(&mk);
+        assert!(two.cross_bytes > 0);
+        assert!(two.messages > 0);
+    }
+
+    #[test]
+    fn metis_beats_strip_on_cross_traffic() {
+        // Ablation A1 at test scale: block-ish multilevel partitions move
+        // fewer ghost bytes than strips for 4 nodes.
+        let mut metis = SimConfig::paper(
+            400,
+            25,
+            3,
+            (0..4).map(|_| VirtualNode::with_cores(1)).collect(),
+        );
+        metis.partition = SimPartition::Metis { seed: 1 };
+        let mut strip = metis.clone();
+        strip.partition = SimPartition::Strip;
+        let mb = simulate(&metis).cross_bytes;
+        let sb = simulate(&strip).cross_bytes;
+        assert!(
+            mb < sb,
+            "metis {mb} bytes should undercut strip {sb} bytes"
+        );
+    }
+
+    #[test]
+    fn overlap_helps_on_slow_network() {
+        // Every SD borders foreign territory (4 SDs per node, quadrants)
+        // and the latency is comparable to one SD's compute time, so the
+        // case-2 work is exactly what hides the wait.
+        let mut cfg = SimConfig::paper(
+            200,
+            50,
+            5,
+            (0..4).map(|_| VirtualNode::with_cores(1)).collect(),
+        );
+        cfg.net = SimNet::slow(5e-3, 1e9);
+        cfg.overlap = true;
+        let with = simulate(&cfg).total_time;
+        cfg.overlap = false;
+        let without = simulate(&cfg).total_time;
+        assert!(
+            with < without * 0.95,
+            "overlap {with} must clearly beat no-overlap {without} on a slow net"
+        );
+    }
+
+    #[test]
+    fn lb_balances_heterogeneous_nodes() {
+        let mut cfg = SimConfig::paper(
+            400,
+            25,
+            24,
+            vec![
+                VirtualNode { cores: 1, speed: 2.0 },
+                VirtualNode { cores: 1, speed: 1.0 },
+                VirtualNode { cores: 1, speed: 1.0 },
+                VirtualNode { cores: 1, speed: 1.0 },
+            ],
+        );
+        cfg.lb = Some(SimLbConfig { period: 4 });
+        let run = simulate(&cfg);
+        assert!(run.migrations > 0);
+        let counts = run.final_ownership.counts();
+        // fast node should end up with roughly 2/5 of 256 SDs ≈ 102
+        assert!(
+            counts[0] > counts[1],
+            "fast node must hold more SDs: {counts:?}"
+        );
+        // and total preserved
+        assert_eq!(counts.iter().sum::<usize>(), 256);
+    }
+
+    #[test]
+    fn lb_reduces_makespan_under_heterogeneity() {
+        let nodes = vec![
+            VirtualNode { cores: 1, speed: 2.0 },
+            VirtualNode { cores: 1, speed: 1.0 },
+            VirtualNode { cores: 1, speed: 1.0 },
+            VirtualNode { cores: 1, speed: 1.0 },
+        ];
+        let mut base = SimConfig::paper(400, 25, 24, nodes);
+        base.lb = None;
+        let without = simulate(&base).total_time;
+        base.lb = Some(SimLbConfig { period: 4 });
+        let with = simulate(&base).total_time;
+        assert!(
+            with < without,
+            "LB {with} must beat no-LB {without} on a 2x-fast node"
+        );
+    }
+
+    #[test]
+    fn work_schedule_switches_models() {
+        let mut cfg = SimConfig::paper(100, 25, 4, vec![VirtualNode::with_cores(1)]);
+        cfg.work = WorkModel::Uniform;
+        cfg.work_schedule = vec![
+            (2, WorkModel::PerSd(vec![0.5; 16])),
+        ];
+        assert_eq!(cfg.work_at(0), &WorkModel::Uniform);
+        assert_eq!(cfg.work_at(1), &WorkModel::Uniform);
+        assert_eq!(cfg.work_at(2), &WorkModel::PerSd(vec![0.5; 16]));
+        assert_eq!(cfg.work_at(3), &WorkModel::PerSd(vec![0.5; 16]));
+        // half-work from step 2 must shorten the run vs uniform
+        let scheduled = simulate(&cfg).total_time;
+        cfg.work_schedule.clear();
+        let uniform = simulate(&cfg).total_time;
+        assert!(scheduled < uniform);
+    }
+
+    #[test]
+    fn moving_crack_keeps_lb_busy() {
+        // A crack band marching upward; with LB the balancer re-migrates
+        // as the cheap region moves, beating the static assignment.
+        let nodes: Vec<VirtualNode> = (0..4).map(|_| VirtualNode::with_cores(1)).collect();
+        let mut cfg = SimConfig::paper(400, 25, 32, nodes);
+        cfg.partition = SimPartition::Strip;
+        // one jump at mid-run: the dwell time (16 steps) must exceed the
+        // balancer's adaptation time (period + one stale window) for LB to
+        // amortize the migrations — faster cracks are a genuinely
+        // adversarial regime, reported by ablation A5b.
+        // Bands straddle strip boundaries: eq. 8 estimates power per
+        // node, so a band hiding entirely inside one node's strip makes
+        // that node's power estimate unsound (see ablation A5b notes).
+        cfg.work_schedule = (0..2)
+            .map(|seg| {
+                (
+                    seg * 16,
+                    WorkModel::Crack {
+                        y_cell: 200 + 100 * seg as i64,
+                        half_width: 30,
+                        factor: 0.25,
+                    },
+                )
+            })
+            .collect();
+        cfg.lb = None;
+        let off = simulate(&cfg);
+        cfg.lb = Some(SimLbConfig { period: 4 });
+        let on = simulate(&cfg);
+        assert!(
+            on.total_time < off.total_time,
+            "LB must track the moving crack: on {} off {}",
+            on.total_time,
+            off.total_time
+        );
+        assert!(on.migrations > 0);
+    }
+
+    #[test]
+    fn weak_scaling_holds_time_roughly_constant() {
+        // Fig. 10/12 shape: problem grows with node count.
+        let t1 = simulate(&SimConfig::paper(
+            100,
+            50,
+            5,
+            vec![VirtualNode::with_cores(1)],
+        ))
+        .total_time;
+        let t4 = simulate(&SimConfig::paper(
+            200,
+            50,
+            5,
+            (0..4).map(|_| VirtualNode::with_cores(1)).collect(),
+        ))
+        .total_time;
+        let efficiency = t1 / t4;
+        assert!(
+            efficiency > 0.8,
+            "weak-scaling efficiency {efficiency} too low"
+        );
+    }
+}

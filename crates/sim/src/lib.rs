@@ -1,0 +1,27 @@
+//! # nlheat-sim — discrete-event simulation of the distributed solver
+//!
+//! The paper's evaluation ran on a cluster of 40-core Skylake nodes; this
+//! reproduction runs in a single-core container where wall-clock parallel
+//! speedups are physically unmeasurable. Per the documented substitution
+//! (DESIGN.md §1), the scaling figures are regenerated with a deterministic
+//! discrete-event simulator that executes the *same decomposition,
+//! dependency structure and communication volumes* as the real solver in
+//! `nlheat-core` — per-SD case-1/case-2 tasks, ghost messages with
+//! latency + bandwidth + NIC serialization, per-node core counts and speed
+//! factors, and Algorithm-1 load-balancing epochs driven by the simulated
+//! busy times.
+//!
+//! The real runtime remains the source of truth for *numerics* (its output
+//! is tested bit-for-bit against the serial solver); the simulator is the
+//! source of *timing shape*: strong-scaling saturation, weak-scaling
+//! flatness, partition-quality effects, and load-balancer convergence.
+//!
+//! No wall-clock enters the simulation: it is fully deterministic.
+
+pub mod cost;
+pub mod engine;
+pub mod net;
+
+pub use cost::CostModel;
+pub use engine::{simulate, SimConfig, SimLbConfig, SimPartition, SimRun, VirtualNode};
+pub use net::SimNet;

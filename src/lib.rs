@@ -1,0 +1,56 @@
+//! # nonlocalheat — distributed nonlocal models with asynchronous tasking
+//!
+//! A from-scratch Rust reproduction of *"Load balancing for distributed
+//! nonlocal models within asynchronous many-task systems"* (Gadikar, Diehl
+//! & Jha, 2021, arXiv:2102.03819): a 2d nonlocal heat-equation solver
+//! decomposed into square sub-domains, distributed over simulated compute
+//! nodes by a multilevel mesh partitioner, executed on an asynchronous
+//! many-task runtime with ghost-exchange hiding, and re-balanced online by
+//! the paper's busy-time-driven load balancing algorithm.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`amt`] — the AMT runtime (HPX substitute): work-stealing pools,
+//!   future/promise LCOs, performance counters, localities + parcels.
+//! * [`mesh`] — grids, ε-ball stencils, sub-domains, halo plans,
+//!   case-1/case-2 splits.
+//! * [`partition`] — multilevel k-way partitioner (METIS substitute).
+//! * [`model`] — the nonlocal diffusion model, manufactured solution and
+//!   serial reference solver.
+//! * [`core`] — shared-memory and distributed solvers + **Algorithm 1**.
+//! * [`sim`] — the deterministic discrete-event cluster simulator used for
+//!   the scaling figures.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use nonlocalheat::prelude::*;
+//!
+//! // a 16x16 mesh with eps = 2h, solved on 2 simulated nodes
+//! let cluster = ClusterBuilder::new().uniform(2, 1).build();
+//! let mut cfg = DistConfig::new(16, 2.0, 4, 5);
+//! cfg.record_error = true;
+//! let report = run_distributed(&cluster, &cfg);
+//! assert!(report.error.unwrap().total() < 1e-4);
+//! ```
+
+pub use nlheat_amt as amt;
+pub use nlheat_core as core;
+pub use nlheat_mesh as mesh;
+pub use nlheat_model as model;
+pub use nlheat_partition as partition;
+pub use nlheat_sim as sim;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use nlheat_amt::prelude::*;
+    pub use nlheat_core::balance::{iterate_rebalance, plan_rebalance};
+    pub use nlheat_core::dist::{run_distributed, DistConfig, LbConfig, PartitionMethod};
+    pub use nlheat_core::ownership::Ownership;
+    pub use nlheat_core::shared::{SharedConfig, SharedSolver};
+    pub use nlheat_core::workload::WorkModel;
+    pub use nlheat_mesh::{Grid, SdGrid};
+    pub use nlheat_model::prelude::*;
+    pub use nlheat_partition::{part_mesh_dual, PartitionConfig};
+    pub use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimNet, VirtualNode};
+}

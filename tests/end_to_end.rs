@@ -1,0 +1,113 @@
+//! Cross-crate integration: the distributed solver must produce exactly
+//! the serial solver's numbers under every decomposition, distribution,
+//! overlap mode and cluster shape.
+
+use nonlocalheat::prelude::*;
+
+fn serial_field(n: usize, eps_mult: f64, steps: usize) -> Vec<f64> {
+    let parts = ProblemSpec::square(n, eps_mult).build();
+    let mut s = SerialSolver::manufactured(&parts);
+    s.run(steps);
+    s.field()
+}
+
+#[test]
+fn matrix_of_cluster_shapes() {
+    let reference = serial_field(24, 2.0, 5);
+    for nodes in [1usize, 2, 3, 4] {
+        for workers in [1usize, 2] {
+            let cluster = ClusterBuilder::new().uniform(nodes, workers).build();
+            let cfg = DistConfig::new(24, 2.0, 6, 5);
+            let report = run_distributed(&cluster, &cfg);
+            assert_eq!(
+                report.field, reference,
+                "mismatch for {nodes} nodes x {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn matrix_of_sd_sizes() {
+    let reference = serial_field(24, 3.0, 4);
+    for sd in [4usize, 6, 8, 12, 24] {
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let cfg = DistConfig::new(24, 3.0, sd, 4);
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, reference, "mismatch for sd={sd}");
+    }
+}
+
+#[test]
+fn overlap_and_partition_modes() {
+    let reference = serial_field(20, 2.0, 4);
+    for overlap in [true, false] {
+        for partition in [
+            PartitionMethod::Metis { seed: 7 },
+            PartitionMethod::Strip,
+        ] {
+            let cluster = ClusterBuilder::new().uniform(3, 1).build();
+            let mut cfg = DistConfig::new(20, 2.0, 4, 4);
+            cfg.overlap = overlap;
+            cfg.partition = partition.clone();
+            let report = run_distributed(&cluster, &cfg);
+            assert_eq!(
+                report.field, reference,
+                "mismatch overlap={overlap} partition={partition:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn horizon_larger_than_sd() {
+    // eps = 6h with 4-cell SDs: ghosts span two SD rings across nodes.
+    let reference = serial_field(16, 6.0, 3);
+    let cluster = ClusterBuilder::new().uniform(4, 1).build();
+    let cfg = DistConfig::new(16, 6.0, 4, 3);
+    let report = run_distributed(&cluster, &cfg);
+    assert_eq!(report.field, reference);
+}
+
+#[test]
+fn shared_solver_agrees_with_distributed() {
+    let cluster = ClusterBuilder::new().uniform(2, 2).build();
+    let cfg = DistConfig::new(16, 2.0, 4, 5);
+    let dist = run_distributed(&cluster, &cfg);
+    let shared = SharedSolver::new(SharedConfig::new(16, 2.0, 4, 5, 3)).run();
+    assert_eq!(dist.field, shared.field);
+}
+
+#[test]
+fn more_nodes_than_sds_leaves_idle_nodes_consistent() {
+    // 4 SDs over 6 localities: two localities never own anything.
+    let reference = serial_field(16, 2.0, 3);
+    let cluster = ClusterBuilder::new().uniform(6, 1).build();
+    let cfg = DistConfig::new(16, 2.0, 8, 3);
+    let report = run_distributed(&cluster, &cfg);
+    assert_eq!(report.field, reference);
+}
+
+#[test]
+fn error_decreases_with_resolution_distributed() {
+    // the Fig. 8 property measured through the distributed stack
+    let mut totals = Vec::new();
+    for n in [8usize, 16, 32] {
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(n, 2.0, n / 4, 6);
+        cfg.record_error = true;
+        let report = run_distributed(&cluster, &cfg);
+        totals.push(report.error.unwrap().total());
+    }
+    assert!(totals[0] > totals[1] && totals[1] > totals[2], "{totals:?}");
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let run = || {
+        let cluster = ClusterBuilder::new().uniform(3, 2).build();
+        let cfg = DistConfig::new(20, 2.0, 5, 5);
+        run_distributed(&cluster, &cfg).field
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,135 @@
+//! Integration tests of Algorithm 1 across the stack: pure planning,
+//! virtual iteration, the DES, and the real distributed runtime.
+
+use nonlocalheat::core::balance::{iterate_rebalance, plan_rebalance};
+use nonlocalheat::prelude::*;
+
+/// Busy model for identical nodes: busy ∝ SD count.
+fn symmetric_busy(own: &Ownership) -> Vec<f64> {
+    own.counts().iter().map(|&c| c.max(1) as f64).collect()
+}
+
+#[test]
+fn fig14_scenario_full_history() {
+    let sds = SdGrid::new(5, 5, 50);
+    let mut owners = vec![0u32; 25];
+    owners[sds.id(4, 0) as usize] = 1;
+    owners[sds.id(0, 4) as usize] = 2;
+    owners[sds.id(4, 4) as usize] = 3;
+    let own = Ownership::new(sds, owners, 4);
+
+    let history = iterate_rebalance(&own, 3, symmetric_busy);
+    assert!(history.len() >= 2, "at least one iteration must act");
+    // spread shrinks monotonically across iterations
+    let spreads: Vec<usize> = history
+        .iter()
+        .map(|o| {
+            let c = o.counts();
+            c.iter().max().unwrap() - c.iter().min().unwrap()
+        })
+        .collect();
+    for w in spreads.windows(2) {
+        assert!(w[1] <= w[0], "spread must not grow: {spreads:?}");
+    }
+    assert!(*spreads.last().unwrap() <= 2, "{spreads:?}");
+    // all territories stay contiguous, as Fig. 6 requires
+    for state in &history {
+        for node in 0..4 {
+            assert!(state.is_contiguous(node));
+        }
+    }
+}
+
+#[test]
+fn planning_is_idempotent_when_balanced() {
+    let sds = SdGrid::new(6, 6, 10);
+    let partition = part_mesh_dual(&sds, 4, 3);
+    let own = Ownership::from_partition(sds, &partition);
+    let plan = plan_rebalance(&own, &symmetric_busy(&own));
+    // a partitioner-balanced 36/4 = 9-each distribution needs no moves
+    assert!(plan.is_noop(), "moves: {:?}", plan.moves);
+}
+
+#[test]
+fn power_proportional_distribution_in_sim() {
+    // speeds 3:1:1:1 -> fast node should converge to ~3/6 of the SDs
+    let nodes = vec![
+        VirtualNode { cores: 1, speed: 3.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+    ];
+    let mut cfg = SimConfig::paper(400, 25, 30, nodes);
+    cfg.lb = Some(SimLbConfig { period: 3 });
+    let run = simulate(&cfg);
+    let counts = run.final_ownership.counts();
+    let total: usize = counts.iter().sum();
+    assert_eq!(total, 256);
+    let share = counts[0] as f64 / total as f64;
+    assert!(
+        (0.35..0.62).contains(&share),
+        "fast node share {share}, counts {counts:?}"
+    );
+}
+
+#[test]
+fn sim_busy_fractions_equalize_with_lb() {
+    let nodes = vec![
+        VirtualNode { cores: 1, speed: 2.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode { cores: 1, speed: 1.0 },
+    ];
+    let mut cfg = SimConfig::paper(400, 25, 40, nodes);
+    cfg.lb = None;
+    let off = simulate(&cfg);
+    cfg.lb = Some(SimLbConfig { period: 4 });
+    let on = simulate(&cfg);
+    let spread = |fractions: &[f64]| {
+        fractions.iter().cloned().fold(0.0, f64::max)
+            - fractions.iter().cloned().fold(1.0, f64::min)
+    };
+    assert!(
+        spread(&on.busy_fraction) < spread(&off.busy_fraction),
+        "LB must equalize busy fractions: off {:?} on {:?}",
+        off.busy_fraction,
+        on.busy_fraction
+    );
+}
+
+#[test]
+fn real_runtime_migrations_match_plans() {
+    let cluster = ClusterBuilder::new().uniform(2, 1).build();
+    let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+    cfg.lb = Some(LbConfig { period: 2 });
+    let mut owners = vec![0u32; 16];
+    owners[15] = 1;
+    cfg.partition = PartitionMethod::Explicit(owners);
+    let report = run_distributed(&cluster, &cfg);
+    // lb_history records the post-epoch counts; the last entry must match
+    // the final ownership
+    let last = report.lb_history.last().expect("at least one epoch");
+    assert_eq!(*last, report.final_ownership.counts());
+    assert!(report.migrations > 0);
+}
+
+#[test]
+fn crack_workload_rebalances_in_sim() {
+    let mut cfg = SimConfig::paper(400, 25, 24, {
+        (0..4).map(|_| VirtualNode::with_cores(1)).collect()
+    });
+    cfg.partition = nonlocalheat::sim::SimPartition::Strip;
+    cfg.work = WorkModel::Crack {
+        y_cell: 200,
+        half_width: 30,
+        factor: 0.25,
+    };
+    cfg.lb = Some(SimLbConfig { period: 4 });
+    let run = simulate(&cfg);
+    assert!(run.migrations > 0, "crack imbalance must trigger migration");
+    // nodes hosting the cheap band end with more SDs than the others
+    let counts = run.final_ownership.counts();
+    let max = *counts.iter().max().unwrap();
+    let min = *counts.iter().min().unwrap();
+    assert!(max > min, "counts should differentiate: {counts:?}");
+}

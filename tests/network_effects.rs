@@ -1,0 +1,84 @@
+//! Asynchrony correctness: message delay must never change the numerics —
+//! only the timing. These tests run the distributed solver over a fabric
+//! with real (sleeping) latency so ghost parcels genuinely arrive late and
+//! the case-1/case-2 machinery is exercised under pressure.
+
+use nonlocalheat::prelude::*;
+use std::time::Duration;
+
+fn serial_field(n: usize, eps_mult: f64, steps: usize) -> Vec<f64> {
+    let parts = ProblemSpec::square(n, eps_mult).build();
+    let mut s = SerialSolver::manufactured(&parts);
+    s.run(steps);
+    s.field()
+}
+
+#[test]
+fn latency_does_not_change_results() {
+    let reference = serial_field(16, 2.0, 4);
+    let cluster = ClusterBuilder::new()
+        .uniform(3, 1)
+        .net(NetModel::new(Duration::from_micros(500), f64::INFINITY))
+        .build();
+    let cfg = DistConfig::new(16, 2.0, 4, 4);
+    let report = run_distributed(&cluster, &cfg);
+    assert_eq!(report.field, reference);
+}
+
+#[test]
+fn bandwidth_limit_does_not_change_results() {
+    let reference = serial_field(16, 2.0, 4);
+    let cluster = ClusterBuilder::new()
+        .uniform(2, 1)
+        // ~2 MB/s: a 3 KB ghost message takes ~1.5 ms on the wire
+        .net(NetModel::new(Duration::from_micros(100), 2e6))
+        .build();
+    let cfg = DistConfig::new(16, 2.0, 4, 4);
+    let report = run_distributed(&cluster, &cfg);
+    assert_eq!(report.field, reference);
+}
+
+#[test]
+fn latency_with_load_balancing_still_exact() {
+    let reference = serial_field(16, 2.0, 6);
+    let cluster = ClusterBuilder::new()
+        .node(1, 1.0)
+        .node(1, 0.5)
+        .net(NetModel::new(Duration::from_micros(300), f64::INFINITY))
+        .build();
+    let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+    cfg.lb = Some(LbConfig { period: 2 });
+    let report = run_distributed(&cluster, &cfg);
+    assert_eq!(report.field, reference);
+}
+
+#[test]
+fn overlap_off_under_latency_still_exact() {
+    let reference = serial_field(16, 2.0, 3);
+    let cluster = ClusterBuilder::new()
+        .uniform(4, 1)
+        .net(NetModel::new(Duration::from_micros(400), f64::INFINITY))
+        .build();
+    let mut cfg = DistConfig::new(16, 2.0, 4, 3);
+    cfg.overlap = false;
+    let report = run_distributed(&cluster, &cfg);
+    assert_eq!(report.field, reference);
+}
+
+#[test]
+fn traffic_statistics_are_plausible() {
+    let cluster = ClusterBuilder::new().uniform(2, 1).build();
+    let cfg = DistConfig::new(16, 2.0, 4, 3);
+    let _ = run_distributed(&cluster, &cfg);
+    let stats = cluster.net_stats();
+    // 4x4 SDs halved: 4 boundary SD pairs + diagonals, both directions,
+    // 3 steps, plus LB-free run has no other messages. Just sanity-check
+    // magnitude and symmetry.
+    assert!(stats.messages() > 0);
+    assert!(stats.cross_bytes() > 0);
+    assert_eq!(
+        stats.pair_bytes(0, 1),
+        stats.pair_bytes(1, 0),
+        "symmetric decomposition sends symmetric ghosts"
+    );
+}

@@ -1,0 +1,213 @@
+//! Property-based tests of the core invariants (proptest).
+
+use bytes::Bytes;
+use nonlocalheat::amt::codec::{decode_f64_vec, encode_f64_slice, Wire};
+use nonlocalheat::amt::rendezvous::Rendezvous;
+use nonlocalheat::core::balance::plan_rebalance;
+use nonlocalheat::core::ownership::Ownership;
+use nonlocalheat::mesh::{build_halo_plan, split_cases, Rect, SdGrid};
+use nonlocalheat::partition::{balance as part_balance, part_graph, Csr, PartitionConfig};
+use proptest::prelude::*;
+
+// ---------- codec ----------
+
+proptest! {
+    #[test]
+    fn codec_roundtrip_f64_vec(values in proptest::collection::vec(-1e12f64..1e12, 0..200)) {
+        let mut buf = bytes::BytesMut::new();
+        encode_f64_slice(&values, &mut buf);
+        let mut b = buf.freeze();
+        let back = decode_f64_vec(&mut b).unwrap();
+        prop_assert_eq!(back, values);
+        prop_assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn codec_roundtrip_nested(
+        a in any::<u64>(),
+        b in any::<u32>(),
+        s in "[a-z]{0,12}",
+        v in proptest::collection::vec(any::<bool>(), 0..20),
+    ) {
+        let value = (a, (b, s.clone()), v.clone());
+        let bytes = value.to_bytes();
+        let back = <(u64, (u32, String), Vec<bool>)>::from_bytes(bytes).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    #[test]
+    fn codec_rejects_truncation(payload in proptest::collection::vec(any::<u64>(), 1..20)) {
+        let bytes = payload.to_bytes();
+        // any strict prefix must fail to decode as the same type
+        let cut = bytes.len() - 1;
+        let res = Vec::<u64>::from_bytes(bytes.slice(0..cut));
+        prop_assert!(res.is_err());
+    }
+}
+
+// ---------- rendezvous ----------
+
+proptest! {
+    #[test]
+    fn rendezvous_any_interleaving_matches(order in proptest::collection::vec(any::<bool>(), 1..40)) {
+        // For each tag t we either expect-then-deliver or deliver-then-
+        // expect depending on the generated boolean; all must match.
+        let rv = Rendezvous::new();
+        let mut futures = Vec::new();
+        for (t, first_expect) in order.iter().enumerate() {
+            let tag = t as u64;
+            let payload = Bytes::from(tag.to_le_bytes().to_vec());
+            if *first_expect {
+                futures.push((tag, rv.expect(tag)));
+                rv.deliver(tag, payload);
+            } else {
+                rv.deliver(tag, payload);
+                futures.push((tag, rv.expect(tag)));
+            }
+        }
+        for (tag, fut) in futures {
+            let got = fut.get();
+            prop_assert_eq!(got.as_ref(), &tag.to_le_bytes());
+        }
+        prop_assert_eq!(rv.outstanding(), 0);
+    }
+}
+
+// ---------- halo plans & case splits ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn halo_patches_tile_ring(
+        nsx in 1i64..6,
+        nsy in 1i64..6,
+        sd in 1i64..8,
+        halo in 0i64..10,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, sd as usize);
+        for id in grid.ids() {
+            let plan = build_halo_plan(&grid, halo, id);
+            let padded = Rect::new(-halo, -halo, sd + 2 * halo, sd + 2 * halo);
+            let interior = Rect::new(0, 0, sd, sd);
+            let mut covered = 0i64;
+            for (i, p) in plan.patches.iter().enumerate() {
+                covered += p.dst_rect.area();
+                prop_assert!(padded.contains_rect(&p.dst_rect));
+                prop_assert!(p.dst_rect.intersect(&interior).is_empty());
+                for q in plan.patches.iter().skip(i + 1) {
+                    prop_assert!(p.dst_rect.intersect(&q.dst_rect).is_empty());
+                }
+            }
+            prop_assert_eq!(covered, padded.area() - interior.area());
+        }
+    }
+
+    #[test]
+    fn case_split_tiles_interior(
+        nsx in 2i64..5,
+        nsy in 2i64..5,
+        sd in 2i64..8,
+        halo in 1i64..6,
+        owner_bits in any::<u64>(),
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, sd as usize);
+        for id in grid.ids() {
+            let plan = build_halo_plan(&grid, halo, id);
+            let split = split_cases(sd, halo, &plan, |n| (owner_bits >> (n % 64)) & 1 == 1);
+            let mut area = split.case2.area();
+            for (i, r) in split.case1.iter().enumerate() {
+                area += r.area();
+                prop_assert!(r.intersect(&split.case2).is_empty());
+                for q in split.case1.iter().skip(i + 1) {
+                    prop_assert!(r.intersect(q).is_empty());
+                }
+            }
+            prop_assert_eq!(area, sd * sd);
+        }
+    }
+}
+
+// ---------- partitioner ----------
+
+fn random_grid_graph(w: usize, h: usize, weights: &[i64]) -> Csr {
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y), 1));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1), 1));
+            }
+        }
+    }
+    Csr::from_edges(w * h, &edges, weights.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn partition_is_valid_and_roughly_balanced(
+        w in 3usize..9,
+        h in 3usize..9,
+        k in 2u32..6,
+        seed in any::<u64>(),
+    ) {
+        let weights = vec![1i64; w * h];
+        let g = random_grid_graph(w, h, &weights);
+        let p = part_graph(&g, &PartitionConfig::new(k).with_seed(seed));
+        prop_assert_eq!(p.parts.len(), w * h);
+        prop_assert!(p.parts.iter().all(|&x| x < k));
+        if (k as usize) * 2 <= w * h {
+            // every part non-empty when comfortably fewer parts than cells
+            for part in 0..k {
+                prop_assert!(p.parts.contains(&part), "part {} empty", part);
+            }
+            let b = part_balance(&g, &p.parts, k);
+            prop_assert!(b < 1.7, "balance {} too skewed", b);
+        }
+    }
+}
+
+// ---------- load balancer ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn rebalance_plan_is_applicable_and_conserving(
+        nsx in 2i64..6,
+        nsy in 2i64..6,
+        n_nodes in 1u32..5,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.1f64..10.0, 4),
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        // pseudo-random but deterministic ownership from the seed
+        let owners: Vec<u32> = (0..count)
+            .map(|i| ((owner_seed >> (i % 60)) as u32 ^ i as u32) % n_nodes)
+            .collect();
+        let own = Ownership::new(grid, owners, n_nodes);
+        let busy_vec: Vec<f64> =
+            (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+        let plan = plan_rebalance(&own, &busy_vec);
+
+        // 1. moves apply sequentially from the initial state
+        let mut working = own.clone();
+        for m in &plan.moves {
+            prop_assert_eq!(working.owner(m.sd), m.from);
+            prop_assert!(m.to < n_nodes);
+            working.set_owner(m.sd, m.to);
+        }
+        // 2. result matches the plan's claimed new ownership
+        prop_assert_eq!(&working, &plan.new_ownership);
+        // 3. SD conservation
+        prop_assert_eq!(
+            working.counts().iter().sum::<usize>(),
+            count
+        );
+        // 4. metrics imbalance sums to zero
+        prop_assert_eq!(plan.metrics.imbalance.iter().sum::<i64>(), 0);
+    }
+}

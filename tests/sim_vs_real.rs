@@ -1,0 +1,83 @@
+//! Consistency between the discrete-event simulator and the real runtime:
+//! both execute the same decomposition, so their *communication structure*
+//! must agree (message counts exactly, byte volumes up to the small
+//! framing difference documented below).
+
+use nonlocalheat::prelude::*;
+use nonlocalheat::sim::SimPartition;
+
+/// Run the same configuration through both substrates and return
+/// `(real messages, real bytes, sim messages, sim bytes)` for the
+/// LB-free ghost traffic.
+fn traffic(n: usize, eps_mult: f64, sd: usize, nodes: usize, steps: usize) -> (u64, u64, u64, u64) {
+    let cluster = ClusterBuilder::new().uniform(nodes, 1).build();
+    let mut cfg = DistConfig::new(n, eps_mult, sd, steps);
+    cfg.partition = PartitionMethod::Strip;
+    let _ = run_distributed(&cluster, &cfg);
+    let real_msgs = cluster.net_stats().messages();
+    let real_bytes = cluster.net_stats().cross_bytes();
+
+    let mut sim_cfg = SimConfig::paper(n, sd, steps, {
+        (0..nodes).map(|_| VirtualNode::with_cores(1)).collect()
+    });
+    sim_cfg.eps_mult = eps_mult;
+    sim_cfg.partition = SimPartition::Strip;
+    let run = simulate(&sim_cfg);
+    (real_msgs, real_bytes, run.messages, run.cross_bytes)
+}
+
+#[test]
+fn message_counts_agree_exactly() {
+    // NOTE: SimConfig::paper computes its cost model from eps=8h, but the
+    // message *structure* depends only on eps_mult set below.
+    let (rm, _, sm, _) = traffic(24, 2.0, 4, 2, 3);
+    assert_eq!(rm, sm, "real {rm} vs sim {sm} ghost messages");
+    let (rm4, _, sm4, _) = traffic(24, 2.0, 4, 4, 2);
+    assert_eq!(rm4, sm4);
+}
+
+#[test]
+fn byte_volumes_agree_within_framing() {
+    // The real codec prepends an 8-byte length to each payload; the sim
+    // accounts payload + 24-byte header. Expected delta: 8 bytes/message.
+    let (rm, rb, sm, sb) = traffic(24, 2.0, 4, 2, 3);
+    assert_eq!(rm, sm);
+    let expected_real = sb + 8 * sm;
+    assert_eq!(
+        rb, expected_real,
+        "real bytes {rb} vs sim bytes {sb} + framing {}",
+        8 * sm
+    );
+}
+
+#[test]
+fn multi_ring_traffic_agrees() {
+    // eps spanning two SD rings: the heavier communication pattern must
+    // match too.
+    let (rm, rb, sm, sb) = traffic(16, 6.0, 4, 2, 2);
+    assert_eq!(rm, sm);
+    assert_eq!(rb, sb + 8 * sm);
+}
+
+#[test]
+fn sim_strong_scaling_shape_matches_theory() {
+    // With communication negligible and one core per node, the speedup on
+    // k nodes of a perfectly divisible problem approaches k.
+    let mk = |k: usize| {
+        SimConfig::paper(
+            400,
+            50,
+            5,
+            (0..k).map(|_| VirtualNode::with_cores(1)).collect(),
+        )
+    };
+    let t1 = simulate(&mk(1)).total_time;
+    for k in [2usize, 4, 8] {
+        let tk = simulate(&mk(k)).total_time;
+        let speedup = t1 / tk;
+        assert!(
+            speedup > 0.85 * k as f64 && speedup <= 1.02 * k as f64,
+            "{k}-node speedup {speedup}"
+        );
+    }
+}
