@@ -7,7 +7,8 @@
 
 use crate::counters::CounterRegistry;
 use crate::locality::Locality;
-use crate::network::{Fabric, NetModel, NetStats};
+use crate::network::{Fabric, NetStats};
+use nlheat_netmodel::NetSpec;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -33,7 +34,7 @@ impl Default for NodeSpec {
 #[derive(Default)]
 pub struct ClusterBuilder {
     nodes: Vec<NodeSpec>,
-    net: NetModel,
+    net: NetSpec,
 }
 
 impl ClusterBuilder {
@@ -58,9 +59,11 @@ impl ClusterBuilder {
         self
     }
 
-    /// Set the network model (default: instant delivery).
-    pub fn net(mut self, model: NetModel) -> Self {
-        self.net = model;
+    /// Set the network model (default: instant delivery). The same
+    /// [`NetSpec`] drives the simulator, so real and simulated runs of one
+    /// configuration see identical communication cost models.
+    pub fn net(mut self, spec: NetSpec) -> Self {
+        self.net = spec;
         self
     }
 
@@ -73,6 +76,7 @@ impl ClusterBuilder {
         let n = self.nodes.len();
         let registry = Arc::new(CounterRegistry::new());
         let (fabric, receivers) = Fabric::new(n, self.net);
+        let net = self.net;
         // Networking counters (the paper lists these as future work, §9):
         // registered alongside the busy-time counters so they can be
         // polled and reset through the same interface.
@@ -118,6 +122,7 @@ impl ClusterBuilder {
             fabric,
             pumps,
             registry,
+            net,
         }
     }
 }
@@ -128,6 +133,7 @@ pub struct Cluster {
     fabric: Fabric,
     pumps: Vec<JoinHandle<()>>,
     registry: Arc<CounterRegistry>,
+    net: NetSpec,
 }
 
 impl Cluster {
@@ -160,6 +166,11 @@ impl Cluster {
     /// Network traffic statistics.
     pub fn net_stats(&self) -> &NetStats {
         self.fabric.stats()
+    }
+
+    /// The network model this cluster's fabric was built with.
+    pub fn net_spec(&self) -> &NetSpec {
+        &self.net
     }
 
     /// Run a distributed program: `f` executes once per locality on its own
@@ -306,9 +317,7 @@ mod tests {
             .send(1, tag(9, 0, 0, 0), Bytes::from_static(&[0; 5]));
         // Handler runs on the pump thread; spin briefly.
         let t0 = std::time::Instant::now();
-        while hits.load(Ordering::SeqCst) == 0
-            && t0.elapsed() < std::time::Duration::from_secs(2)
-        {
+        while hits.load(Ordering::SeqCst) == 0 && t0.elapsed() < std::time::Duration::from_secs(2) {
             std::thread::yield_now();
         }
         assert_eq!(hits.load(Ordering::SeqCst), 5);

@@ -27,7 +27,10 @@ impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WireError::Truncated { needed, remaining } => {
-                write!(f, "truncated message: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "truncated message: needed {needed} bytes, {remaining} remain"
+                )
             }
             WireError::BadTag(t) => write!(f, "invalid discriminant byte {t}"),
             WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),

@@ -65,9 +65,15 @@ pub fn broadcast<T: Wire>(
 ) -> Result<T, WireError> {
     let me = loc.id();
     if me == 0 {
-        let payload = value.expect("root must supply the broadcast value").to_bytes();
+        let payload = value
+            .expect("root must supply the broadcast value")
+            .to_bytes();
         for node in 0..n {
-            loc.send(node, coll_tag(epoch, node as u64, OP_BCAST), payload.clone());
+            loc.send(
+                node,
+                coll_tag(epoch, node as u64, OP_BCAST),
+                payload.clone(),
+            );
         }
     }
     let fut = loc.expect(coll_tag(epoch, me as u64, OP_BCAST));
@@ -106,10 +112,15 @@ pub fn barrier(loc: &Locality, n: u32, epoch: u64) {
         }
         // down phase: release everyone
         for node in 0..n {
-            loc.send(node, coll_tag(epoch, node as u64, OP_BARRIER_DOWN), Bytes::new());
+            loc.send(
+                node,
+                coll_tag(epoch, node as u64, OP_BARRIER_DOWN),
+                Bytes::new(),
+            );
         }
     }
-    loc.expect(coll_tag(epoch, me as u64, OP_BARRIER_DOWN)).get();
+    loc.expect(coll_tag(epoch, me as u64, OP_BARRIER_DOWN))
+        .get();
 }
 
 #[cfg(test)]

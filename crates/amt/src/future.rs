@@ -311,9 +311,7 @@ mod tests {
 
     #[test]
     fn then_inline_chains() {
-        let f = ready(10u32)
-            .then_inline(|v| v + 1)
-            .then_inline(|v| v * 2);
+        let f = ready(10u32).then_inline(|v| v + 1).then_inline(|v| v * 2);
         assert_eq!(f.get(), 22);
     }
 

@@ -55,11 +55,15 @@ pub mod prelude {
     pub use crate::counters::{Counter, CounterRegistry};
     pub use crate::future::{channel, ready, when_all, Future, Promise};
     pub use crate::locality::{Locality, LocalityId};
-    pub use crate::network::{NetModel, NetStats};
+    pub use crate::network::NetStats;
     pub use crate::parcel::{tag, tag_class, Parcel, Tag};
     pub use crate::pool::{async_call, PoolHandle, ThreadPool};
     pub use crate::rendezvous::Rendezvous;
     pub use crate::task::{Spawn, Task};
+    pub use nlheat_netmodel::{
+        ConstantBandwidthNet, InstantNet, LinkSpec, Msg, NetModel, NetSpec, SharedBandwidthNet,
+        TopologyNet, TopologySpec,
+    };
 }
 
 pub use prelude::*;

@@ -140,11 +140,7 @@ impl Locality {
 
     /// Register a handler for every inbound parcel whose tag class is
     /// `class`; untagged classes fall through to the rendezvous table.
-    pub fn register_handler(
-        &self,
-        class: u8,
-        handler: impl Fn(Parcel) + Send + Sync + 'static,
-    ) {
+    pub fn register_handler(&self, class: u8, handler: impl Fn(Parcel) + Send + Sync + 'static) {
         self.handlers.map.write().insert(class, Box::new(handler));
     }
 

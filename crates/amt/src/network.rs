@@ -1,69 +1,25 @@
-//! In-memory network fabric with an optional latency/bandwidth model.
+//! In-memory network fabric driven by a pluggable [`NetModel`].
 //!
-//! Every inter-locality parcel flows through a [`Fabric`]. With the default
-//! [`NetModel::instant`] parcels are forwarded synchronously; with a modeled
-//! network each parcel is held by a delivery thread until
-//! `latency + size/bandwidth` has elapsed, so communication/computation
-//! overlap (the paper's §6.3) is observable in real executions, not only in
-//! the discrete-event simulator.
+//! Every inter-locality parcel flows through a [`Fabric`]. The delivery
+//! schedule comes from the shared `nlheat-netmodel` crate — the same cost
+//! models the discrete-event simulator uses — so communication behaviour
+//! agrees between the real runtime and the simulator by construction.
+//! With [`NetSpec::Instant`] parcels are forwarded synchronously; any other
+//! model routes parcels through a delivery thread that releases each one at
+//! the arrival time the model computed. Model time is f64 seconds anchored
+//! at fabric creation; the [`nlheat_netmodel::time`] adapter is the single
+//! seam converting to wall-clock `Instant`s.
 
 use crate::parcel::{LocalityId, Parcel};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use nlheat_netmodel::{time as nettime, ConstantBandwidthNet, Msg, NetModel, NetSpec};
 use parking_lot::{Mutex, RwLock};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
-
-/// Latency/bandwidth model for parcel delivery.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct NetModel {
-    /// Per-message one-way latency.
-    pub latency: Duration,
-    /// Link bandwidth in bytes per second; `f64::INFINITY` disables the
-    /// serialization term.
-    pub bytes_per_sec: f64,
-}
-
-impl NetModel {
-    /// Zero latency, infinite bandwidth: parcels forwarded synchronously.
-    pub fn instant() -> Self {
-        NetModel {
-            latency: Duration::ZERO,
-            bytes_per_sec: f64::INFINITY,
-        }
-    }
-
-    /// A modeled link.
-    pub fn new(latency: Duration, bytes_per_sec: f64) -> Self {
-        NetModel {
-            latency,
-            bytes_per_sec,
-        }
-    }
-
-    /// True when no delivery delay is ever applied.
-    pub fn is_instant(&self) -> bool {
-        self.latency.is_zero() && self.bytes_per_sec.is_infinite()
-    }
-
-    /// Delay experienced by a message of `bytes` bytes.
-    pub fn delay_for(&self, bytes: usize) -> Duration {
-        if self.bytes_per_sec.is_infinite() {
-            self.latency
-        } else {
-            self.latency + Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec)
-        }
-    }
-}
-
-impl Default for NetModel {
-    fn default() -> Self {
-        NetModel::instant()
-    }
-}
+use std::time::Instant;
 
 /// Aggregate traffic statistics (message and byte totals plus a
 /// source×destination byte matrix).
@@ -120,9 +76,40 @@ impl NetStats {
     }
 }
 
+/// The fabric's view of the cost model, split by how much
+/// synchronization each class of model needs on the send hot path.
+enum FabricModel {
+    /// Zero delay: no clock read, no lock, forward synchronously.
+    Instant,
+    /// Stateless per-message model: computed lock-free on the sender.
+    Constant(ConstantBandwidthNet),
+    /// Stateful models (per-sender NICs, topology): serialized behind a
+    /// mutex — their arrival arithmetic mutates shared contention state.
+    Stateful(Mutex<Box<dyn NetModel>>),
+}
+
+impl FabricModel {
+    fn build(spec: NetSpec, n: usize) -> Self {
+        // Same early rejection as the simulator path (NetSpec::build):
+        // a degenerate spec must fail at cluster construction, not later
+        // on a driver thread mid-send.
+        spec.validate();
+        match spec {
+            spec if spec.is_instant() => FabricModel::Instant,
+            NetSpec::Constant {
+                latency_s,
+                bytes_per_sec,
+            } => FabricModel::Constant(ConstantBandwidthNet::new(latency_s, bytes_per_sec)),
+            spec => FabricModel::Stateful(Mutex::new(spec.build(n))),
+        }
+    }
+}
+
 struct FabricInner {
     links: RwLock<Vec<Option<Sender<Parcel>>>>,
-    model: NetModel,
+    model: FabricModel,
+    /// Model-time origin: model second 0.0 == this instant.
+    epoch: Instant,
     stats: NetStats,
     delay_tx: Mutex<Option<Sender<(Instant, Parcel)>>>,
 }
@@ -150,9 +137,9 @@ pub struct FabricHandle {
 }
 
 impl Fabric {
-    /// Create a fabric for `n` localities; returns the fabric and one inbox
-    /// receiver per locality.
-    pub fn new(n: usize, model: NetModel) -> (Self, Vec<Receiver<Parcel>>) {
+    /// Create a fabric for `n` localities over the network model described
+    /// by `spec`; returns the fabric and one inbox receiver per locality.
+    pub fn new(n: usize, spec: NetSpec) -> (Self, Vec<Receiver<Parcel>>) {
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
         for _ in 0..n {
@@ -160,13 +147,15 @@ impl Fabric {
             senders.push(Some(tx));
             receivers.push(rx);
         }
+        let instant = spec.is_instant();
         let inner = Arc::new(FabricInner {
             links: RwLock::new(senders),
-            model,
+            model: FabricModel::build(spec, n),
+            epoch: Instant::now(),
             stats: NetStats::new(n),
             delay_tx: Mutex::new(None),
         });
-        let delay_thread = if model.is_instant() {
+        let delay_thread = if instant {
             None
         } else {
             let (tx, rx) = unbounded();
@@ -227,17 +216,35 @@ impl FabricHandle {
         self.inner
             .stats
             .record(parcel.src, parcel.dst, parcel.wire_size());
-        let delay = self.inner.model.delay_for(parcel.wire_size());
-        if delay.is_zero() {
+        if matches!(self.inner.model, FabricModel::Instant) {
             self.inner.forward(parcel);
-        } else {
-            let deliver_at = Instant::now() + delay;
-            let guard = self.inner.delay_tx.lock();
-            // A `None` here means the fabric already shut down; the parcel
-            // is dropped, like a packet into a closed socket.
-            if let Some(tx) = &*guard {
-                let _ = tx.send((deliver_at, parcel));
-            }
+            return;
+        }
+        // One seam between wall-clock and model time: `now` in model
+        // seconds since the fabric epoch, arrival mapped back to an Instant.
+        let now_s = nettime::duration_to_secs(self.inner.epoch.elapsed());
+        let arrival_s = match &self.inner.model {
+            FabricModel::Instant => unreachable!("handled above"),
+            FabricModel::Constant(net) => now_s + net.delay_for(parcel.wire_size() as u64),
+            FabricModel::Stateful(model) => model.lock().arrival(
+                now_s,
+                &Msg {
+                    src: parcel.src,
+                    dst: parcel.dst,
+                    bytes: parcel.wire_size() as u64,
+                },
+            ),
+        };
+        if arrival_s <= now_s {
+            self.inner.forward(parcel);
+            return;
+        }
+        let deliver_at = self.inner.epoch + nettime::secs_to_duration(arrival_s);
+        let guard = self.inner.delay_tx.lock();
+        // A `None` here means the fabric already shut down; the parcel
+        // is dropped, like a packet into a closed socket.
+        if let Some(tx) = &*guard {
+            let _ = tx.send((deliver_at, parcel));
         }
     }
 
@@ -313,10 +320,12 @@ fn delay_loop(inner: Arc<FabricInner>, rx: Receiver<(Instant, Parcel)>) {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use nlheat_netmodel::TopologySpec;
+    use std::time::Duration;
 
     #[test]
     fn instant_fabric_delivers_synchronously() {
-        let (fabric, rx) = Fabric::new(2, NetModel::instant());
+        let (fabric, rx) = Fabric::new(2, NetSpec::Instant);
         let h = fabric.handle();
         h.send(Parcel::new(0, 1, 42, Bytes::from_static(b"x")));
         let p = rx[1].try_recv().expect("delivered synchronously");
@@ -325,15 +334,25 @@ mod tests {
     }
 
     #[test]
+    fn zero_delay_constant_spec_takes_the_instant_path() {
+        // `NetSpec::constant(0, inf)` is recognised as instant: no delivery
+        // thread is spawned and sends forward synchronously.
+        let (fabric, rx) = Fabric::new(2, NetSpec::constant(0.0, f64::INFINITY));
+        assert!(fabric.delay_thread.is_none());
+        fabric.handle().send(Parcel::new(0, 1, 3, Bytes::new()));
+        assert!(rx[1].try_recv().is_ok());
+    }
+
+    #[test]
     fn self_send_works() {
-        let (fabric, rx) = Fabric::new(1, NetModel::instant());
+        let (fabric, rx) = Fabric::new(1, NetSpec::Instant);
         fabric.handle().send(Parcel::new(0, 0, 1, Bytes::new()));
         assert!(rx[0].try_recv().is_ok());
     }
 
     #[test]
     fn delayed_fabric_respects_latency() {
-        let model = NetModel::new(Duration::from_millis(20), f64::INFINITY);
+        let model = NetSpec::constant(20e-3, f64::INFINITY);
         let (fabric, rx) = Fabric::new(2, model);
         let t0 = Instant::now();
         fabric.handle().send(Parcel::new(0, 1, 7, Bytes::new()));
@@ -344,17 +363,66 @@ mod tests {
     }
 
     #[test]
+    fn shared_model_serializes_senders_on_the_wire() {
+        // Two 500-byte parcels at 50 kB/s: ~10 ms each, serialized on the
+        // sender NIC, so the second arrives ~20 ms after the first send.
+        let (fabric, rx) = Fabric::new(2, NetSpec::shared(0.0, 50_000.0));
+        let t0 = Instant::now();
+        let h = fabric.handle();
+        h.send(Parcel::new(0, 1, 0, Bytes::from_static(&[0; 476])));
+        h.send(Parcel::new(0, 1, 1, Bytes::from_static(&[0; 476])));
+        let _ = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        let second = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(second.tag, 1);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(19),
+            "second parcel must queue behind the first: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn topology_model_distinguishes_rack_pairs() {
+        // Racks of 2: 0→1 is intra-rack (fast), 0→2 inter-rack (slow).
+        let spec = NetSpec::Topology(TopologySpec {
+            nodes_per_rack: 2,
+            intra_node: nlheat_netmodel::LinkSpec::new(0.0, f64::INFINITY),
+            intra_rack: nlheat_netmodel::LinkSpec::new(1e-3, f64::INFINITY),
+            inter_rack: nlheat_netmodel::LinkSpec::new(40e-3, f64::INFINITY),
+        });
+        let (fabric, rx) = Fabric::new(4, spec);
+        let h = fabric.handle();
+        let t0 = Instant::now();
+        h.send(Parcel::new(0, 2, 9, Bytes::new()));
+        h.send(Parcel::new(0, 1, 8, Bytes::new()));
+        let fast = rx[1].recv_timeout(Duration::from_secs(2)).unwrap();
+        let fast_at = t0.elapsed();
+        let slow = rx[2].recv_timeout(Duration::from_secs(2)).unwrap();
+        let slow_at = t0.elapsed();
+        assert_eq!(fast.tag, 8);
+        assert_eq!(slow.tag, 9);
+        assert!(
+            slow_at >= Duration::from_millis(39) && fast_at < slow_at,
+            "inter-rack must be slower: intra {fast_at:?} vs inter {slow_at:?}"
+        );
+    }
+
+    #[test]
     fn bandwidth_term_increases_delay() {
-        let model = NetModel::new(Duration::from_millis(1), 1_000_000.0);
-        // 1 MB at 1 MB/s -> about 1 s; use a small message and just check
-        // delay_for arithmetic rather than sleeping.
-        assert!(model.delay_for(500_000) > Duration::from_millis(400));
-        assert!(model.delay_for(0) >= Duration::from_millis(1));
+        let mut model = nlheat_netmodel::ConstantBandwidthNet::new(1e-3, 1_000_000.0);
+        let msg = |bytes| Msg {
+            src: 0,
+            dst: 1,
+            bytes,
+        };
+        // 500 kB at 1 MB/s ≈ 0.5 s; a zero-byte message still pays latency.
+        assert!(model.arrival(0.0, &msg(500_000)) > 0.4);
+        assert!(model.arrival(0.0, &msg(0)) >= 1e-3);
     }
 
     #[test]
     fn stats_track_pairs_and_cross_traffic() {
-        let (fabric, _rx) = Fabric::new(3, NetModel::instant());
+        let (fabric, _rx) = Fabric::new(3, NetSpec::Instant);
         let h = fabric.handle();
         h.send(Parcel::new(0, 1, 0, Bytes::from_static(&[0; 10])));
         h.send(Parcel::new(0, 1, 1, Bytes::from_static(&[0; 10])));
@@ -366,7 +434,7 @@ mod tests {
 
     #[test]
     fn shutdown_drains_in_flight_parcels() {
-        let model = NetModel::new(Duration::from_millis(10), f64::INFINITY);
+        let model = NetSpec::constant(10e-3, f64::INFINITY);
         let (mut fabric, rx) = Fabric::new(2, model);
         fabric.handle().send(Parcel::new(0, 1, 9, Bytes::new()));
         fabric.shutdown();
@@ -377,7 +445,7 @@ mod tests {
 
     #[test]
     fn ordering_preserved_per_pair_with_equal_sizes() {
-        let model = NetModel::new(Duration::from_millis(5), f64::INFINITY);
+        let model = NetSpec::constant(5e-3, f64::INFINITY);
         let (fabric, rx) = Fabric::new(2, model);
         let h = fabric.handle();
         for i in 0..20u64 {

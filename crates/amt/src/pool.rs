@@ -111,9 +111,7 @@ impl ThreadPool {
         let inner = &self.inner;
         let mut guard = inner.idle_lock.lock();
         while inner.pending.load(Ordering::Acquire) != 0 {
-            inner
-                .idle_cv
-                .wait_for(&mut guard, Duration::from_millis(1));
+            inner.idle_cv.wait_for(&mut guard, Duration::from_millis(1));
         }
         drop(guard);
         if inner.panics.load(Ordering::Acquire) != 0 {

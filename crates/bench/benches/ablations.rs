@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nlheat_bench::ablations::{
-    a1_partition_quality, a2_overlap, a3_sd_size, a4_lb_heterogeneous, a5_crack,
-    a5b_moving_crack,
+    a1_partition_quality, a2_overlap, a3_sd_size, a4_lb_heterogeneous, a5_crack, a5b_moving_crack,
+    a6_network_models,
 };
 
 fn bench(c: &mut Criterion) {
@@ -14,14 +14,20 @@ fn bench(c: &mut Criterion) {
     println!("{}", a4_lb_heterogeneous(true).to_markdown());
     println!("{}", a5_crack(true).to_markdown());
     println!("{}", a5b_moving_crack(true).to_markdown());
+    println!("{}", a6_network_models(true).to_markdown());
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
-    g.bench_function("a1_partition_quality", |b| b.iter(|| a1_partition_quality(true)));
+    g.bench_function("a1_partition_quality", |b| {
+        b.iter(|| a1_partition_quality(true))
+    });
     g.bench_function("a2_overlap", |b| b.iter(|| a2_overlap(true)));
     g.bench_function("a3_sd_size", |b| b.iter(|| a3_sd_size(true)));
-    g.bench_function("a4_lb_heterogeneous", |b| b.iter(|| a4_lb_heterogeneous(true)));
+    g.bench_function("a4_lb_heterogeneous", |b| {
+        b.iter(|| a4_lb_heterogeneous(true))
+    });
     g.bench_function("a5_crack", |b| b.iter(|| a5_crack(true)));
     g.bench_function("a5b_moving_crack", |b| b.iter(|| a5b_moving_crack(true)));
+    g.bench_function("a6_network_models", |b| b.iter(|| a6_network_models(true)));
     g.finish();
 }
 

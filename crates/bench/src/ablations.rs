@@ -3,8 +3,9 @@
 use crate::figdata::{FigData, Series};
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::SdGrid;
+use nlheat_netmodel::{NetSpec, TopologySpec};
 use nlheat_partition::{edge_cut, sd_dual_graph, strip_partition};
-use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimNet, SimPartition, VirtualNode};
+use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimPartition, VirtualNode};
 
 fn nodes1(n: usize) -> Vec<VirtualNode> {
     (0..n).map(|_| VirtualNode::with_cores(1)).collect()
@@ -55,7 +56,7 @@ pub fn a2_overlap(quick: bool) -> FigData {
     let mut ratio = Series::new("no-overlap / overlap");
     for &lat_us in &[1.0f64, 100.0, 1000.0, 5000.0] {
         let mut cfg = SimConfig::paper(200, 50, steps, nodes1(4));
-        cfg.net = SimNet::slow(lat_us * 1e-6, 1e9);
+        cfg.net = NetSpec::shared(lat_us * 1e-6, 1e9);
         cfg.overlap = true;
         let with = simulate(&cfg).total_time;
         cfg.overlap = false;
@@ -79,7 +80,10 @@ pub fn a3_sd_size(quick: bool) -> FigData {
     let mut t = Series::new("time");
     for &sd in &[10usize, 20, 25, 50, 100, 200] {
         let nodes = (0..4)
-            .map(|_| VirtualNode { cores: 2, speed: 1.0 })
+            .map(|_| VirtualNode {
+                cores: 2,
+                speed: 1.0,
+            })
             .collect();
         let cfg = SimConfig::paper(mesh, sd, steps, nodes);
         t.push(sd as f64, simulate(&cfg).total_time * 1e3);
@@ -98,10 +102,22 @@ pub fn a4_lb_heterogeneous(quick: bool) -> FigData {
         "total time (ms)",
     );
     let nodes = vec![
-        VirtualNode { cores: 1, speed: 2.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode {
+            cores: 1,
+            speed: 2.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
     ];
     let mut t = Series::new("time");
     let mut cfg = SimConfig::paper(400, 25, steps, nodes);
@@ -187,6 +203,67 @@ pub fn a5b_moving_crack(quick: bool) -> FigData {
     fig
 }
 
+/// **A6** — network-model sweep (the pluggable `NetSpec` layer): the same
+/// heterogeneous-cluster workload under increasingly contended network
+/// models, with the load balancer off and on. Shows how much of the LB win
+/// survives as communication stops being free — the premise of
+/// communication-aware balancing (Lifflander et al., arXiv:2404.16793).
+pub fn a6_network_models(quick: bool) -> FigData {
+    let steps = if quick { 8 } else { 40 };
+    let mut fig = FigData::new(
+        "A6 — network models on a heterogeneous 4-node cluster (speeds 2:1:1:1)",
+        "model (0=instant 1=constant 2=shared 3=topology)",
+        "total time (ms)",
+    );
+    let nodes = vec![
+        VirtualNode {
+            cores: 1,
+            speed: 2.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+    ];
+    // A deliberately tight network so the serialization term matters:
+    // 100 µs latency, 100 MB/s per NIC; the topology variant splits the
+    // four nodes into two racks with a 4x slower inter-rack uplink.
+    let specs: [(f64, NetSpec); 4] = [
+        (0.0, NetSpec::Instant),
+        (1.0, NetSpec::constant(1e-4, 1e8)),
+        (2.0, NetSpec::shared(1e-4, 1e8)),
+        (
+            3.0,
+            NetSpec::Topology(TopologySpec {
+                nodes_per_rack: 2,
+                intra_node: nlheat_netmodel::LinkSpec::new(1e-7, 5e9),
+                intra_rack: nlheat_netmodel::LinkSpec::new(1e-4, 1e8),
+                inter_rack: nlheat_netmodel::LinkSpec::new(4e-4, 2.5e7),
+            }),
+        ),
+    ];
+    let mut off = Series::new("LB off");
+    let mut on = Series::new("LB on (period 4)");
+    for (x, spec) in specs {
+        let mut cfg = SimConfig::paper(400, 25, steps, nodes.clone());
+        cfg.net = spec;
+        cfg.lb = None;
+        off.push(x, simulate(&cfg).total_time * 1e3);
+        cfg.lb = Some(SimLbConfig { period: 4 });
+        on.push(x, simulate(&cfg).total_time * 1e3);
+    }
+    fig.series = vec![off, on];
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,9 +294,7 @@ mod tests {
         let fig = a1_partition_quality(true);
         let metis = &fig.series[0].points;
         let strip = &fig.series[1].points;
-        let at = |pts: &[(f64, f64)], k: f64| {
-            pts.iter().find(|p| p.0 == k).map(|p| p.1).unwrap()
-        };
+        let at = |pts: &[(f64, f64)], k: f64| pts.iter().find(|p| p.0 == k).map(|p| p.1).unwrap();
         assert!(
             at(metis, 8.0) < at(strip, 8.0),
             "k=8: metis {} vs strip {}",
@@ -251,6 +326,27 @@ mod tests {
         let off = pts[0].1;
         let best_on = pts[1..].iter().map(|p| p.1).fold(f64::MAX, f64::min);
         assert!(best_on < off, "LB should help: off {off} on {best_on}");
+    }
+
+    #[test]
+    fn a6_contention_is_monotone_and_lb_still_helps() {
+        let fig = a6_network_models(true);
+        let off = &fig.series[0].points;
+        let on = &fig.series[1].points;
+        // makespan must not decrease as the model gets more contended
+        // (instant -> constant -> shared)
+        assert!(off[0].1 <= off[1].1 * (1.0 + 1e-9), "{:?}", off);
+        assert!(off[1].1 <= off[2].1 * (1.0 + 1e-9), "{:?}", off);
+        // and the balancer must still win under every model
+        for (o, w) in off.iter().zip(on) {
+            assert!(
+                w.1 < o.1,
+                "LB must beat static under model {}: {} vs {}",
+                o.0,
+                w.1,
+                o.1
+            );
+        }
     }
 
     #[test]

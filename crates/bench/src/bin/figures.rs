@@ -43,6 +43,7 @@ fn main() {
             println!("{}", ablations::a4_lb_heterogeneous(quick).to_markdown());
             println!("{}", ablations::a5_crack(quick).to_markdown());
             println!("{}", ablations::a5b_moving_crack(quick).to_markdown());
+            println!("{}", ablations::a6_network_models(quick).to_markdown());
         }
         "all" => {
             println!("{}", fig8(quick).to_markdown());
@@ -58,6 +59,7 @@ fn main() {
             println!("{}", ablations::a4_lb_heterogeneous(quick).to_markdown());
             println!("{}", ablations::a5_crack(quick).to_markdown());
             println!("{}", ablations::a5b_moving_crack(quick).to_markdown());
+            println!("{}", ablations::a6_network_models(quick).to_markdown());
         }
         other => {
             eprintln!("unknown figure '{other}'");

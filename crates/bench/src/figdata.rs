@@ -70,10 +70,7 @@ impl FigData {
                 .collect::<Vec<_>>()
                 .join(" | ")
         ));
-        out.push_str(&format!(
-            "|{}|\n",
-            "---|".repeat(self.series.len() + 1)
-        ));
+        out.push_str(&format!("|{}|\n", "---|".repeat(self.series.len() + 1)));
         for x in self.x_values() {
             let mut row = format!("| {} ", trim_float(x));
             for s in &self.series {
@@ -129,7 +126,10 @@ mod tests {
         assert!(md.contains("### Test"));
         assert!(md.contains("| x | a | b |"));
         assert!(md.contains("| 1 | 1.000 | 1.000 |"));
-        assert!(md.contains("| 2 | 1.900 | — |"), "missing cell dashed:\n{md}");
+        assert!(
+            md.contains("| 2 | 1.900 | — |"),
+            "missing cell dashed:\n{md}"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub fn fig8(quick: bool) -> FigData {
         "total error e = Σ e_k",
     );
     let mut series = Series::new("error");
-    let exponents: &[u32] = if quick { &[2, 3, 4, 5] } else { &[2, 3, 4, 5, 6] };
+    let exponents: &[u32] = if quick {
+        &[2, 3, 4, 5]
+    } else {
+        &[2, 3, 4, 5, 6]
+    };
     for &n_exp in exponents {
         let n = 1usize << n_exp;
         let parts = ProblemSpec::paper(n).build();
@@ -333,7 +337,11 @@ mod tests {
         let out = fig14();
         let last = out.counts.last().unwrap();
         let spread = last.iter().max().unwrap() - last.iter().min().unwrap();
-        assert!(spread <= 2, "final counts {last:?}\n{}", out.grids.last().unwrap());
+        assert!(
+            spread <= 2,
+            "final counts {last:?}\n{}",
+            out.grids.last().unwrap()
+        );
         assert_eq!(out.grids.len(), out.counts.len());
     }
 }

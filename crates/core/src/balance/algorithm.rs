@@ -60,6 +60,9 @@ pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
     let mut moves: Vec<Move> = Vec::new();
     let mut visited = vec![false; n];
 
+    // Raw transfers in tree order; may route one SD through several owners.
+    let mut raw: Vec<Move> = Vec::new();
+
     for tree in &forest {
         for &i in &tree.order {
             visited[i as usize] = true;
@@ -98,7 +101,7 @@ pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
                 let chosen = select_transfer(&working, src, dst, amount);
                 for &sd in &chosen {
                     working.set_owner(sd, dst);
-                    moves.push(Move {
+                    raw.push(Move {
                         sd,
                         from: src,
                         to: dst,
@@ -111,6 +114,23 @@ pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
             }
         }
     }
+    // Collapse per-SD chains (A→B, then B→C later in the same plan) into
+    // net single-hop moves (A→C). The runtime ships each migrating tile
+    // exactly once per epoch, directly from the owner that actually holds
+    // it; a chained plan would ask the intermediate owner to forward a
+    // tile it never received. Collapsing also drops A→…→A round trips.
+    let mut slot: std::collections::HashMap<SdId, usize> = std::collections::HashMap::new();
+    for mv in raw {
+        match slot.entry(mv.sd) {
+            std::collections::hash_map::Entry::Occupied(e) => moves[*e.get()].to = mv.to,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(moves.len());
+                moves.push(mv);
+            }
+        }
+    }
+    moves.retain(|m| m.from != m.to);
+
     MigrationPlan {
         moves,
         metrics,
@@ -270,6 +290,50 @@ mod tests {
         // the moved SDs are the ones bordering node 1 (ids 4 then 3)
         let moved: Vec<SdId> = plan.moves.iter().map(|m| m.sd).collect();
         assert_eq!(moved, vec![4, 3]);
+    }
+
+    #[test]
+    fn moves_are_single_hop_per_sd() {
+        // Regression: a plan may internally route an SD through several
+        // owners (node i borrows X from m, a later node borrows X from i).
+        // The emitted plan must collapse that to one move per SD whose
+        // `from` is the SD's owner *before* the epoch — the distributed
+        // driver ships every migrating tile concurrently and would panic
+        // ("migrating unowned SD") on a chained plan. Sweep skewed busy
+        // vectors over several imbalanced ownerships to cover many tree
+        // shapes and transfer orders.
+        let sds = SdGrid::new(6, 6, 4);
+        for pattern in 0..16u32 {
+            let owners: Vec<u32> = (0..36u32)
+                .map(|sd| {
+                    let (sx, sy) = sds.coords(sd);
+                    ((sx as u32 + pattern) / 2 + 2 * (sy as u32 / 3)) % 4
+                })
+                .collect();
+            let own = Ownership::new(sds, owners, 4);
+            for skew in 0..8 {
+                let busy: Vec<f64> = (0..4)
+                    .map(|n| 1.0 + ((n + skew) % 4) as f64 * 1.7)
+                    .collect();
+                let plan = plan_rebalance(&own, &busy);
+                let mut seen = std::collections::HashSet::new();
+                for m in &plan.moves {
+                    assert!(seen.insert(m.sd), "SD {} moved twice", m.sd);
+                    assert_ne!(m.from, m.to, "no-op move for SD {}", m.sd);
+                    assert_eq!(
+                        own.owner(m.sd),
+                        m.from,
+                        "move source must be the pre-epoch owner"
+                    );
+                }
+                // net moves still land exactly on the claimed ownership
+                let mut check = own.clone();
+                for m in &plan.moves {
+                    check.set_owner(m.sd, m.to);
+                }
+                assert_eq!(check, plan.new_ownership);
+            }
+        }
     }
 
     #[test]

@@ -62,10 +62,7 @@ pub fn compute_metrics(counts: &[usize], busy: &[f64]) -> LoadMetrics {
     }
 
     let sum_power: f64 = power.iter().sum();
-    let shares: Vec<f64> = power
-        .iter()
-        .map(|p| total as f64 * p / sum_power)
-        .collect();
+    let shares: Vec<f64> = power.iter().map(|p| total as f64 * p / sum_power).collect();
     let expected = largest_remainder_round(&shares, total as i64);
     let imbalance: Vec<i64> = expected
         .iter()
@@ -162,7 +159,11 @@ mod tests {
         assert_eq!(out.iter().sum::<i64>(), 4);
         assert_eq!(out, vec![2, 1, 1], "first tie wins the single extra");
         let out5 = largest_remainder_round(&[1.5, 1.5, 2.0], 5);
-        assert_eq!(out5, vec![2, 1, 2], "largest fraction (tie: lowest id) promoted");
+        assert_eq!(
+            out5,
+            vec![2, 1, 2],
+            "largest fraction (tie: lowest id) promoted"
+        );
         assert_eq!(out5.iter().sum::<i64>(), 5, "sums to requested total");
     }
 

@@ -26,17 +26,14 @@ pub fn select_transfer(own: &Ownership, from: NodeId, to: NodeId, count: usize) 
         // The borrower owns nothing yet (can happen when more nodes than
         // SDs existed at some point): seed its territory with the lender's
         // most peripheral SD so ring growth has somewhere to start.
-        let seed = own
-            .owned_by(from)
-            .into_iter()
-            .min_by_key(|&sd| {
-                let lender_neighbors = sds
-                    .adjacent4(sd)
-                    .iter()
-                    .filter(|&&nb| own.owner(nb) == from)
-                    .count();
-                (lender_neighbors, sd)
-            });
+        let seed = own.owned_by(from).into_iter().min_by_key(|&sd| {
+            let lender_neighbors = sds
+                .adjacent4(sd)
+                .iter()
+                .filter(|&&nb| own.owner(nb) == from)
+                .count();
+            (lender_neighbors, sd)
+        });
         if let Some(sd) = seed {
             selected.push(sd);
             selected_set.insert(sd);
@@ -49,9 +46,7 @@ pub fn select_transfer(own: &Ownership, from: NodeId, to: NodeId, count: usize) 
             .owned_by(from)
             .into_iter()
             .filter(|sd| !selected_set.contains(sd))
-            .filter(|&sd| {
-                sds.adjacent4(sd).iter().any(|nb| region.contains(nb))
-            })
+            .filter(|&sd| sds.adjacent4(sd).iter().any(|nb| region.contains(nb)))
             .collect();
         if ring.is_empty() {
             break;
@@ -66,9 +61,7 @@ pub fn select_transfer(own: &Ownership, from: NodeId, to: NodeId, count: usize) 
                 let contact = nbs.iter().filter(|nb| region.contains(nb)).count() as i64;
                 let lender_ties = nbs
                     .iter()
-                    .filter(|&&nb| {
-                        own.owner(nb) == from && !selected_set.contains(&nb)
-                    })
+                    .filter(|&&nb| own.owner(nb) == from && !selected_set.contains(&nb))
                     .count() as i64;
                 (-contact, lender_ties, sd)
             });

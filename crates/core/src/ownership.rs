@@ -28,10 +28,7 @@ impl Ownership {
     pub fn new(sds: SdGrid, owners: Vec<NodeId>, n_nodes: u32) -> Self {
         assert_eq!(owners.len(), sds.count(), "one owner per SD");
         assert!(n_nodes > 0);
-        assert!(
-            owners.iter().all(|&o| o < n_nodes),
-            "owner id out of range"
-        );
+        assert!(owners.iter().all(|&o| o < n_nodes), "owner id out of range");
         Ownership {
             sds,
             owners,

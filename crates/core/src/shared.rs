@@ -117,8 +117,7 @@ impl SharedSolver {
             })
             .collect();
         let pool = ThreadPool::new(cfg.n_threads, "shared");
-        let kernel_offsets =
-            Arc::new(parts.kernel.storage_offsets(sds.sd + 2 * halo));
+        let kernel_offsets = Arc::new(parts.kernel.storage_offsets(sds.sd + 2 * halo));
         let source = m.source_fn();
         SharedSolver {
             cfg,
@@ -270,7 +269,10 @@ mod tests {
     fn single_sd_equals_many_sds() {
         let one = SharedSolver::new(SharedConfig::new(16, 2.0, 16, 4, 1)).run();
         let many = SharedSolver::new(SharedConfig::new(16, 2.0, 4, 4, 3)).run();
-        assert_eq!(one.field, many.field, "decomposition must not change numerics");
+        assert_eq!(
+            one.field, many.field,
+            "decomposition must not change numerics"
+        );
     }
 
     #[test]

@@ -66,7 +66,12 @@ pub fn build_halo_plan(sds: &SdGrid, halo: i64, sd_id: SdId) -> HaloPlan {
     assert!(halo >= 0);
     let own = sds.rect(sd_id);
     let (sx, sy) = sds.coords(sd_id);
-    let padded = Rect::new(own.x0 - halo, own.y0 - halo, sds.sd + 2 * halo, sds.sd + 2 * halo);
+    let padded = Rect::new(
+        own.x0 - halo,
+        own.y0 - halo,
+        sds.sd + 2 * halo,
+        sds.sd + 2 * halo,
+    );
     // Number of SD rings the halo can reach into.
     let rings = (halo + sds.sd - 1) / sds.sd;
     let mut patches = Vec::new();
@@ -195,9 +200,6 @@ mod tests {
     fn single_sd_mesh_is_all_collar() {
         let plan = plan_for(1, 1, 8, 3, 0, 0);
         assert_eq!(plan.sd_patches().count(), 0);
-        assert!(plan
-            .patches
-            .iter()
-            .all(|p| p.source == PatchSource::Collar));
+        assert!(plan.patches.iter().all(|p| p.source == PatchSource::Collar));
     }
 }

@@ -210,7 +210,15 @@ mod tests {
         let src: SourceFn = Arc::new(|_, _, _| 3.0);
         let region = curr.interior_rect();
         kernel.apply_region(
-            &curr, &mut next, &region, &offsets, (0, 0), 0.0, dt, &src, 1,
+            &curr,
+            &mut next,
+            &region,
+            &offsets,
+            (0, 0),
+            0.0,
+            dt,
+            &src,
+            1,
         );
         assert!((next.get(4, 4) - 0.03).abs() < 1e-15);
     }
@@ -256,12 +264,26 @@ mod tests {
         let mut next1 = Tile::new(10, grid.halo);
         let mut next3 = Tile::new(10, grid.halo);
         kernel.apply_region(
-            &curr, &mut next1, &region, &offsets, (0, 0), 0.0, dt,
-            &zero_source(), 1,
+            &curr,
+            &mut next1,
+            &region,
+            &offsets,
+            (0, 0),
+            0.0,
+            dt,
+            &zero_source(),
+            1,
         );
         kernel.apply_region(
-            &curr, &mut next3, &region, &offsets, (0, 0), 0.0, dt,
-            &zero_source(), 3,
+            &curr,
+            &mut next3,
+            &region,
+            &offsets,
+            (0, 0),
+            0.0,
+            dt,
+            &zero_source(),
+            3,
         );
         for (x, y) in region.cells() {
             assert_eq!(next1.get(x, y), next3.get(x, y));

@@ -26,9 +26,7 @@ pub mod problem;
 pub mod serial;
 
 pub mod prelude {
-    pub use crate::influence::{
-        conductivity_constant_1d, conductivity_constant_2d, Influence,
-    };
+    pub use crate::influence::{conductivity_constant_1d, conductivity_constant_2d, Influence};
     pub use crate::kernel::{zero_source, NonlocalKernel, SourceFn};
     pub use crate::manufactured::Manufactured;
     pub use crate::norms::ErrorAccumulator;

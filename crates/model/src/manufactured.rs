@@ -37,7 +37,10 @@ impl Manufactured {
     /// # Panics
     /// Panics for non-square grids (the validation study uses squares).
     pub fn new(grid: &Grid, kernel: &NonlocalKernel) -> Self {
-        assert_eq!(grid.nx, grid.ny, "manufactured solution expects a square grid");
+        assert_eq!(
+            grid.nx, grid.ny,
+            "manufactured solution expects a square grid"
+        );
         let n = grid.nx;
         let halo = grid.halo;
         let mut s = Tile::new(n, halo);
@@ -135,8 +138,7 @@ mod tests {
     fn initial_matches_analytic_sine_product() {
         let (g, _, m) = setup(32, 2.0);
         let (gi, gj) = (10, 20);
-        let expected =
-            (2.0 * PI * g.coord(gi)).sin() * (2.0 * PI * g.coord(gj)).sin();
+        let expected = (2.0 * PI * g.coord(gi)).sin() * (2.0 * PI * g.coord(gj)).sin();
         assert!((m.initial(gi, gj) - expected).abs() < 1e-14);
     }
 
@@ -159,10 +161,7 @@ mod tests {
         for gj in 0..g.ny {
             for gi in 0..g.nx {
                 let rhs = m.source(0.0, gi, gj) + kernel.c * m.l.get(gi, gj);
-                assert!(
-                    rhs.abs() < 1e-10,
-                    "residual {rhs} at ({gi},{gj})"
-                );
+                assert!(rhs.abs() < 1e-10, "residual {rhs} at ({gi},{gj})");
             }
         }
     }

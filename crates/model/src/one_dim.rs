@@ -131,8 +131,7 @@ impl Serial1dSolver {
     /// Manufactured source at `(t, x_i)` with the solver's own quadrature.
     pub fn source(&self, t: f64, i: i64) -> f64 {
         let phase = 2.0 * PI * t;
-        -2.0 * PI * phase.sin() * self.s[self.idx(i)]
-            - self.c * phase.cos() * self.l[self.idx(i)]
+        -2.0 * PI * phase.sin() * self.s[self.idx(i)] - self.c * phase.cos() * self.l[self.idx(i)]
     }
 
     /// Simulated time.
@@ -253,8 +252,14 @@ mod tests {
         }
         let edge = next[solver.idx(0)];
         let middle = next[solver.idx(16)];
-        assert!(edge < middle, "edge {edge} must cool faster than middle {middle}");
-        assert!((middle - 1.0).abs() < 1e-12, "interior far from edges unchanged");
+        assert!(
+            edge < middle,
+            "edge {edge} must cool faster than middle {middle}"
+        );
+        assert!(
+            (middle - 1.0).abs() < 1e-12,
+            "interior far from edges unchanged"
+        );
     }
 
     #[test]

@@ -129,9 +129,7 @@ impl SerialSolver {
     /// Current numerical error `e_k` against an exact-solution closure.
     pub fn error_vs(&self, exact: impl Fn(f64, i64, i64) -> f64) -> f64 {
         let t = self.time();
-        let pairs = (0..self.grid.ny).flat_map(|gj| {
-            (0..self.grid.nx).map(move |gi| (gi, gj))
-        });
+        let pairs = (0..self.grid.ny).flat_map(|gj| (0..self.grid.nx).map(move |gi| (gi, gj)));
         step_error(
             self.grid.h,
             2,

@@ -1,0 +1,610 @@
+//! # nlheat-netmodel — one network-cost model for both execution substrates
+//!
+//! The paper's evaluation depends on the real AMT runtime
+//! (`nlheat_amt::network::Fabric`) and the discrete-event simulator
+//! (`nlheat_sim::engine`) agreeing on how communication costs behave.
+//! Historically each had its own copy-pasted latency/bandwidth arithmetic
+//! (the fabric's `NetModel` struct in wall-clock `Duration`s, the
+//! simulator's `SimNet`/`NicState` in virtual `f64` seconds) that drifted
+//! independently. This crate is the single source of truth both consume:
+//!
+//! * [`NetModel`] — the trait: given the submission time of a [`Msg`],
+//!   return its arrival time, mutating any internal contention state
+//!   (NIC free times). All model time is **f64 seconds**; the wall-clock
+//!   adapter in [`time`] is the *only* place seconds meet `Duration`.
+//! * [`InstantNet`] — zero delay (unit tests, pure-numerics runs).
+//! * [`ConstantBandwidthNet`] — per-message `latency + size/bandwidth`,
+//!   messages independent (the fabric's historical model).
+//! * [`SharedBandwidthNet`] — per-sender NIC serialization: messages from
+//!   one node queue behind each other on its link (the simulator's
+//!   historical `NicState` semantics, reproduced exactly — see the
+//!   `shared_bandwidth_matches_legacy_nicstate` test).
+//! * [`TopologyNet`] — per-pair link classes (intra-node / intra-rack /
+//!   inter-rack) with per-sender NIC serialization, for heterogeneous
+//!   clusters built by `ClusterBuilder`.
+//! * [`NetSpec`] — the serializable configuration enum `DistConfig`,
+//!   `SimConfig`, examples and benches all use to select a model
+//!   uniformly; [`NetSpec::build`] instantiates the trait object.
+
+use std::time::Duration;
+
+/// Wall-clock ↔ model-time conversion. The one seam where the fabric's
+/// `Instant`/`Duration` world meets the models' `f64` seconds; keeping it
+/// here (and tested for round-tripping) replaces the ad-hoc
+/// `Duration::from_secs_f64` calls that used to be scattered across both
+/// substrates.
+pub mod time {
+    use super::Duration;
+
+    /// Model seconds → wall-clock `Duration`. Negative and NaN inputs
+    /// clamp to zero (a model can never schedule an arrival before its
+    /// send). Positive infinity is rejected: it cannot arise from a
+    /// validated [`super::NetSpec`] (see [`super::LinkSpec::validate`]),
+    /// and clamping it in either direction would make the real fabric
+    /// silently disagree with the simulator.
+    ///
+    /// # Panics
+    /// Panics on `+inf` input.
+    pub fn secs_to_duration(seconds: f64) -> Duration {
+        assert_ne!(
+            seconds,
+            f64::INFINITY,
+            "infinite model delay reached the wall-clock seam; \
+             network specs must have positive bandwidth"
+        );
+        if seconds.is_finite() && seconds > 0.0 {
+            Duration::from_secs_f64(seconds)
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Wall-clock `Duration` → model seconds.
+    pub fn duration_to_secs(d: Duration) -> f64 {
+        d.as_secs_f64()
+    }
+}
+
+/// Pure wire (serialization) time of `bytes` at `bytes_per_sec`;
+/// infinite bandwidth costs nothing. The single copy of the
+/// bytes-to-seconds arithmetic every model shares.
+fn wire_sec(bytes: u64, bytes_per_sec: f64) -> f64 {
+    if bytes_per_sec.is_infinite() {
+        0.0
+    } else {
+        bytes as f64 / bytes_per_sec
+    }
+}
+
+/// A message as the network models see it: addressing plus wire size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending node.
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Total wire size in bytes (payload + framing).
+    pub bytes: u64,
+}
+
+/// A network cost model: maps (submission time, message) to arrival time.
+///
+/// Implementations may keep mutable contention state (per-sender NIC free
+/// times); the caller owns ordering — arrival times are only meaningful if
+/// messages are submitted in a deterministic order, which both the fabric
+/// (send order) and the simulator (SD id order) guarantee.
+pub trait NetModel: Send {
+    /// Arrival time (model seconds) of `msg` submitted at `now` seconds.
+    /// Must be `>= now`.
+    fn arrival(&mut self, now: f64, msg: &Msg) -> f64;
+
+    /// Drop all contention state; the next message at time `t` sees an
+    /// idle network. Used at load-balancing barriers.
+    fn reset(&mut self, t: f64) {
+        let _ = t;
+    }
+
+    /// True when every message arrives with zero delay — lets transports
+    /// skip their delivery machinery entirely.
+    fn is_instant(&self) -> bool {
+        false
+    }
+}
+
+/// Zero latency, infinite bandwidth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstantNet;
+
+impl NetModel for InstantNet {
+    fn arrival(&mut self, now: f64, _msg: &Msg) -> f64 {
+        now
+    }
+
+    fn is_instant(&self) -> bool {
+        true
+    }
+}
+
+/// Per-message `latency + bytes/bandwidth`; messages never contend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantBandwidthNet {
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Link bandwidth in bytes/second; `f64::INFINITY` disables the
+    /// serialization term.
+    pub bytes_per_sec: f64,
+}
+
+impl ConstantBandwidthNet {
+    pub fn new(latency_s: f64, bytes_per_sec: f64) -> Self {
+        ConstantBandwidthNet {
+            latency_s,
+            bytes_per_sec,
+        }
+    }
+
+    /// Stateless delay for a message of `bytes` (no contention state, so
+    /// callers may use this without `&mut`).
+    pub fn delay_for(&self, bytes: u64) -> f64 {
+        self.latency_s + wire_sec(bytes, self.bytes_per_sec)
+    }
+}
+
+impl NetModel for ConstantBandwidthNet {
+    fn arrival(&mut self, now: f64, msg: &Msg) -> f64 {
+        now + self.delay_for(msg.bytes)
+    }
+
+    fn is_instant(&self) -> bool {
+        self.latency_s == 0.0 && self.bytes_per_sec.is_infinite()
+    }
+}
+
+/// Per-sender NIC serialization: a node's outgoing messages occupy its link
+/// back to back, then latency is added. This is exactly the simulator's
+/// historical `NicState::send` arithmetic:
+///
+/// ```text
+/// start   = max(now, nic_free[src])
+/// done    = start + bytes / bytes_per_sec
+/// nic_free[src] = done
+/// arrival = done + latency
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedBandwidthNet {
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Per-sender link bandwidth in bytes/second.
+    pub bytes_per_sec: f64,
+    nic_free: Vec<f64>,
+}
+
+impl SharedBandwidthNet {
+    pub fn new(latency_s: f64, bytes_per_sec: f64, n_nodes: usize) -> Self {
+        SharedBandwidthNet {
+            latency_s,
+            bytes_per_sec,
+            nic_free: vec![0.0; n_nodes],
+        }
+    }
+}
+
+impl NetModel for SharedBandwidthNet {
+    fn arrival(&mut self, now: f64, msg: &Msg) -> f64 {
+        let wire = wire_sec(msg.bytes, self.bytes_per_sec);
+        let nic = &mut self.nic_free[msg.src as usize];
+        let start = now.max(*nic);
+        let done = start + wire;
+        *nic = done;
+        done + self.latency_s
+    }
+
+    fn reset(&mut self, t: f64) {
+        self.nic_free.fill(t);
+    }
+}
+
+/// Latency/bandwidth of one link class in a [`TopologyNet`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    pub latency_s: f64,
+    pub bytes_per_sec: f64,
+}
+
+impl LinkSpec {
+    pub fn new(latency_s: f64, bytes_per_sec: f64) -> Self {
+        LinkSpec {
+            latency_s,
+            bytes_per_sec,
+        }
+    }
+
+    /// Reject degenerate parameters (the one validation both substrates
+    /// share, called from [`NetSpec::build`]): latency must be finite and
+    /// non-negative, bandwidth strictly positive (`f64::INFINITY` is the
+    /// explicit "no serialization term" value). Zero or negative bandwidth
+    /// would make `wire_sec` infinite, which the simulator would propagate
+    /// into an infinite makespan while the real fabric cannot wait
+    /// forever — the divergence this crate exists to prevent.
+    fn validate(&self, what: &str) {
+        assert!(
+            self.latency_s.is_finite() && self.latency_s >= 0.0,
+            "{what}: latency must be finite and non-negative, got {}",
+            self.latency_s
+        );
+        assert!(
+            self.bytes_per_sec > 0.0,
+            "{what}: bandwidth must be positive (use f64::INFINITY for \
+             an un-serialized link), got {}",
+            self.bytes_per_sec
+        );
+    }
+}
+
+/// Declarative description of a [`TopologyNet`]: nodes are packed into
+/// racks round-robin-free (`rack = node / nodes_per_rack`) and each
+/// src→dst pair resolves to one of three link classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologySpec {
+    /// Nodes per rack; `rack(i) = i / nodes_per_rack`.
+    pub nodes_per_rack: usize,
+    /// Self-sends (loopback).
+    pub intra_node: LinkSpec,
+    /// Different nodes, same rack.
+    pub intra_rack: LinkSpec,
+    /// Different racks.
+    pub inter_rack: LinkSpec,
+}
+
+impl TopologySpec {
+    /// A representative two-tier cluster: fast loopback, 10 GB/s in-rack,
+    /// 2.5 GB/s and 4x the latency across racks.
+    pub fn two_tier(nodes_per_rack: usize) -> Self {
+        TopologySpec {
+            nodes_per_rack,
+            intra_node: LinkSpec::new(1e-7, 50e9),
+            intra_rack: LinkSpec::new(5e-6, 10e9),
+            inter_rack: LinkSpec::new(2e-5, 2.5e9),
+        }
+    }
+}
+
+/// Per-pair link classes with per-sender NIC serialization. With a single
+/// link class this degenerates to [`SharedBandwidthNet`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyNet {
+    spec: TopologySpec,
+    nic_free: Vec<f64>,
+}
+
+impl TopologyNet {
+    pub fn new(spec: TopologySpec, n_nodes: usize) -> Self {
+        assert!(spec.nodes_per_rack > 0, "nodes_per_rack must be positive");
+        TopologyNet {
+            spec,
+            nic_free: vec![0.0; n_nodes],
+        }
+    }
+
+    /// The link class used between `src` and `dst`.
+    pub fn link(&self, src: u32, dst: u32) -> LinkSpec {
+        if src == dst {
+            self.spec.intra_node
+        } else if src as usize / self.spec.nodes_per_rack == dst as usize / self.spec.nodes_per_rack
+        {
+            self.spec.intra_rack
+        } else {
+            self.spec.inter_rack
+        }
+    }
+}
+
+impl NetModel for TopologyNet {
+    fn arrival(&mut self, now: f64, msg: &Msg) -> f64 {
+        let link = self.link(msg.src, msg.dst);
+        let nic = &mut self.nic_free[msg.src as usize];
+        let start = now.max(*nic);
+        let done = start + wire_sec(msg.bytes, link.bytes_per_sec);
+        *nic = done;
+        done + link.latency_s
+    }
+
+    fn reset(&mut self, t: f64) {
+        self.nic_free.fill(t);
+    }
+}
+
+/// Model selection shared by `DistConfig`, `SimConfig`, `ClusterBuilder`,
+/// examples and benches. Build a live model with [`NetSpec::build`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum NetSpec {
+    /// Zero delay.
+    #[default]
+    Instant,
+    /// [`ConstantBandwidthNet`].
+    Constant { latency_s: f64, bytes_per_sec: f64 },
+    /// [`SharedBandwidthNet`].
+    Shared { latency_s: f64, bytes_per_sec: f64 },
+    /// [`TopologyNet`].
+    Topology(TopologySpec),
+}
+
+impl NetSpec {
+    /// Representative cluster interconnect (~5 µs latency, 10 GB/s per
+    /// NIC, sender-serialized) — the simulator's historical default.
+    pub fn cluster() -> Self {
+        NetSpec::Shared {
+            latency_s: 5e-6,
+            bytes_per_sec: 10e9,
+        }
+    }
+
+    /// Per-message independent latency/bandwidth model.
+    pub fn constant(latency_s: f64, bytes_per_sec: f64) -> Self {
+        NetSpec::Constant {
+            latency_s,
+            bytes_per_sec,
+        }
+    }
+
+    /// Per-sender serialized latency/bandwidth model.
+    pub fn shared(latency_s: f64, bytes_per_sec: f64) -> Self {
+        NetSpec::Shared {
+            latency_s,
+            bytes_per_sec,
+        }
+    }
+
+    /// Convenience for wall-clock call sites (the fabric's historical
+    /// `NetModel::new(Duration, f64)` signature).
+    pub fn constant_wall(latency: Duration, bytes_per_sec: f64) -> Self {
+        NetSpec::Constant {
+            latency_s: time::duration_to_secs(latency),
+            bytes_per_sec,
+        }
+    }
+
+    /// True when the spec builds a zero-delay model.
+    pub fn is_instant(&self) -> bool {
+        match self {
+            NetSpec::Instant => true,
+            NetSpec::Constant {
+                latency_s,
+                bytes_per_sec,
+            } => *latency_s == 0.0 && bytes_per_sec.is_infinite(),
+            _ => false,
+        }
+    }
+
+    /// Reject degenerate parameters early, with one rule for every
+    /// transport that consumes this spec (the simulator via [`build`],
+    /// the real fabric via its unboxed fast path).
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative latency, or zero/negative
+    /// bandwidth — see [`LinkSpec::validate`].
+    ///
+    /// [`build`]: NetSpec::build
+    pub fn validate(&self) {
+        match self {
+            NetSpec::Constant {
+                latency_s,
+                bytes_per_sec,
+            }
+            | NetSpec::Shared {
+                latency_s,
+                bytes_per_sec,
+            } => LinkSpec::new(*latency_s, *bytes_per_sec).validate("NetSpec"),
+            NetSpec::Topology(spec) => {
+                spec.intra_node.validate("TopologySpec.intra_node");
+                spec.intra_rack.validate("TopologySpec.intra_rack");
+                spec.inter_rack.validate("TopologySpec.inter_rack");
+            }
+            NetSpec::Instant => {}
+        }
+    }
+
+    /// Instantiate the model for a cluster of `n_nodes`.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters — see [`NetSpec::validate`].
+    pub fn build(&self, n_nodes: usize) -> Box<dyn NetModel> {
+        self.validate();
+        match self {
+            NetSpec::Instant => Box::new(InstantNet),
+            NetSpec::Constant {
+                latency_s,
+                bytes_per_sec,
+            } => Box::new(ConstantBandwidthNet::new(*latency_s, *bytes_per_sec)),
+            NetSpec::Shared {
+                latency_s,
+                bytes_per_sec,
+            } => Box::new(SharedBandwidthNet::new(*latency_s, *bytes_per_sec, n_nodes)),
+            NetSpec::Topology(spec) => Box::new(TopologyNet::new(*spec, n_nodes)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: u32, dst: u32, bytes: u64) -> Msg {
+        Msg { src, dst, bytes }
+    }
+
+    #[test]
+    fn instant_is_free() {
+        let mut net = InstantNet;
+        assert_eq!(net.arrival(3.5, &msg(0, 1, 1 << 30)), 3.5);
+        assert!(net.is_instant());
+    }
+
+    #[test]
+    fn constant_is_stateless() {
+        let mut net = ConstantBandwidthNet::new(0.5, 100.0);
+        let a1 = net.arrival(0.0, &msg(0, 1, 100)); // 1 s wire + 0.5 s latency
+        let a2 = net.arrival(0.0, &msg(0, 1, 100)); // identical: no contention
+        assert!((a1 - 1.5).abs() < 1e-12);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn constant_with_infinite_bandwidth_is_pure_latency() {
+        let mut net = ConstantBandwidthNet::new(0.25, f64::INFINITY);
+        assert!((net.arrival(1.0, &msg(0, 1, 1 << 40)) - 1.25).abs() < 1e-12);
+    }
+
+    /// The acceptance-criterion test: `SharedBandwidthNet` reproduces the
+    /// old `sim::net::NicState::send` arrival times exactly. The expected
+    /// values are hand-evaluated from the legacy arithmetic
+    /// (`start = max(ready, free); done = start + bytes/bw; arrive = done + lat`).
+    #[test]
+    fn shared_bandwidth_matches_legacy_nicstate() {
+        // Legacy test `nic_serializes_messages`: 100 B/s, zero latency.
+        let mut net = SharedBandwidthNet::new(0.0, 100.0, 2);
+        let a1 = net.arrival(0.0, &msg(0, 1, 100));
+        let a2 = net.arrival(0.0, &msg(0, 1, 100));
+        assert!((a1 - 1.0).abs() < 1e-12);
+        assert!(
+            (a2 - 2.0).abs() < 1e-12,
+            "second message queues behind first"
+        );
+
+        // Legacy test `latency_added_after_wire`: 0.5 s latency, 100 B/s,
+        // ready at t=1: arrive = 1 + 1 + 0.5.
+        let mut net = SharedBandwidthNet::new(0.5, 100.0, 1);
+        let arr = net.arrival(1.0, &msg(0, 0, 100));
+        assert!((arr - 2.5).abs() < 1e-12);
+
+        // Legacy test `nic_respects_ready_time`.
+        let mut net = SharedBandwidthNet::new(0.0, 1e9, 1);
+        assert!(net.arrival(7.0, &msg(0, 0, 8)) >= 7.0);
+
+        // Interleaved senders keep independent NICs.
+        let mut net = SharedBandwidthNet::new(0.0, 100.0, 2);
+        let a = net.arrival(0.0, &msg(0, 1, 100));
+        let b = net.arrival(0.0, &msg(1, 0, 100));
+        assert_eq!(a, b, "distinct senders must not contend");
+    }
+
+    #[test]
+    fn shared_reset_clears_contention() {
+        let mut net = SharedBandwidthNet::new(0.0, 100.0, 1);
+        let _ = net.arrival(0.0, &msg(0, 0, 10_000)); // NIC busy until t=100
+        net.reset(5.0);
+        let a = net.arrival(5.0, &msg(0, 0, 100));
+        assert!((a - 6.0).abs() < 1e-12, "reset must clear the queue: {a}");
+    }
+
+    #[test]
+    fn topology_classes_resolve_by_rack() {
+        let net = TopologyNet::new(TopologySpec::two_tier(2), 4);
+        assert_eq!(net.link(0, 0), net.link(3, 3), "loopback class");
+        assert_eq!(net.link(0, 1).latency_s, net.link(2, 3).latency_s);
+        assert!(net.link(0, 2).latency_s > net.link(0, 1).latency_s);
+        assert!(net.link(0, 2).bytes_per_sec < net.link(0, 1).bytes_per_sec);
+    }
+
+    #[test]
+    fn topology_with_one_class_matches_shared() {
+        let uniform = TopologySpec {
+            nodes_per_rack: 1,
+            intra_node: LinkSpec::new(0.001, 1e6),
+            intra_rack: LinkSpec::new(0.001, 1e6),
+            inter_rack: LinkSpec::new(0.001, 1e6),
+        };
+        let mut topo = TopologyNet::new(uniform, 3);
+        let mut shared = SharedBandwidthNet::new(0.001, 1e6, 3);
+        for (t, m) in [
+            (0.0, msg(0, 1, 5_000)),
+            (0.0, msg(0, 2, 9_000)),
+            (0.001, msg(1, 0, 123)),
+            (0.5, msg(0, 1, 77)),
+        ] {
+            assert_eq!(topo.arrival(t, &m), shared.arrival(t, &m));
+        }
+    }
+
+    #[test]
+    fn topology_serializes_on_the_sender_nic() {
+        let mut net = TopologyNet::new(TopologySpec::two_tier(2), 4);
+        let a1 = net.arrival(0.0, &msg(0, 2, 1 << 20));
+        let a2 = net.arrival(0.0, &msg(0, 3, 1 << 20));
+        assert!(a2 > a1, "same sender must serialize: {a1} vs {a2}");
+    }
+
+    #[test]
+    fn spec_builds_the_right_model() {
+        assert!(NetSpec::Instant.build(4).is_instant());
+        assert!(NetSpec::constant(0.0, f64::INFINITY).is_instant());
+        assert!(!NetSpec::cluster().build(4).is_instant());
+        let mut m = NetSpec::Topology(TopologySpec::two_tier(2)).build(4);
+        assert!(m.arrival(0.0, &msg(0, 3, 1000)) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_spec_rejected() {
+        let _ = NetSpec::constant(0.1, 0.0).build(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn negative_bandwidth_topology_rejected() {
+        let mut spec = TopologySpec::two_tier(2);
+        spec.inter_rack = LinkSpec::new(1e-5, -1.0);
+        let _ = NetSpec::Topology(spec).build(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be finite")]
+    fn nan_latency_rejected() {
+        let _ = NetSpec::shared(f64::NAN, 1e9).build(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite model delay")]
+    fn infinite_delay_rejected_at_the_wall_clock_seam() {
+        let _ = time::secs_to_duration(f64::INFINITY);
+    }
+
+    #[test]
+    fn wall_clock_adapter_round_trips() {
+        for s in [0.0, 1e-9, 5e-6, 0.001, 1.5, 3600.0] {
+            let d = time::secs_to_duration(s);
+            let back = time::duration_to_secs(d);
+            assert!(
+                (back - s).abs() <= 1e-12 * s.max(1.0),
+                "round-trip {s} -> {back}"
+            );
+        }
+        assert_eq!(time::secs_to_duration(-1.0), Duration::ZERO);
+        assert_eq!(time::secs_to_duration(f64::NAN), Duration::ZERO);
+        let spec = NetSpec::constant_wall(Duration::from_micros(500), 2e6);
+        match spec {
+            NetSpec::Constant { latency_s, .. } => {
+                assert!((latency_s - 5e-4).abs() < 1e-15)
+            }
+            _ => panic!("constant_wall must build a Constant spec"),
+        }
+    }
+
+    #[test]
+    fn contention_ordering_instant_le_constant_le_shared() {
+        // One sender pushing k messages at t=0: makespan must be monotone
+        // in model contention.
+        let k = 8;
+        let bytes = 1_000_000;
+        let last = |m: &mut dyn NetModel| {
+            (0..k)
+                .map(|_| m.arrival(0.0, &msg(0, 1, bytes)))
+                .fold(0.0f64, f64::max)
+        };
+        let t_i = last(&mut InstantNet);
+        let t_c = last(&mut ConstantBandwidthNet::new(1e-5, 1e9));
+        let t_s = last(&mut SharedBandwidthNet::new(1e-5, 1e9, 2));
+        assert!(t_i <= t_c && t_c <= t_s);
+        assert!(t_s > t_c, "shared must actually queue: {t_c} vs {t_s}");
+    }
+}

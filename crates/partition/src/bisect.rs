@@ -68,18 +68,9 @@ pub fn grow_bisection(g: &Csr, target0: i64, rng: &mut impl Rng, tries: usize) -
 /// updates. Moves are accepted when they reduce the cut (or keep it equal
 /// while improving balance) and keep part 0's weight within
 /// `target0 ± slack`.
-pub fn refine_bisection(
-    g: &Csr,
-    parts: &mut [u8],
-    target0: i64,
-    slack: i64,
-    max_passes: u32,
-) {
+pub fn refine_bisection(g: &Csr, parts: &mut [u8], target0: i64, slack: i64, max_passes: u32) {
     let n = g.n();
-    let mut w0: i64 = (0..n)
-        .filter(|&v| parts[v] == 0)
-        .map(|v| g.vwgt[v])
-        .sum();
+    let mut w0: i64 = (0..n).filter(|&v| parts[v] == 0).map(|v| g.vwgt[v]).sum();
     for _pass in 0..max_passes {
         // gain(v): cut reduction if v switches sides
         let mut gain = vec![0i64; n];

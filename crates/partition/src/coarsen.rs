@@ -79,10 +79,8 @@ pub fn contract(g: &Csr, mate: &[u32]) -> CoarseLevel {
         }
     }
     // Each undirected fine edge visited twice -> halve.
-    let edge_list: Vec<(u32, u32, i64)> = edges
-        .into_iter()
-        .map(|((a, b), w)| (a, b, w / 2))
-        .collect();
+    let edge_list: Vec<(u32, u32, i64)> =
+        edges.into_iter().map(|((a, b), w)| (a, b, w / 2)).collect();
     CoarseLevel {
         graph: Csr::from_edges(nc, &edge_list, vwgt),
         map,

@@ -65,7 +65,10 @@ mod tests {
         let sds = SdGrid::new(5, 5, 4);
         let p = part_mesh_dual(&sds, 4, 1);
         let g = sd_dual_graph(&sds);
-        assert!(balance(&g, &p.parts, 4) <= 1.35, "25 SDs over 4 nodes: 7/6.25");
+        assert!(
+            balance(&g, &p.parts, 4) <= 1.35,
+            "25 SDs over 4 nodes: 7/6.25"
+        );
         for part in 0..4 {
             assert!(part_components(&g, &p.parts, part) <= 1);
         }

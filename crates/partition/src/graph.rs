@@ -134,10 +134,7 @@ impl Csr {
                 if u == v {
                     return Err(format!("self loop at {v}"));
                 }
-                let back = self
-                    .neighbors(u)
-                    .find(|&(x, _)| x == v)
-                    .map(|(_, bw)| bw);
+                let back = self.neighbors(u).find(|&(x, _)| x == v).map(|(_, bw)| bw);
                 if back != Some(w) {
                     return Err(format!("asymmetric edge ({v},{u})"));
                 }

@@ -85,14 +85,7 @@ pub fn part_graph(g: &Csr, cfg: &PartitionConfig) -> Partition {
     }
 }
 
-fn rec_bisect(
-    root: &Csr,
-    ids: &[u32],
-    k: u32,
-    base: u32,
-    parts: &mut [u32],
-    rng: &mut StdRng,
-) {
+fn rec_bisect(root: &Csr, ids: &[u32], k: u32, base: u32, parts: &mut [u32], rng: &mut StdRng) {
     if k == 1 {
         for &v in ids {
             parts[v as usize] = base;
@@ -254,10 +247,7 @@ mod tests {
         let p = part_graph(&g, &PartitionConfig::new(4));
         for part in 0..4 {
             let comps = part_components(&g, &p.parts, part);
-            assert!(
-                comps <= 2,
-                "part {part} fragmented into {comps} components"
-            );
+            assert!(comps <= 2, "part {part} fragmented into {comps} components");
         }
     }
 
@@ -303,9 +293,7 @@ mod tests {
                 }
             }
         }
-        let vwgt: Vec<i64> = (0..w * w)
-            .map(|v| if v % w < 2 { 10 } else { 1 })
-            .collect();
+        let vwgt: Vec<i64> = (0..w * w).map(|v| if v % w < 2 { 10 } else { 1 }).collect();
         let g = Csr::from_edges(w * w, &edges, vwgt);
         let p = part_graph(&g, &PartitionConfig::new(2));
         let b = balance(&g, &p.parts, 2);

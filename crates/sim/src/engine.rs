@@ -3,11 +3,11 @@
 //! load-balancing epochs.
 
 use crate::cost::CostModel;
-use crate::net::{NicState, SimNet};
 use nlheat_core::balance::plan_rebalance;
 use nlheat_core::ownership::Ownership;
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{build_halo_plan, split_cases, Grid, HaloPlan, PatchSource, SdGrid, Stencil};
+use nlheat_netmodel::{Msg, NetSpec};
 use nlheat_partition::{part_mesh_dual, strip_partition};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -59,8 +59,8 @@ pub struct SimConfig {
     pub n_steps: usize,
     /// The virtual cluster.
     pub nodes: Vec<VirtualNode>,
-    /// Network model.
-    pub net: SimNet,
+    /// Network model (shared with the real fabric via `nlheat-netmodel`).
+    pub net: NetSpec,
     /// Compute-cost model.
     pub cost: CostModel,
     /// Initial distribution.
@@ -102,7 +102,7 @@ impl SimConfig {
             sd_size,
             n_steps,
             nodes,
-            net: SimNet::cluster(),
+            net: NetSpec::cluster(),
             cost: CostModel::calibrated(stencil.len()),
             partition: SimPartition::Metis { seed: 1 },
             overlap: true,
@@ -213,7 +213,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
     let mut node_time = vec![0.0f64; nn];
     let mut busy_total = vec![0.0f64; nn];
     let mut busy_window = vec![0.0f64; nn]; // since last LB counter reset
-    let mut nics: Vec<NicState> = (0..nn).map(|_| NicState::default()).collect();
+    let mut net = cfg.net.build(nn);
     let mut cross_bytes = 0u64;
     let mut messages = 0u64;
     let mut lb_history: Vec<Vec<usize>> = Vec::new();
@@ -236,7 +236,14 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                     // pack cost delays the send readiness a little
                     let ready = node_time[src_node]
                         + cfg.cost.copy_sec_per_cell * patch.dst_rect.area() as f64;
-                    let arr = nics[src_node].send(&cfg.net, ready, bytes);
+                    let arr = net.arrival(
+                        ready,
+                        &Msg {
+                            src: src_node as u32,
+                            dst: dst_node as u32,
+                            bytes,
+                        },
+                    );
                     arrivals[sd as usize].push(arr);
                     cross_bytes += bytes;
                     messages += 1;
@@ -275,10 +282,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 } else {
                     let unpack = cfg.cost.copy_sec_per_cell
                         * (geo.plans[sd as usize].ghost_cells_from_sds() as f64);
-                    arrivals[sd as usize]
-                        .iter()
-                        .fold(t0, |m, &a| m.max(a))
-                        + unpack
+                    arrivals[sd as usize].iter().fold(t0, |m, &a| m.max(a)) + unpack
                 };
                 if cfg.overlap {
                     if split.case2_area() > 0 {
@@ -320,13 +324,17 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
             let busy_vec: Vec<f64> = busy_window.iter().map(|&b| b.max(1e-12)).collect();
             let plan = plan_rebalance(&ownership, &busy_vec);
             // migration costs: tile payloads over the network
-            for nic in nics.iter_mut() {
-                nic.reset_to(barrier);
-            }
+            net.reset(barrier);
             for mv in &plan.moves {
                 let bytes = (geo.sds.cells_per_sd() * 8 + 24) as u64;
-                let arr =
-                    nics[mv.from as usize].send(&cfg.net, node_time[mv.from as usize], bytes);
+                let arr = net.arrival(
+                    node_time[mv.from as usize],
+                    &Msg {
+                        src: mv.from,
+                        dst: mv.to,
+                        bytes,
+                    },
+                );
                 let dst = mv.to as usize;
                 node_time[dst] = node_time[dst].max(arr);
                 cross_bytes += bytes;
@@ -419,10 +427,7 @@ mod tests {
         let t1 = simulate(&mk(1)).total_time;
         let t4 = simulate(&mk(4)).total_time;
         let speedup = t1 / t4;
-        assert!(
-            (3.0..=4.2).contains(&speedup),
-            "4-node speedup {speedup}"
-        );
+        assert!((3.0..=4.2).contains(&speedup), "4-node speedup {speedup}");
     }
 
     #[test]
@@ -455,10 +460,7 @@ mod tests {
         strip.partition = SimPartition::Strip;
         let mb = simulate(&metis).cross_bytes;
         let sb = simulate(&strip).cross_bytes;
-        assert!(
-            mb < sb,
-            "metis {mb} bytes should undercut strip {sb} bytes"
-        );
+        assert!(mb < sb, "metis {mb} bytes should undercut strip {sb} bytes");
     }
 
     #[test]
@@ -472,7 +474,7 @@ mod tests {
             5,
             (0..4).map(|_| VirtualNode::with_cores(1)).collect(),
         );
-        cfg.net = SimNet::slow(5e-3, 1e9);
+        cfg.net = NetSpec::shared(5e-3, 1e9);
         cfg.overlap = true;
         let with = simulate(&cfg).total_time;
         cfg.overlap = false;
@@ -490,10 +492,22 @@ mod tests {
             25,
             24,
             vec![
-                VirtualNode { cores: 1, speed: 2.0 },
-                VirtualNode { cores: 1, speed: 1.0 },
-                VirtualNode { cores: 1, speed: 1.0 },
-                VirtualNode { cores: 1, speed: 1.0 },
+                VirtualNode {
+                    cores: 1,
+                    speed: 2.0,
+                },
+                VirtualNode {
+                    cores: 1,
+                    speed: 1.0,
+                },
+                VirtualNode {
+                    cores: 1,
+                    speed: 1.0,
+                },
+                VirtualNode {
+                    cores: 1,
+                    speed: 1.0,
+                },
             ],
         );
         cfg.lb = Some(SimLbConfig { period: 4 });
@@ -512,10 +526,22 @@ mod tests {
     #[test]
     fn lb_reduces_makespan_under_heterogeneity() {
         let nodes = vec![
-            VirtualNode { cores: 1, speed: 2.0 },
-            VirtualNode { cores: 1, speed: 1.0 },
-            VirtualNode { cores: 1, speed: 1.0 },
-            VirtualNode { cores: 1, speed: 1.0 },
+            VirtualNode {
+                cores: 1,
+                speed: 2.0,
+            },
+            VirtualNode {
+                cores: 1,
+                speed: 1.0,
+            },
+            VirtualNode {
+                cores: 1,
+                speed: 1.0,
+            },
+            VirtualNode {
+                cores: 1,
+                speed: 1.0,
+            },
         ];
         let mut base = SimConfig::paper(400, 25, 24, nodes);
         base.lb = None;
@@ -532,9 +558,7 @@ mod tests {
     fn work_schedule_switches_models() {
         let mut cfg = SimConfig::paper(100, 25, 4, vec![VirtualNode::with_cores(1)]);
         cfg.work = WorkModel::Uniform;
-        cfg.work_schedule = vec![
-            (2, WorkModel::PerSd(vec![0.5; 16])),
-        ];
+        cfg.work_schedule = vec![(2, WorkModel::PerSd(vec![0.5; 16]))];
         assert_eq!(cfg.work_at(0), &WorkModel::Uniform);
         assert_eq!(cfg.work_at(1), &WorkModel::Uniform);
         assert_eq!(cfg.work_at(2), &WorkModel::PerSd(vec![0.5; 16]));

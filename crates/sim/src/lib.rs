@@ -24,4 +24,4 @@ pub mod net;
 
 pub use cost::CostModel;
 pub use engine::{simulate, SimConfig, SimLbConfig, SimPartition, SimRun, VirtualNode};
-pub use net::SimNet;
+pub use net::{NetModel, NetSpec};

@@ -7,9 +7,7 @@
 //! ```
 
 use nonlocalheat::mesh::SdGrid;
-use nonlocalheat::partition::{
-    balance, edge_cut, part_mesh_dual, sd_dual_graph, strip_partition,
-};
+use nonlocalheat::partition::{balance, edge_cut, part_mesh_dual, sd_dual_graph, strip_partition};
 
 fn render(sds: &SdGrid, parts: &[u32]) -> String {
     let mut out = String::new();

@@ -15,12 +15,18 @@ fn main() {
     let mut cfg = DistConfig::new(64, 4.0, 8, 25);
     cfg.record_error = true;
 
-    println!("mesh 64x64, eps = 4h, 25 timesteps on {} localities", cluster.len());
+    println!(
+        "mesh 64x64, eps = 4h, 25 timesteps on {} localities",
+        cluster.len()
+    );
     let report = run_distributed(&cluster, &cfg);
 
     let error = report.error.as_ref().unwrap();
     println!("elapsed:          {:?}", report.elapsed);
-    println!("total error e:    {:.3e}   (eq. 7 vs manufactured solution)", error.total());
+    println!(
+        "total error e:    {:.3e}   (eq. 7 vs manufactured solution)",
+        error.total()
+    );
     println!("max step error:   {:.3e}", error.max_step());
     println!(
         "busy time (ms):   {:?}",

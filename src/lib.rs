@@ -38,6 +38,7 @@ pub use nlheat_amt as amt;
 pub use nlheat_core as core;
 pub use nlheat_mesh as mesh;
 pub use nlheat_model as model;
+pub use nlheat_netmodel as netmodel;
 pub use nlheat_partition as partition;
 pub use nlheat_sim as sim;
 
@@ -52,5 +53,5 @@ pub mod prelude {
     pub use nlheat_mesh::{Grid, SdGrid};
     pub use nlheat_model::prelude::*;
     pub use nlheat_partition::{part_mesh_dual, PartitionConfig};
-    pub use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimNet, VirtualNode};
+    pub use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimPartition, VirtualNode};
 }

@@ -42,10 +42,7 @@ fn matrix_of_sd_sizes() {
 fn overlap_and_partition_modes() {
     let reference = serial_field(20, 2.0, 4);
     for overlap in [true, false] {
-        for partition in [
-            PartitionMethod::Metis { seed: 7 },
-            PartitionMethod::Strip,
-        ] {
+        for partition in [PartitionMethod::Metis { seed: 7 }, PartitionMethod::Strip] {
             let cluster = ClusterBuilder::new().uniform(3, 1).build();
             let mut cfg = DistConfig::new(20, 2.0, 4, 4);
             cfg.overlap = overlap;

@@ -54,10 +54,22 @@ fn planning_is_idempotent_when_balanced() {
 fn power_proportional_distribution_in_sim() {
     // speeds 3:1:1:1 -> fast node should converge to ~3/6 of the SDs
     let nodes = vec![
-        VirtualNode { cores: 1, speed: 3.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode {
+            cores: 1,
+            speed: 3.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
     ];
     let mut cfg = SimConfig::paper(400, 25, 30, nodes);
     cfg.lb = Some(SimLbConfig { period: 3 });
@@ -75,10 +87,22 @@ fn power_proportional_distribution_in_sim() {
 #[test]
 fn sim_busy_fractions_equalize_with_lb() {
     let nodes = vec![
-        VirtualNode { cores: 1, speed: 2.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
-        VirtualNode { cores: 1, speed: 1.0 },
+        VirtualNode {
+            cores: 1,
+            speed: 2.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
     ];
     let mut cfg = SimConfig::paper(400, 25, 40, nodes);
     cfg.lb = None;

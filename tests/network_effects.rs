@@ -1,7 +1,10 @@
 //! Asynchrony correctness: message delay must never change the numerics —
 //! only the timing. These tests run the distributed solver over a fabric
-//! with real (sleeping) latency so ghost parcels genuinely arrive late and
-//! the case-1/case-2 machinery is exercised under pressure.
+//! with real (sleeping) delivery driven by each pluggable network model, so
+//! ghost parcels genuinely arrive late and the case-1/case-2 machinery is
+//! exercised under pressure. The simulator side checks the ordering
+//! property the models promise: makespan is monotonically non-decreasing
+//! as the model gets more contended (instant ≤ constant ≤ shared).
 
 use nonlocalheat::prelude::*;
 use std::time::Duration;
@@ -13,12 +16,84 @@ fn serial_field(n: usize, eps_mult: f64, steps: usize) -> Vec<f64> {
     s.field()
 }
 
+/// Every network model produces bit-identical numerics on the same
+/// distributed run: the transport decides *when* ghosts arrive, never
+/// *what* arrives. Uses `DistConfig::net` + `DistConfig::cluster()` so the
+/// model selection flows through the shared `NetSpec` plumbing.
+#[test]
+fn every_net_model_same_numerics() {
+    let reference = serial_field(16, 2.0, 4);
+    let specs = [
+        NetSpec::Instant,
+        NetSpec::constant(200e-6, 5e6),
+        NetSpec::shared(200e-6, 5e6),
+        NetSpec::Topology(TopologySpec {
+            nodes_per_rack: 2,
+            intra_node: LinkSpec::new(0.0, f64::INFINITY),
+            intra_rack: LinkSpec::new(100e-6, 1e7),
+            inter_rack: LinkSpec::new(500e-6, 2e6),
+        }),
+    ];
+    for spec in specs {
+        let mut cfg = DistConfig::new(16, 2.0, 4, 4);
+        cfg.net = spec;
+        let cluster = cfg.cluster().uniform(3, 1).build();
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(
+            report.field, reference,
+            "numerics must not depend on the network model: {spec:?}"
+        );
+    }
+}
+
+/// Simulator counterpart: one communication-heavy scenario swept across
+/// the model ladder; each rung may only slow things down.
+#[test]
+fn sim_makespan_monotone_in_contention() {
+    let lat = 2e-3;
+    let bw = 5e7;
+    let run = |net: NetSpec| {
+        let mut cfg = SimConfig::paper(
+            200,
+            25,
+            4,
+            (0..4).map(|_| VirtualNode::with_cores(1)).collect(),
+        );
+        cfg.net = net;
+        // no case-1/case-2 overlap: every ghost delay lands on the
+        // critical path, so the model ladder is directly visible
+        cfg.overlap = false;
+        simulate(&cfg).total_time
+    };
+    let t_instant = run(NetSpec::Instant);
+    let t_constant = run(NetSpec::constant(lat, bw));
+    let t_shared = run(NetSpec::shared(lat, bw));
+    assert!(
+        t_instant <= t_constant * (1.0 + 1e-12),
+        "instant {t_instant} must not exceed constant {t_constant}"
+    );
+    assert!(
+        t_constant <= t_shared * (1.0 + 1e-12),
+        "constant {t_constant} must not exceed shared {t_shared}"
+    );
+    // The ladder must actually bite at these parameters, or the test
+    // degenerates into 0 <= 0.
+    assert!(t_constant > t_instant, "latency must cost something");
+    assert!(
+        t_shared > t_constant,
+        "NIC serialization must cost something"
+    );
+}
+
 #[test]
 fn latency_does_not_change_results() {
     let reference = serial_field(16, 2.0, 4);
     let cluster = ClusterBuilder::new()
         .uniform(3, 1)
-        .net(NetModel::new(Duration::from_micros(500), f64::INFINITY))
+        .net(NetSpec::constant_wall(
+            Duration::from_micros(500),
+            f64::INFINITY,
+        ))
         .build();
     let cfg = DistConfig::new(16, 2.0, 4, 4);
     let report = run_distributed(&cluster, &cfg);
@@ -31,7 +106,7 @@ fn bandwidth_limit_does_not_change_results() {
     let cluster = ClusterBuilder::new()
         .uniform(2, 1)
         // ~2 MB/s: a 3 KB ghost message takes ~1.5 ms on the wire
-        .net(NetModel::new(Duration::from_micros(100), 2e6))
+        .net(NetSpec::constant_wall(Duration::from_micros(100), 2e6))
         .build();
     let cfg = DistConfig::new(16, 2.0, 4, 4);
     let report = run_distributed(&cluster, &cfg);
@@ -44,10 +119,26 @@ fn latency_with_load_balancing_still_exact() {
     let cluster = ClusterBuilder::new()
         .node(1, 1.0)
         .node(1, 0.5)
-        .net(NetModel::new(Duration::from_micros(300), f64::INFINITY))
+        .net(NetSpec::constant_wall(
+            Duration::from_micros(300),
+            f64::INFINITY,
+        ))
         .build();
     let mut cfg = DistConfig::new(16, 2.0, 4, 6);
     cfg.lb = Some(LbConfig { period: 2 });
+    let report = run_distributed(&cluster, &cfg);
+    assert_eq!(report.field, reference);
+}
+
+#[test]
+fn shared_nic_with_load_balancing_still_exact() {
+    // The stateful model (sender NICs mutate on every send) must also be
+    // transparent to the numerics, including across SD migrations.
+    let reference = serial_field(16, 2.0, 6);
+    let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+    cfg.net = NetSpec::shared(200e-6, 4e6);
+    cfg.lb = Some(LbConfig { period: 2 });
+    let cluster = cfg.cluster().node(1, 1.0).node(1, 0.5).build();
     let report = run_distributed(&cluster, &cfg);
     assert_eq!(report.field, reference);
 }
@@ -57,7 +148,10 @@ fn overlap_off_under_latency_still_exact() {
     let reference = serial_field(16, 2.0, 3);
     let cluster = ClusterBuilder::new()
         .uniform(4, 1)
-        .net(NetModel::new(Duration::from_micros(400), f64::INFINITY))
+        .net(NetSpec::constant_wall(
+            Duration::from_micros(400),
+            f64::INFINITY,
+        ))
         .build();
     let mut cfg = DistConfig::new(16, 2.0, 4, 3);
     cfg.overlap = false;

@@ -44,7 +44,8 @@ fn byte_volumes_agree_within_framing() {
     assert_eq!(rm, sm);
     let expected_real = sb + 8 * sm;
     assert_eq!(
-        rb, expected_real,
+        rb,
+        expected_real,
         "real bytes {rb} vs sim bytes {sb} + framing {}",
         8 * sm
     );
