@@ -61,8 +61,8 @@ pub mod prelude {
     pub use crate::rendezvous::Rendezvous;
     pub use crate::task::{Spawn, Task};
     pub use nlheat_netmodel::{
-        ConstantBandwidthNet, InstantNet, LinkSpec, Msg, NetModel, NetSpec, SharedBandwidthNet,
-        TopologyNet, TopologySpec,
+        CommCost, ConstantBandwidthNet, InstantNet, LinkClass, LinkSpec, Msg, NetModel, NetSpec,
+        SharedBandwidthNet, TopologyNet, TopologySpec,
     };
 }
 

@@ -124,7 +124,7 @@ pub fn a4_lb_heterogeneous(quick: bool) -> FigData {
     cfg.lb = None;
     t.push(0.0, simulate(&cfg).total_time * 1e3);
     for &period in &[2usize, 4, 8] {
-        cfg.lb = Some(SimLbConfig { period });
+        cfg.lb = Some(SimLbConfig::every(period));
         t.push(period as f64, simulate(&cfg).total_time * 1e3);
     }
     fig.series.push(t);
@@ -153,7 +153,7 @@ pub fn a5_crack(quick: bool) -> FigData {
     cfg.lb = None;
     t.push(0.0, simulate(&cfg).total_time * 1e3);
     for &period in &[2usize, 4, 8] {
-        cfg.lb = Some(SimLbConfig { period });
+        cfg.lb = Some(SimLbConfig::every(period));
         t.push(period as f64, simulate(&cfg).total_time * 1e3);
     }
     fig.series.push(t);
@@ -195,7 +195,7 @@ pub fn a5b_moving_crack(quick: bool) -> FigData {
             .collect();
         cfg.lb = None;
         let off = simulate(&cfg).total_time;
-        cfg.lb = Some(SimLbConfig { period: 4 });
+        cfg.lb = Some(SimLbConfig::every(4));
         let on = simulate(&cfg).total_time;
         ratio.push(dwell as f64, off / on);
     }
@@ -240,15 +240,7 @@ pub fn a6_network_models(quick: bool) -> FigData {
         (0.0, NetSpec::Instant),
         (1.0, NetSpec::constant(1e-4, 1e8)),
         (2.0, NetSpec::shared(1e-4, 1e8)),
-        (
-            3.0,
-            NetSpec::Topology(TopologySpec {
-                nodes_per_rack: 2,
-                intra_node: nlheat_netmodel::LinkSpec::new(1e-7, 5e9),
-                intra_rack: nlheat_netmodel::LinkSpec::new(1e-4, 1e8),
-                inter_rack: nlheat_netmodel::LinkSpec::new(4e-4, 2.5e7),
-            }),
-        ),
+        (3.0, two_rack_net()),
     ];
     let mut off = Series::new("LB off");
     let mut on = Series::new("LB on (period 4)");
@@ -257,10 +249,60 @@ pub fn a6_network_models(quick: bool) -> FigData {
         cfg.net = spec;
         cfg.lb = None;
         off.push(x, simulate(&cfg).total_time * 1e3);
-        cfg.lb = Some(SimLbConfig { period: 4 });
+        cfg.lb = Some(SimLbConfig::every(4));
         on.push(x, simulate(&cfg).total_time * 1e3);
     }
     fig.series = vec![off, on];
+    fig
+}
+
+/// The A6/A7 two-rack cluster interconnect: 100 µs / 100 MB/s inside a
+/// rack, 4x the latency and a quarter of the bandwidth across racks.
+fn two_rack_net() -> NetSpec {
+    NetSpec::Topology(TopologySpec {
+        nodes_per_rack: 2,
+        intra_node: nlheat_netmodel::LinkSpec::new(1e-7, 5e9),
+        intra_rack: nlheat_netmodel::LinkSpec::new(1e-4, 1e8),
+        inter_rack: nlheat_netmodel::LinkSpec::new(4e-4, 2.5e7),
+    })
+}
+
+/// **A7** — communication-aware rebalancing: λ sweep on the two-rack
+/// topology. Speeds are `[2, 1, 2, 1]` with racks `{0,1}` and `{2,3}`, so
+/// each rack pairs one fast and one slow node and the *useful*
+/// rebalancing flow (slow → fast) is entirely intra-rack; the even
+/// neighbour split of Algorithm 1 nevertheless routes part of every
+/// settlement across the rack boundary at λ = 0. Sweeping λ up gates
+/// those transfers once their busy-time relief stops covering
+/// `λ ×` the estimated inter-rack transfer seconds: inter-rack migration
+/// bytes fall monotonically to zero while the makespan stays within noise
+/// of the count-based baseline, because the same imbalance settles over
+/// the cheap links instead.
+pub fn a7_comm_aware_lambda(quick: bool) -> FigData {
+    let steps = if quick { 16 } else { 48 };
+    let mut fig = FigData::new(
+        "A7 — cost-aware LB: λ sweep on 2 racks x 2 nodes (speeds 2:1:2:1)",
+        "lambda",
+        "inter-rack migration KB / total migration KB / time (ms)",
+    );
+    let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
+        .iter()
+        .map(|&speed| VirtualNode { cores: 1, speed })
+        .collect();
+    let mut inter = Series::new("inter-rack-KB");
+    let mut total = Series::new("migration-KB");
+    let mut time = Series::new("time-ms");
+    for &lambda in &[0.0, 0.5, 1.0, 2.0, 4.0] {
+        let mut cfg = SimConfig::paper(400, 25, steps, nodes.clone());
+        cfg.partition = SimPartition::Strip;
+        cfg.net = two_rack_net();
+        cfg.lb = Some(SimLbConfig::every(4).with_lambda(lambda));
+        let run = simulate(&cfg);
+        inter.push(lambda, run.inter_rack_migration_bytes as f64 / 1e3);
+        total.push(lambda, run.migration_bytes as f64 / 1e3);
+        time.push(lambda, run.total_time * 1e3);
+    }
+    fig.series = vec![inter, total, time];
     fig
 }
 
@@ -345,6 +387,37 @@ mod tests {
                 o.0,
                 w.1,
                 o.1
+            );
+        }
+    }
+
+    #[test]
+    fn a7_lambda_cuts_inter_rack_bytes_without_hurting_makespan() {
+        let fig = a7_comm_aware_lambda(true);
+        let inter = &fig.series[0].points;
+        let time = &fig.series[2].points;
+        assert!(
+            inter[0].1 > 0.0,
+            "the count-based baseline must cross racks: {inter:?}"
+        );
+        // inter-rack migration bytes fall monotonically in λ ...
+        for w in inter.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1,
+                "inter-rack bytes must not grow with λ: {inter:?}"
+            );
+        }
+        // ... and strictly below the λ=0 baseline once λ bites
+        assert!(
+            inter.last().unwrap().1 < inter[0].1,
+            "λ must cut inter-rack migration bytes: {inter:?}"
+        );
+        // while the makespan stays within noise of the count-based plan
+        let t0 = time[0].1;
+        for &(lambda, t) in time {
+            assert!(
+                t <= t0 * 1.10,
+                "λ={lambda} makespan {t} drifted from baseline {t0}"
             );
         }
     }

@@ -44,6 +44,7 @@ fn main() {
             println!("{}", ablations::a5_crack(quick).to_markdown());
             println!("{}", ablations::a5b_moving_crack(quick).to_markdown());
             println!("{}", ablations::a6_network_models(quick).to_markdown());
+            println!("{}", ablations::a7_comm_aware_lambda(quick).to_markdown());
         }
         "all" => {
             println!("{}", fig8(quick).to_markdown());
@@ -60,6 +61,7 @@ fn main() {
             println!("{}", ablations::a5_crack(quick).to_markdown());
             println!("{}", ablations::a5b_moving_crack(quick).to_markdown());
             println!("{}", ablations::a6_network_models(quick).to_markdown());
+            println!("{}", ablations::a7_comm_aware_lambda(quick).to_markdown());
         }
         other => {
             eprintln!("unknown figure '{other}'");

@@ -1,10 +1,11 @@
 //! The Algorithm 1 driver: metrics → tree → ordered transfers → plan.
 
 use crate::balance::power::{compute_metrics, LoadMetrics};
-use crate::balance::transfer::select_transfer;
-use crate::balance::tree::build_forest;
+use crate::balance::transfer::select_transfer_scored;
+use crate::balance::tree::build_forest_weighted;
 use crate::ownership::{NodeId, Ownership};
 use nlheat_mesh::SdId;
+use nlheat_netmodel::{CommCost, N_LINK_CLASSES};
 
 /// One SD migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +18,84 @@ pub struct Move {
     pub to: NodeId,
 }
 
+/// Communication-cost parameters of a cost-aware planning pass.
+///
+/// `λ = 0` (or a free [`CommCost`]) degenerates to the paper's count-based
+/// Algorithm 1 — byte-identical plans, because every cost term vanishes
+/// and every cost-aware ordering falls back to the count-based
+/// tie-breaks. With `λ > 0` a candidate transfer only happens when its
+/// per-SD busy-time relief (in seconds) exceeds `λ ×` the estimated
+/// transfer seconds of one SD tile over the `src → dst` link, so
+/// imbalance settles over cheap links and expensive (e.g. inter-rack)
+/// migrations need to earn their bytes. Busy times must be in **seconds**
+/// for the comparison to be meaningful.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Transfer-cost estimate derived from the active network spec.
+    pub comm: CommCost,
+    /// Weight of communication cost against busy-time relief.
+    pub lambda: f64,
+    /// Wire bytes of one migrating SD tile (payload + framing).
+    pub sd_bytes: u64,
+}
+
+impl CostParams {
+    /// Free network, λ = 0: the count-based planner.
+    pub fn free() -> Self {
+        CostParams {
+            comm: CommCost::free(),
+            lambda: 0.0,
+            sd_bytes: 0,
+        }
+    }
+
+    pub fn new(comm: CommCost, lambda: f64, sd_bytes: u64) -> Self {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        CostParams {
+            comm,
+            lambda,
+            sd_bytes,
+        }
+    }
+
+    /// True when λ-weighted cost terms can affect the plan.
+    fn is_active(&self) -> bool {
+        self.lambda > 0.0 && !self.comm.is_free()
+    }
+
+    /// λ-weighted cost (seconds) of migrating one SD tile `src` → `dst`;
+    /// exactly 0 when inactive so the degenerate case cannot drift from
+    /// the count-based planner through float noise.
+    fn edge_weight(&self, src: NodeId, dst: NodeId) -> f64 {
+        if self.is_active() {
+            self.lambda * self.comm.seconds(src, dst, self.sd_bytes)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Communication summary of a [`MigrationPlan`]: what shipping it costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanComm {
+    /// Total migration payload bytes.
+    pub total_bytes: u64,
+    /// Migration bytes by [`nlheat_netmodel::LinkClass`] (indexed by the
+    /// enum discriminant: intra-node, intra-rack, inter-rack).
+    pub bytes_by_class: [u64; N_LINK_CLASSES],
+}
+
+impl PlanComm {
+    /// Bytes crossing rack boundaries — the traffic cost-aware planning
+    /// exists to shrink.
+    pub fn inter_rack_bytes(&self) -> u64 {
+        self.bytes_by_class[nlheat_netmodel::LinkClass::InterRack as usize]
+    }
+}
+
 /// The outcome of one load-balancing iteration.
 #[derive(Debug, Clone)]
 pub struct MigrationPlan {
@@ -26,6 +105,11 @@ pub struct MigrationPlan {
     pub metrics: LoadMetrics,
     /// The ownership after applying `moves`.
     pub new_ownership: Ownership,
+    /// Migration traffic summary (all zero when planned with
+    /// [`CostParams::free`], whose `sd_bytes` is 0).
+    pub comm: PlanComm,
+    /// Estimated seconds to ship the plan's tiles, per [`CommCost`].
+    pub est_migration_seconds: f64,
 }
 
 impl MigrationPlan {
@@ -35,10 +119,16 @@ impl MigrationPlan {
     }
 }
 
-/// One iteration of Algorithm 1.
+/// One iteration of Algorithm 1 — the count-based planner, i.e.
+/// [`plan_rebalance_with_cost`] with a free network.
 ///
 /// `busy` are the per-node busy times (any consistent unit) accumulated
 /// since the previous iteration's counter reset.
+pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
+    plan_rebalance_with_cost(own, busy, &CostParams::free())
+}
+
+/// One iteration of Algorithm 1, weighing migrations by network cost.
 ///
 /// Sign conventions follow eq. 9 (`imbalance = expected − count`, positive
 /// = node should *gain* SDs). Each node in topological order settles its
@@ -48,12 +138,26 @@ impl MigrationPlan {
 /// residuals (exhausted frontiers) simply remain for the next iteration —
 /// the algorithm is iterative by design (the paper's Fig. 14 converges in
 /// three iterations).
-pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
+///
+/// Communication awareness enters at three points, all degenerating to
+/// the count-based behaviour at `λ = 0`:
+/// * the dependency forest expands cheap links first, so the topological
+///   order settles imbalance within racks before crossing them;
+/// * within one node's settlement, the remainder of `imbalance/L` is
+///   given to the cheapest-linked neighbours first;
+/// * a transfer is realized only when its per-SD busy-time relief
+///   (`busy[src]/count[src]`, seconds) exceeds the λ-weighted estimated
+///   transfer seconds of one tile — gated via the per-SD score of
+///   [`select_transfer_scored`]. Gated imbalance stays put and is settled
+///   over cheaper links on later iterations.
+pub fn plan_rebalance_with_cost(own: &Ownership, busy: &[f64], cost: &CostParams) -> MigrationPlan {
     let n = own.n_nodes() as usize;
     assert_eq!(busy.len(), n, "one busy time per node");
     let metrics = compute_metrics(&own.counts(), busy);
     let adjacency = own.node_adjacency();
-    let forest = build_forest(&adjacency, &metrics.imbalance);
+    let forest = build_forest_weighted(&adjacency, &metrics.imbalance, |u, v| {
+        cost.edge_weight(u, v)
+    });
 
     let mut imbalance = metrics.imbalance.clone();
     let mut working = own.clone();
@@ -72,11 +176,18 @@ pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
             // Non-visited adjacent nodes (graph adjacency; the tree only
             // fixes the ordering). Recompute from the *working* ownership:
             // earlier transfers may have created or removed borders.
-            let neighbors: Vec<NodeId> = working.node_adjacency()[i as usize]
+            // Cheapest links first so the remainder lands there; at λ = 0
+            // all weights tie and the id order is the count-based one.
+            let mut neighbors: Vec<NodeId> = working.node_adjacency()[i as usize]
                 .iter()
                 .copied()
                 .filter(|&m| !visited[m as usize])
                 .collect();
+            neighbors.sort_by(|&a, &b| {
+                cost.edge_weight(i, a)
+                    .total_cmp(&cost.edge_weight(i, b))
+                    .then(a.cmp(&b))
+            });
             let l = neighbors.len() as i64;
             if l == 0 {
                 continue;
@@ -98,7 +209,11 @@ pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
                 } else {
                     (i, m, (-x) as usize) // i lends to m
                 };
-                let chosen = select_transfer(&working, src, dst, amount);
+                // Per-SD migration score: busy-time relief minus the
+                // λ-weighted transfer cost. Uniform tiles make it constant
+                // across this frontier, so it acts as a transfer gate.
+                let gain = metrics.relief_per_sd(src as usize) - cost.edge_weight(src, dst);
+                let chosen = select_transfer_scored(&working, src, dst, amount, |_| gain);
                 for &sd in &chosen {
                     working.set_owner(sd, dst);
                     raw.push(Move {
@@ -131,10 +246,21 @@ pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
     }
     moves.retain(|m| m.from != m.to);
 
+    // Traffic summary over the collapsed (actually shipped) moves.
+    let mut comm = PlanComm::default();
+    let mut est_migration_seconds = 0.0;
+    for m in &moves {
+        comm.total_bytes += cost.sd_bytes;
+        comm.bytes_by_class[cost.comm.link_class(m.from, m.to) as usize] += cost.sd_bytes;
+        est_migration_seconds += cost.comm.seconds(m.from, m.to, cost.sd_bytes);
+    }
+
     MigrationPlan {
         moves,
         metrics,
         new_ownership: working,
+        comm,
+        est_migration_seconds,
     }
 }
 
@@ -342,5 +468,133 @@ mod tests {
         let plan = plan_rebalance(&own, &symmetric_busy(&own));
         assert_eq!(plan.metrics.counts, vec![22, 1, 1, 1]);
         assert_eq!(plan.metrics.imbalance.iter().sum::<i64>(), 0);
+    }
+
+    use nlheat_netmodel::{CommCost, LinkSpec, NetSpec, TopologySpec};
+
+    /// A 2-rack topology where crossing racks is brutally expensive and
+    /// staying inside a rack is nearly free.
+    fn harsh_two_rack() -> TopologySpec {
+        TopologySpec {
+            nodes_per_rack: 2,
+            intra_node: LinkSpec::new(0.0, f64::INFINITY),
+            intra_rack: LinkSpec::new(1e-9, f64::INFINITY),
+            inter_rack: LinkSpec::new(10.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn lambda_zero_with_real_network_is_byte_identical() {
+        // The acceptance criterion: cost-aware planning at λ = 0 must not
+        // perturb the count-based plans, even with a non-trivial CommCost
+        // and tile size attached. Sweep the same ownership/busy space as
+        // `moves_are_single_hop_per_sd`.
+        let comm = CommCost::from_spec(&NetSpec::Topology(harsh_two_rack()));
+        let params = CostParams::new(comm, 0.0, 1 << 20);
+        let sds = SdGrid::new(6, 6, 4);
+        for pattern in 0..16u32 {
+            let owners: Vec<u32> = (0..36u32)
+                .map(|sd| {
+                    let (sx, sy) = sds.coords(sd);
+                    ((sx as u32 + pattern) / 2 + 2 * (sy as u32 / 3)) % 4
+                })
+                .collect();
+            let own = Ownership::new(sds, owners, 4);
+            for skew in 0..8 {
+                let busy: Vec<f64> = (0..4)
+                    .map(|n| 1.0 + ((n + skew) % 4) as f64 * 1.7)
+                    .collect();
+                let seed = plan_rebalance(&own, &busy);
+                let cost_aware = plan_rebalance_with_cost(&own, &busy, &params);
+                assert_eq!(
+                    seed.moves, cost_aware.moves,
+                    "pattern {pattern} skew {skew}"
+                );
+                assert_eq!(seed.new_ownership, cost_aware.new_ownership);
+            }
+        }
+    }
+
+    #[test]
+    fn lambda_gates_inter_rack_migrations() {
+        // 8x1 row; racks {0,1} and {2,3}. Node 1 is overloaded and would
+        // settle toward both node 0 (intra-rack) and node 2 (inter-rack).
+        let sds = SdGrid::new(8, 1, 4);
+        let owners = vec![0, 0, 1, 1, 1, 1, 2, 3];
+        let own = Ownership::new(sds, owners, 4);
+        let busy = symmetric_busy(&own);
+        let comm = CommCost::from_spec(&NetSpec::Topology(harsh_two_rack()));
+
+        let free = plan_rebalance_with_cost(&own, &busy, &CostParams::new(comm, 0.0, 1000));
+        assert!(
+            free.comm.inter_rack_bytes() > 0,
+            "λ=0 must cross racks here: {:?}",
+            free.moves
+        );
+        // relief ≈ 1 s/SD, inter-rack cost = 10 + 2·1000/1 = 2010 s ≫ it
+        let gated = plan_rebalance_with_cost(&own, &busy, &CostParams::new(comm, 1.0, 1000));
+        assert_eq!(
+            gated.comm.inter_rack_bytes(),
+            0,
+            "λ=1 must gate the inter-rack move: {:?}",
+            gated.moves
+        );
+        assert!(!gated.is_noop(), "intra-rack settlement must still happen");
+        assert!(gated
+            .moves
+            .iter()
+            .all(|m| comm.link_class(m.from, m.to) != nlheat_netmodel::LinkClass::InterRack),);
+    }
+
+    #[test]
+    fn plan_comm_classifies_bytes_per_link() {
+        let sds = SdGrid::new(8, 1, 4);
+        let owners = vec![0, 0, 1, 1, 1, 1, 2, 3];
+        let own = Ownership::new(sds, owners, 4);
+        let comm = CommCost::from_spec(&NetSpec::Topology(harsh_two_rack()));
+        let plan =
+            plan_rebalance_with_cost(&own, &symmetric_busy(&own), &CostParams::new(comm, 0.0, 64));
+        let by_class: u64 = plan.comm.bytes_by_class.iter().sum();
+        assert_eq!(plan.comm.total_bytes, by_class);
+        assert_eq!(plan.comm.total_bytes, 64 * plan.moves.len() as u64);
+        assert!(plan.est_migration_seconds > 0.0);
+        // the free-params spelling reports zero traffic
+        let free = plan_rebalance(&own, &symmetric_busy(&own));
+        assert_eq!(free.comm, PlanComm::default());
+        assert_eq!(free.est_migration_seconds, 0.0);
+    }
+
+    #[test]
+    fn gated_plans_keep_single_hop_invariant() {
+        // The single-hop collapse must survive cost-aware gating: sweep
+        // λ over skewed busy vectors on a 2-rack layout and assert no SD
+        // moves twice and every `from` is the pre-epoch owner.
+        let sds = SdGrid::new(6, 6, 4);
+        let comm = CommCost::from_spec(&NetSpec::Topology(harsh_two_rack()));
+        for pattern in 0..8u32 {
+            let owners: Vec<u32> = (0..36u32)
+                .map(|sd| {
+                    let (sx, sy) = sds.coords(sd);
+                    ((sx as u32 + pattern) / 2 + 2 * (sy as u32 / 3)) % 4
+                })
+                .collect();
+            let own = Ownership::new(sds, owners, 4);
+            for lambda in [0.0, 1e-4, 0.5, 1.0, 100.0] {
+                let busy: Vec<f64> = (0..4).map(|n| 1.0 + (n % 4) as f64 * 2.3).collect();
+                let plan =
+                    plan_rebalance_with_cost(&own, &busy, &CostParams::new(comm, lambda, 5024));
+                let mut seen = std::collections::HashSet::new();
+                for m in &plan.moves {
+                    assert!(seen.insert(m.sd), "SD {} moved twice (λ={lambda})", m.sd);
+                    assert_eq!(own.owner(m.sd), m.from, "stale source (λ={lambda})");
+                    assert_ne!(m.from, m.to);
+                }
+                let mut check = own.clone();
+                for m in &plan.moves {
+                    check.set_owner(m.sd, m.to);
+                }
+                assert_eq!(check, plan.new_ownership);
+            }
+        }
     }
 }

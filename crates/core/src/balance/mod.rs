@@ -15,13 +15,25 @@
 //!    mesh partitioner established (Fig. 6) — [`transfer`];
 //! 5. emit the migration plan and reset the busy-time counters
 //!    (Algorithm 1 line 35) — [`algorithm`].
+//!
+//! The stack is **communication-aware** end to end: every step can weigh
+//! *where* bytes would go, not just how many SDs move. A
+//! [`CostParams`] (λ plus a [`nlheat_netmodel::CommCost`] derived from the
+//! active `NetSpec`) makes the dependency forest prefer cheap links, the
+//! remainder distribution favour cheap neighbours, and the frontier
+//! selection gate transfers whose busy-time relief does not cover
+//! `λ · migration bytes × link cost`. With `λ = 0` the whole stack
+//! degenerates — byte-identically — to the paper's count-based planner.
 
 pub mod algorithm;
 pub mod power;
 pub mod transfer;
 pub mod tree;
 
-pub use algorithm::{iterate_rebalance, plan_rebalance, MigrationPlan, Move};
+pub use algorithm::{
+    iterate_rebalance, plan_rebalance, plan_rebalance_with_cost, CostParams, MigrationPlan, Move,
+    PlanComm,
+};
 pub use power::{compute_metrics, LoadMetrics};
-pub use transfer::select_transfer;
-pub use tree::{build_forest, DependencyTree};
+pub use transfer::{select_transfer, select_transfer_scored};
+pub use tree::{build_forest, build_forest_weighted, DependencyTree};

@@ -5,6 +5,12 @@
 pub struct LoadMetrics {
     /// SD̄(N_i): current SD counts.
     pub counts: Vec<usize>,
+    /// Busy(N_i): the measured busy times the power estimate came from
+    /// (whatever unit the caller uses; cost-aware planning needs seconds
+    /// so relief is commensurable with [`CommCost`] transfer estimates).
+    ///
+    /// [`CommCost`]: nlheat_netmodel::CommCost
+    pub busy: Vec<f64>,
     /// Power(N_i) = SD̄(N_i)/Busy(N_i) (eq. 8).
     pub power: Vec<f64>,
     /// E(N_i) = total·Power_i/ΣPower, rounded to integers that sum to the
@@ -25,6 +31,17 @@ impl LoadMetrics {
     /// True when every node already holds its expected count.
     pub fn is_balanced(&self) -> bool {
         self.imbalance.iter().all(|&v| v == 0)
+    }
+
+    /// Busy time one SD contributes on `node` over the measured window —
+    /// the *busy-time relief* of migrating one SD away, in the unit of
+    /// `busy`. Zero for a node with no SDs (there is nothing to relieve).
+    pub fn relief_per_sd(&self, node: usize) -> f64 {
+        if self.counts[node] == 0 {
+            0.0
+        } else {
+            self.busy[node] / self.counts[node] as f64
+        }
     }
 }
 
@@ -72,6 +89,7 @@ pub fn compute_metrics(counts: &[usize], busy: &[f64]) -> LoadMetrics {
     debug_assert_eq!(imbalance.iter().sum::<i64>(), 0);
     LoadMetrics {
         counts: counts.to_vec(),
+        busy: busy.to_vec(),
         power,
         expected,
         imbalance,
@@ -165,6 +183,15 @@ mod tests {
             "largest fraction (tie: lowest id) promoted"
         );
         assert_eq!(out5.iter().sum::<i64>(), 5, "sums to requested total");
+    }
+
+    #[test]
+    fn relief_is_busy_per_sd() {
+        let m = compute_metrics(&[10, 4, 0], &[5.0, 1.0, 0.0]);
+        assert!((m.relief_per_sd(0) - 0.5).abs() < 1e-12);
+        assert!((m.relief_per_sd(1) - 0.25).abs() < 1e-12);
+        assert_eq!(m.relief_per_sd(2), 0.0, "empty node relieves nothing");
+        assert_eq!(m.busy, vec![5.0, 1.0, 0.0], "metrics record the input");
     }
 
     #[test]

@@ -14,8 +14,28 @@ use std::collections::HashSet;
 
 /// Choose up to `count` SDs currently owned by `from` for transfer to
 /// `to`, growing `to`'s territory uniformly. Returns fewer than `count`
-/// ids when the lender's reachable territory is exhausted.
+/// ids when the lender's reachable territory is exhausted. Equivalent to
+/// [`select_transfer_scored`] with a uniform zero score.
 pub fn select_transfer(own: &Ownership, from: NodeId, to: NodeId, count: usize) -> Vec<SdId> {
+    select_transfer_scored(own, from, to, count, |_| 0.0)
+}
+
+/// [`select_transfer`] with a per-SD migration score: `score(sd)` is the
+/// estimated net gain of moving `sd` — for the cost-aware balancer,
+/// busy-time relief minus λ·(migration bytes × link cost), in seconds.
+/// SDs with a negative score are never selected (their migration would
+/// cost more than it relieves), and within a partial ring higher-scoring
+/// SDs are preferred before the uniform-growth tie-breaks. A score that is
+/// constant and non-negative (e.g. the zero score of [`select_transfer`])
+/// reproduces the count-based selection exactly; with per-SD tile sizes a
+/// future caller can differentiate within one frontier.
+pub fn select_transfer_scored(
+    own: &Ownership,
+    from: NodeId,
+    to: NodeId,
+    count: usize,
+    score: impl Fn(SdId) -> f64,
+) -> Vec<SdId> {
     assert_ne!(from, to);
     let sds = own.sds();
     let mut selected: Vec<SdId> = Vec::with_capacity(count);
@@ -26,14 +46,18 @@ pub fn select_transfer(own: &Ownership, from: NodeId, to: NodeId, count: usize) 
         // The borrower owns nothing yet (can happen when more nodes than
         // SDs existed at some point): seed its territory with the lender's
         // most peripheral SD so ring growth has somewhere to start.
-        let seed = own.owned_by(from).into_iter().min_by_key(|&sd| {
-            let lender_neighbors = sds
-                .adjacent4(sd)
-                .iter()
-                .filter(|&&nb| own.owner(nb) == from)
-                .count();
-            (lender_neighbors, sd)
-        });
+        let seed = own
+            .owned_by(from)
+            .into_iter()
+            .filter(|&sd| score(sd) >= 0.0)
+            .min_by_key(|&sd| {
+                let lender_neighbors = sds
+                    .adjacent4(sd)
+                    .iter()
+                    .filter(|&&nb| own.owner(nb) == from)
+                    .count();
+                (lender_neighbors, sd)
+            });
         if let Some(sd) = seed {
             selected.push(sd);
             selected_set.insert(sd);
@@ -41,31 +65,43 @@ pub fn select_transfer(own: &Ownership, from: NodeId, to: NodeId, count: usize) 
         }
     }
     while selected.len() < count {
-        // the ring: `from`-owned SDs adjacent to the current region
+        // the ring: `from`-owned SDs adjacent to the current region whose
+        // migration is worth its communication cost
         let mut ring: Vec<SdId> = own
             .owned_by(from)
             .into_iter()
             .filter(|sd| !selected_set.contains(sd))
             .filter(|&sd| sds.adjacent4(sd).iter().any(|nb| region.contains(nb)))
+            .filter(|&sd| score(sd) >= 0.0)
             .collect();
         if ring.is_empty() {
             break;
         }
         let remaining = count - selected.len();
         if ring.len() > remaining {
-            // partial ring: prefer maximal contact with the borrower and
-            // minimal remaining contact with the lender (keeps the lender
-            // compact); ties by id for determinism.
-            ring.sort_by_key(|&sd| {
-                let nbs = sds.adjacent4(sd);
-                let contact = nbs.iter().filter(|nb| region.contains(nb)).count() as i64;
-                let lender_ties = nbs
-                    .iter()
-                    .filter(|&&nb| own.owner(nb) == from && !selected_set.contains(&nb))
-                    .count() as i64;
-                (-contact, lender_ties, sd)
+            // partial ring: prefer the highest migration score, then
+            // maximal contact with the borrower and minimal remaining
+            // contact with the lender (keeps the lender compact); ties by
+            // id for determinism.
+            let mut keyed: Vec<(SdId, f64, i64, i64)> = ring
+                .iter()
+                .map(|&sd| {
+                    let nbs = sds.adjacent4(sd);
+                    let contact = nbs.iter().filter(|nb| region.contains(nb)).count() as i64;
+                    let lender_ties = nbs
+                        .iter()
+                        .filter(|&&nb| own.owner(nb) == from && !selected_set.contains(&nb))
+                        .count() as i64;
+                    (sd, score(sd), -contact, lender_ties)
+                })
+                .collect();
+            keyed.sort_by(|a, b| {
+                b.1.total_cmp(&a.1)
+                    .then(a.2.cmp(&b.2))
+                    .then(a.3.cmp(&b.3))
+                    .then(a.0.cmp(&b.0))
             });
-            ring.truncate(remaining);
+            ring = keyed.into_iter().take(remaining).map(|k| k.0).collect();
         }
         for sd in ring {
             selected.push(sd);
@@ -154,6 +190,48 @@ mod tests {
             select_transfer(&own, 1, 0, 7),
             select_transfer(&own, 1, 0, 7)
         );
+    }
+
+    #[test]
+    fn scored_zero_matches_unscored() {
+        let own = halves();
+        for count in [1, 3, 6, 9, 18, 100] {
+            assert_eq!(
+                select_transfer(&own, 1, 0, count),
+                select_transfer_scored(&own, 1, 0, count, |_| 0.0)
+            );
+        }
+    }
+
+    #[test]
+    fn negative_score_blocks_selection() {
+        let own = halves();
+        // a transfer whose migration cost exceeds its relief moves nothing
+        assert!(select_transfer_scored(&own, 1, 0, 6, |_| -1e-3).is_empty());
+        // per-SD gating: only bottom-half rows are worth moving
+        let sds = *own.sds();
+        let taken = select_transfer_scored(&own, 1, 0, 18, |sd| {
+            if sds.coords(sd).1 < 3 {
+                1.0
+            } else {
+                -1.0
+            }
+        });
+        assert_eq!(taken.len(), 9, "3 selectable rows x 3 lender columns");
+        assert!(taken.iter().all(|&sd| sds.coords(sd).1 < 3), "{taken:?}");
+    }
+
+    #[test]
+    fn higher_score_picked_first_in_partial_ring() {
+        let own = halves();
+        let sds = *own.sds();
+        // boundary column sx=3 has six candidates; score favours high sy,
+        // overriding the contact/id tie-breaks that normally spread picks
+        let taken = select_transfer_scored(&own, 1, 0, 2, |sd| sds.coords(sd).1 as f64);
+        assert_eq!(taken.len(), 2);
+        let mut ys: Vec<i64> = taken.iter().map(|&sd| sds.coords(sd).1).collect();
+        ys.sort_unstable();
+        assert_eq!(ys, vec![4, 5], "top-scoring rows win: {taken:?}");
     }
 
     #[test]

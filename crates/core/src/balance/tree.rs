@@ -26,8 +26,25 @@ pub struct DependencyTree {
 
 /// Build one [`DependencyTree`] per connected component of `adjacency`.
 /// Each component is rooted at its node of minimum `imbalance`
-/// (ties: lowest id).
+/// (ties: lowest id). Neighbours are expanded in adjacency order — the
+/// uniform-weight case of [`build_forest_weighted`].
 pub fn build_forest(adjacency: &[Vec<NodeId>], imbalance: &[i64]) -> Vec<DependencyTree> {
+    build_forest_weighted(adjacency, imbalance, |_, _| 0.0)
+}
+
+/// [`build_forest`] with edge weights: at each BFS expansion the frontier
+/// node enqueues its unassigned neighbours cheapest-link first (ties by
+/// lowest id), so the topological processing order settles imbalance over
+/// cheap links before expensive ones. `weight(u, v)` is the cost of the
+/// `u`→`v` edge (for the cost-aware balancer: the λ-weighted estimated
+/// seconds of migrating one SD — see `CostParams::edge_weight`). A
+/// constant weight reproduces `build_forest` exactly, because adjacency
+/// lists are already sorted by id.
+pub fn build_forest_weighted(
+    adjacency: &[Vec<NodeId>],
+    imbalance: &[i64],
+    weight: impl Fn(NodeId, NodeId) -> f64,
+) -> Vec<DependencyTree> {
     let n = adjacency.len();
     assert_eq!(imbalance.len(), n);
     let mut assigned = vec![false; n];
@@ -46,13 +63,17 @@ pub fn build_forest(adjacency: &[Vec<NodeId>], imbalance: &[i64]) -> Vec<Depende
         queue.push_back(root);
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            for &u in &adjacency[v as usize] {
-                if !assigned[u as usize] {
-                    assigned[u as usize] = true;
-                    parent[u as usize] = Some(v);
-                    children[v as usize].push(u);
-                    queue.push_back(u);
-                }
+            let mut frontier: Vec<NodeId> = adjacency[v as usize]
+                .iter()
+                .copied()
+                .filter(|&u| !assigned[u as usize])
+                .collect();
+            frontier.sort_by(|&a, &b| weight(v, a).total_cmp(&weight(v, b)).then(a.cmp(&b)));
+            for u in frontier {
+                assigned[u as usize] = true;
+                parent[u as usize] = Some(v);
+                children[v as usize].push(u);
+                queue.push_back(u);
             }
         }
         forest.push(DependencyTree {
@@ -132,6 +153,33 @@ mod tests {
     fn tie_breaks_by_lowest_id() {
         let forest = build_forest(&quad_adjacency(), &[7, 7, 7, 7]);
         assert_eq!(forest[0].root, 0);
+    }
+
+    #[test]
+    fn weighted_expansion_prefers_cheap_links() {
+        // From root 0, neighbour 3 is cheap and 1 expensive: the BFS
+        // preorder must visit 3 before 1.
+        let imb = [-15, 5, 5, 5];
+        let forest = build_forest_weighted(&quad_adjacency(), &imb, |u, v| {
+            if (u, v) == (0, 1) || (v, u) == (0, 1) {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        let t = &forest[0];
+        let pos = |x: NodeId| t.order.iter().position(|&v| v == x).unwrap();
+        assert!(pos(3) < pos(1), "cheap link first: {:?}", t.order);
+        assert_eq!(t.children[0], vec![3, 1]);
+    }
+
+    #[test]
+    fn uniform_weight_matches_unweighted_forest() {
+        for imb in [[-15i64, 5, 5, 5], [3, -1, 2, -1], [7, 7, 7, 7]] {
+            let plain = build_forest(&quad_adjacency(), &imb);
+            let weighted = build_forest_weighted(&quad_adjacency(), &imb, |_, _| 0.123);
+            assert_eq!(plain, weighted, "constant weight must change nothing");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! stashed by the receiver's rendezvous table until expected — the
 //! asynchronous pipelining an AMT runtime buys.
 
-use crate::balance::plan_rebalance;
+use crate::balance::{plan_rebalance_with_cost, CostParams};
 use crate::ownership::Ownership;
 use crate::workload::WorkModel;
 use bytes::{Bytes, BytesMut};
@@ -53,10 +53,45 @@ pub enum PartitionMethod {
 }
 
 /// Load-balancing epoch configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LbConfig {
     /// Run Algorithm 1 every `period` timesteps.
     pub period: usize,
+    /// Communication-cost weight λ of the cost-aware planner (see
+    /// [`CostParams`]): a migration only happens when its busy-time relief
+    /// exceeds `λ ×` the estimated transfer seconds of one SD tile over
+    /// the link it would take (derived from [`DistConfig::net`]). 0 keeps
+    /// the paper's count-based Algorithm 1.
+    pub lambda: f64,
+}
+
+impl LbConfig {
+    /// Count-based balancing (λ = 0) every `period` timesteps.
+    pub fn every(period: usize) -> Self {
+        LbConfig {
+            period,
+            lambda: 0.0,
+        }
+    }
+
+    /// Weigh migration traffic with `lambda`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `lambda` — like a degenerate
+    /// [`NetSpec`], a bad λ must fail at configuration time, not on a
+    /// driver thread mid-run (where a panic deadlocks the cluster).
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        Self::validate_lambda(lambda);
+        self.lambda = lambda;
+        self
+    }
+
+    fn validate_lambda(lambda: f64) {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+    }
 }
 
 /// Configuration of a distributed run.
@@ -235,6 +270,13 @@ pub fn run_distributed(cluster: &Cluster, cfg: &DistConfig) -> DistReport {
         cfg.net,
         cluster.net_spec()
     );
+    // Reject a degenerate λ here (covers direct field assignment that
+    // bypassed `with_lambda`): a panic inside the locality-0 driver at
+    // the first LB epoch would leave the other localities blocked on the
+    // plan rendezvous forever.
+    if let Some(lb) = &cfg.lb {
+        LbConfig::validate_lambda(lb.lambda);
+    }
     let n_nodes = cluster.len() as u32;
     let setup = Arc::new(Setup::build(cfg.clone(), n_nodes));
     let t0 = Instant::now();
@@ -494,7 +536,8 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
             .lb
             .is_some_and(|lb| (step + 1) % lb.period == 0 && step + 1 < cfg.n_steps);
         if do_lb {
-            let epoch = ((step + 1) / cfg.lb.unwrap().period) as u64;
+            let lb_cfg = cfg.lb.unwrap();
+            let epoch = ((step + 1) / lb_cfg.period) as u64;
             // gather busy times on locality 0
             let busy = loc.busy_time_ns();
             loc.send(
@@ -511,10 +554,20 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 for fut in stat_futs {
                     let (busy_ns, _count) =
                         <(u64, u64)>::from_bytes(fut.get()).expect("corrupt LB stat");
-                    busy_vec.push((busy_ns as f64).max(1.0));
+                    // seconds, so relief is commensurable with the
+                    // CommCost transfer estimates the planner weighs in
+                    busy_vec.push((busy_ns as f64 * 1e-9).max(1e-12));
                 }
                 let ownership = Ownership::new(sds, owners.clone(), setup.n_nodes);
-                let plan = plan_rebalance(&ownership, &busy_vec);
+                // The planner sees the same network the fabric was built
+                // with: locality 0 derives the cost estimate from the
+                // config's NetSpec and weighs it by the configured λ.
+                let cost = CostParams::new(
+                    cfg.net.comm_cost(),
+                    lb_cfg.lambda,
+                    (sds.cells_per_sd() * 8 + 24) as u64,
+                );
+                let plan = plan_rebalance_with_cost(&ownership, &busy_vec, &cost);
                 let wire: Vec<(u64, u32, u32)> = plan
                     .moves
                     .iter()
@@ -663,7 +716,7 @@ mod tests {
     fn load_balancing_epoch_preserves_numerics() {
         let cluster = ClusterBuilder::new().uniform(2, 1).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.lb = Some(LbConfig { period: 2 });
+        cfg.lb = Some(LbConfig::every(2));
         // start from a deliberately imbalanced explicit assignment:
         // node 0 owns everything except one SD
         let mut owners = vec![0u32; 16];
@@ -692,7 +745,7 @@ mod tests {
         for _ in 0..3 {
             let cluster = ClusterBuilder::new().node(1, 1.0).node(1, 0.25).build();
             let mut cfg = DistConfig::new(16, 2.0, 4, 8);
-            cfg.lb = Some(LbConfig { period: 2 });
+            cfg.lb = Some(LbConfig::every(2));
             let report = run_distributed(&cluster, &cfg);
             assert_eq!(report.field, serial_field(16, 2.0, 8));
             counts = report.final_ownership.counts();
@@ -701,6 +754,22 @@ mod tests {
             }
         }
         panic!("fast node should own more SDs in at least one of 3 runs: {counts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn degenerate_lambda_rejected_before_the_run() {
+        // Even a λ written directly into the struct (bypassing
+        // `with_lambda`) must fail up front on the caller's thread, not
+        // inside the locality-0 driver where a panic at the first LB
+        // epoch would deadlock the other localities.
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 4);
+        cfg.lb = Some(LbConfig {
+            period: 2,
+            lambda: -1.0,
+        });
+        let _ = run_distributed(&cluster, &cfg);
     }
 
     #[test]

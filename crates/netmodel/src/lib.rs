@@ -267,6 +267,147 @@ impl TopologySpec {
             inter_rack: LinkSpec::new(2e-5, 2.5e9),
         }
     }
+
+    /// The rack hosting `node`.
+    pub fn rack_of(&self, node: u32) -> usize {
+        node as usize / self.nodes_per_rack
+    }
+
+    /// The link class between `src` and `dst`.
+    pub fn class(&self, src: u32, dst: u32) -> LinkClass {
+        if src == dst {
+            LinkClass::IntraNode
+        } else if self.rack_of(src) == self.rack_of(dst) {
+            LinkClass::IntraRack
+        } else {
+            LinkClass::InterRack
+        }
+    }
+
+    /// The [`LinkSpec`] of the `src`→`dst` link.
+    pub fn link(&self, src: u32, dst: u32) -> LinkSpec {
+        match self.class(src, dst) {
+            LinkClass::IntraNode => self.intra_node,
+            LinkClass::IntraRack => self.intra_rack,
+            LinkClass::InterRack => self.inter_rack,
+        }
+    }
+}
+
+/// The class of link a message traverses, ordered by distance. Uniform
+/// (rack-less) models report [`LinkClass::IntraNode`] for self-sends and
+/// [`LinkClass::IntraRack`] for everything else.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkClass {
+    /// Loopback on one node.
+    IntraNode = 0,
+    /// Different nodes on the same rack (or any uniform interconnect).
+    IntraRack = 1,
+    /// Across racks.
+    InterRack = 2,
+}
+
+/// Number of [`LinkClass`] variants — the length of per-class byte/cost
+/// accumulators such as `PlanComm::bytes_by_class`.
+pub const N_LINK_CLASSES: usize = 3;
+
+/// Estimated transfer cost of a message, derivable from any [`NetSpec`] —
+/// the planner-facing face of the network layer.
+///
+/// Where [`NetModel::arrival`] answers "when does *this* message land given
+/// everything already in flight" (stateful, simulation-grade), `CommCost`
+/// answers "roughly how many seconds does moving `bytes` from `src` to
+/// `dst` cost the system" (stateless, planning-grade). The estimate charges
+/// the link latency once plus the wire time **twice** — once for the
+/// sender-side serialization every model applies, once for the
+/// receiver-side ingress that the arrival models do not yet simulate but a
+/// migration target really pays (the tile must be received and unpacked
+/// before its next task can run). Contention is deliberately ignored: a
+/// rebalancing plan cannot know what else will occupy the NICs when it
+/// executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommCost {
+    kind: CostKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CostKind {
+    /// Zero cost everywhere (the [`NetSpec::Instant`] degenerate case).
+    Free,
+    /// One link class for every pair (constant / shared models).
+    Uniform(LinkSpec),
+    /// Per-pair link classes.
+    Topology(TopologySpec),
+}
+
+impl CommCost {
+    /// The zero-cost model: every transfer is free. This is the planner's
+    /// default — cost-aware balancing with a free network degenerates to
+    /// the count-based Algorithm 1.
+    pub fn free() -> Self {
+        CommCost {
+            kind: CostKind::Free,
+        }
+    }
+
+    /// Derive the cost estimate from a network spec (the same value that
+    /// builds the live [`NetModel`], so planner and transport agree on
+    /// what the network looks like by construction).
+    pub fn from_spec(spec: &NetSpec) -> Self {
+        spec.validate();
+        let kind = match *spec {
+            NetSpec::Instant => CostKind::Free,
+            NetSpec::Constant {
+                latency_s,
+                bytes_per_sec,
+            }
+            | NetSpec::Shared {
+                latency_s,
+                bytes_per_sec,
+            } => {
+                if latency_s == 0.0 && bytes_per_sec.is_infinite() {
+                    CostKind::Free
+                } else {
+                    CostKind::Uniform(LinkSpec::new(latency_s, bytes_per_sec))
+                }
+            }
+            NetSpec::Topology(spec) => CostKind::Topology(spec),
+        };
+        CommCost { kind }
+    }
+
+    /// True when every transfer costs zero seconds (λ-weighted terms all
+    /// vanish, so cost-aware planning is inert).
+    pub fn is_free(&self) -> bool {
+        matches!(self.kind, CostKind::Free)
+    }
+
+    /// The link class used between `src` and `dst`.
+    pub fn link_class(&self, src: u32, dst: u32) -> LinkClass {
+        match &self.kind {
+            CostKind::Free | CostKind::Uniform(_) => {
+                if src == dst {
+                    LinkClass::IntraNode
+                } else {
+                    LinkClass::IntraRack
+                }
+            }
+            CostKind::Topology(spec) => spec.class(src, dst),
+        }
+    }
+
+    /// Estimated seconds to move `bytes` from `src` to `dst`: link
+    /// latency plus sender-side serialization plus receiver-side ingress
+    /// (see the type docs for why ingress is charged although arrival
+    /// models skip it).
+    pub fn seconds(&self, src: u32, dst: u32, bytes: u64) -> f64 {
+        let link = match &self.kind {
+            CostKind::Free => return 0.0,
+            CostKind::Uniform(link) => *link,
+            CostKind::Topology(spec) => spec.link(src, dst),
+        };
+        link.latency_s + 2.0 * wire_sec(bytes, link.bytes_per_sec)
+    }
 }
 
 /// Per-pair link classes with per-sender NIC serialization. With a single
@@ -288,14 +429,7 @@ impl TopologyNet {
 
     /// The link class used between `src` and `dst`.
     pub fn link(&self, src: u32, dst: u32) -> LinkSpec {
-        if src == dst {
-            self.spec.intra_node
-        } else if src as usize / self.spec.nodes_per_rack == dst as usize / self.spec.nodes_per_rack
-        {
-            self.spec.intra_rack
-        } else {
-            self.spec.inter_rack
-        }
+        self.spec.link(src, dst)
     }
 }
 
@@ -364,16 +498,29 @@ impl NetSpec {
         }
     }
 
-    /// True when the spec builds a zero-delay model.
+    /// True when the spec builds a zero-delay model. The degenerate
+    /// `Shared { 0, inf }` spelling qualifies too: with infinite bandwidth
+    /// the NIC queue never backs up, so per-sender serialization is
+    /// indistinguishable from instant delivery — transports may skip their
+    /// delivery-thread machinery for it.
     pub fn is_instant(&self) -> bool {
         match self {
             NetSpec::Instant => true,
             NetSpec::Constant {
                 latency_s,
                 bytes_per_sec,
+            }
+            | NetSpec::Shared {
+                latency_s,
+                bytes_per_sec,
             } => *latency_s == 0.0 && bytes_per_sec.is_infinite(),
-            _ => false,
+            NetSpec::Topology(_) => false,
         }
+    }
+
+    /// The planning-grade cost estimate for this spec — see [`CommCost`].
+    pub fn comm_cost(&self) -> CommCost {
+        CommCost::from_spec(self)
     }
 
     /// Reject degenerate parameters early, with one rule for every
@@ -410,6 +557,12 @@ impl NetSpec {
     /// Panics on degenerate parameters — see [`NetSpec::validate`].
     pub fn build(&self, n_nodes: usize) -> Box<dyn NetModel> {
         self.validate();
+        if self.is_instant() {
+            // Covers the degenerate `Constant`/`Shared { 0, inf }`
+            // spellings: build the model that reports `is_instant()` so
+            // transports skip their delivery machinery.
+            return Box::new(InstantNet);
+        }
         match self {
             NetSpec::Instant => Box::new(InstantNet),
             NetSpec::Constant {
@@ -541,6 +694,74 @@ mod tests {
         assert!(!NetSpec::cluster().build(4).is_instant());
         let mut m = NetSpec::Topology(TopologySpec::two_tier(2)).build(4);
         assert!(m.arrival(0.0, &msg(0, 3, 1000)) > 0.0);
+    }
+
+    #[test]
+    fn degenerate_shared_spec_is_instant() {
+        // The `Shared { 0, inf }` spelling always yields arrival == now;
+        // both the spec-level predicate and the built model must say so.
+        let spec = NetSpec::shared(0.0, f64::INFINITY);
+        assert!(spec.is_instant());
+        let mut m = spec.build(4);
+        assert!(m.is_instant());
+        assert_eq!(m.arrival(2.5, &msg(0, 1, 1 << 30)), 2.5);
+        // a shared spec with any real latency or finite bandwidth is not
+        assert!(!NetSpec::shared(1e-9, f64::INFINITY).is_instant());
+        assert!(!NetSpec::shared(0.0, 1e12).is_instant());
+    }
+
+    #[test]
+    fn comm_cost_free_for_instant_spellings() {
+        for spec in [
+            NetSpec::Instant,
+            NetSpec::constant(0.0, f64::INFINITY),
+            NetSpec::shared(0.0, f64::INFINITY),
+        ] {
+            let cost = spec.comm_cost();
+            assert!(cost.is_free(), "{spec:?}");
+            assert_eq!(cost.seconds(0, 3, 1 << 30), 0.0);
+        }
+        assert!(!NetSpec::cluster().comm_cost().is_free());
+    }
+
+    #[test]
+    fn comm_cost_charges_latency_plus_double_wire() {
+        // 100 B/s, 0.5 s latency: 100 bytes cost 0.5 + 2 * 1.0 s — the
+        // wire time is charged at both the sender (serialization) and the
+        // receiver (ingress).
+        let cost = NetSpec::shared(0.5, 100.0).comm_cost();
+        assert!((cost.seconds(0, 1, 100) - 2.5).abs() < 1e-12);
+        // infinite bandwidth leaves only the latency term
+        let lat = NetSpec::constant(0.25, f64::INFINITY).comm_cost();
+        assert!((lat.seconds(0, 1, 1 << 40) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_cost_resolves_topology_link_classes() {
+        let spec = TopologySpec::two_tier(2);
+        let cost = NetSpec::Topology(spec).comm_cost();
+        assert_eq!(cost.link_class(0, 0), LinkClass::IntraNode);
+        assert_eq!(cost.link_class(0, 1), LinkClass::IntraRack);
+        assert_eq!(cost.link_class(0, 2), LinkClass::InterRack);
+        assert_eq!(cost.link_class(2, 1), LinkClass::InterRack);
+        // inter-rack strictly costlier than intra-rack, which beats loopback
+        let b = 1 << 20;
+        assert!(cost.seconds(0, 2, b) > cost.seconds(0, 1, b));
+        assert!(cost.seconds(0, 1, b) > cost.seconds(0, 0, b));
+        // and the estimate agrees with the spec's own link resolution
+        let link = spec.link(0, 2);
+        let expect = link.latency_s + 2.0 * (b as f64 / link.bytes_per_sec);
+        assert!((cost.seconds(0, 2, b) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn comm_cost_uniform_models_classify_by_self_send() {
+        let cost = NetSpec::cluster().comm_cost();
+        assert_eq!(cost.link_class(3, 3), LinkClass::IntraNode);
+        assert_eq!(cost.link_class(0, 7), LinkClass::IntraRack);
+        // uniform models still charge self-sends (the fabric routes them
+        // through the same NIC); only Instant is free
+        assert!(cost.seconds(3, 3, 1000) > 0.0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! load-balancing epochs.
 
 use crate::cost::CostModel;
-use nlheat_core::balance::plan_rebalance;
+use nlheat_core::balance::{plan_rebalance_with_cost, CostParams};
 use nlheat_core::ownership::Ownership;
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{build_halo_plan, split_cases, Grid, HaloPlan, PatchSource, SdGrid, Stencil};
@@ -40,10 +40,40 @@ pub enum SimPartition {
 }
 
 /// Load-balancing epochs in the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimLbConfig {
     /// Run Algorithm 1 every `period` simulated steps.
     pub period: usize,
+    /// Communication-cost weight λ of the cost-aware planner (see
+    /// [`CostParams`]): a migration only happens when its busy-time
+    /// relief exceeds `λ ×` the estimated transfer seconds of one SD tile
+    /// over the link it would take (derived from [`SimConfig::net`]). 0
+    /// keeps the paper's count-based Algorithm 1.
+    pub lambda: f64,
+}
+
+impl SimLbConfig {
+    /// Count-based balancing (λ = 0) every `period` simulated steps.
+    pub fn every(period: usize) -> Self {
+        SimLbConfig {
+            period,
+            lambda: 0.0,
+        }
+    }
+
+    /// Weigh migration traffic with `lambda`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `lambda` — configuration errors
+    /// fail here, not at the first simulated LB epoch.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be finite and non-negative, got {lambda}"
+        );
+        self.lambda = lambda;
+        self
+    }
 }
 
 /// Full simulation configuration.
@@ -130,6 +160,11 @@ pub struct SimRun {
     pub lb_history: Vec<Vec<usize>>,
     /// Total SDs migrated.
     pub migrations: usize,
+    /// Total migration payload bytes (a subset of `cross_bytes`).
+    pub migration_bytes: u64,
+    /// Migration payload bytes that crossed a rack boundary (per the
+    /// configured [`NetSpec`]'s link classes; 0 for rack-less models).
+    pub inter_rack_migration_bytes: u64,
     /// Final ownership.
     pub final_ownership: Ownership,
 }
@@ -218,6 +253,12 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
     let mut messages = 0u64;
     let mut lb_history: Vec<Vec<usize>> = Vec::new();
     let mut migrations = 0usize;
+    let mut migration_bytes = 0u64;
+    let mut inter_rack_migration_bytes = 0u64;
+    // Planner-facing cost estimate of the same network the event loop
+    // simulates — the simulator mirrors `core::dist`'s wiring exactly.
+    let sd_tile_bytes = (geo.sds.cells_per_sd() * 8 + 24) as u64;
+    let comm_cost = cfg.net.comm_cost();
 
     for step in 0..cfg.n_steps {
         // --- ghost messages: (dst node, dst sd) -> arrival time ---
@@ -322,11 +363,12 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 *t = barrier;
             }
             let busy_vec: Vec<f64> = busy_window.iter().map(|&b| b.max(1e-12)).collect();
-            let plan = plan_rebalance(&ownership, &busy_vec);
+            let cost = CostParams::new(comm_cost, cfg.lb.unwrap().lambda, sd_tile_bytes);
+            let plan = plan_rebalance_with_cost(&ownership, &busy_vec, &cost);
             // migration costs: tile payloads over the network
             net.reset(barrier);
             for mv in &plan.moves {
-                let bytes = (geo.sds.cells_per_sd() * 8 + 24) as u64;
+                let bytes = sd_tile_bytes;
                 let arr = net.arrival(
                     node_time[mv.from as usize],
                     &Msg {
@@ -341,6 +383,8 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 messages += 1;
             }
             migrations += plan.moves.len();
+            migration_bytes += plan.comm.total_bytes;
+            inter_rack_migration_bytes += plan.comm.inter_rack_bytes();
             ownership = plan.new_ownership.clone();
             lb_history.push(ownership.counts());
             // Algorithm 1 line 35: reset the busy window
@@ -370,6 +414,8 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
         messages,
         lb_history,
         migrations,
+        migration_bytes,
+        inter_rack_migration_bytes,
         final_ownership: ownership,
     }
 }
@@ -510,7 +556,7 @@ mod tests {
                 },
             ],
         );
-        cfg.lb = Some(SimLbConfig { period: 4 });
+        cfg.lb = Some(SimLbConfig::every(4));
         let run = simulate(&cfg);
         assert!(run.migrations > 0);
         let counts = run.final_ownership.counts();
@@ -546,12 +592,18 @@ mod tests {
         let mut base = SimConfig::paper(400, 25, 24, nodes);
         base.lb = None;
         let without = simulate(&base).total_time;
-        base.lb = Some(SimLbConfig { period: 4 });
+        base.lb = Some(SimLbConfig::every(4));
         let with = simulate(&base).total_time;
         assert!(
             with < without,
             "LB {with} must beat no-LB {without} on a 2x-fast node"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn degenerate_lambda_rejected_at_configuration() {
+        let _ = SimLbConfig::every(4).with_lambda(f64::NAN);
     }
 
     #[test]
@@ -598,7 +650,7 @@ mod tests {
             .collect();
         cfg.lb = None;
         let off = simulate(&cfg);
-        cfg.lb = Some(SimLbConfig { period: 4 });
+        cfg.lb = Some(SimLbConfig::every(4));
         let on = simulate(&cfg);
         assert!(
             on.total_time < off.total_time,

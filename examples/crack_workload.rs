@@ -26,7 +26,7 @@ fn main() {
 
     cfg.lb = None;
     let off = simulate(&cfg);
-    cfg.lb = Some(SimLbConfig { period: 4 });
+    cfg.lb = Some(SimLbConfig::every(4));
     let on = simulate(&cfg);
 
     println!("== crack workload: 400x400 mesh, 16x16 SDs, 4 symmetric nodes ==");

@@ -21,7 +21,7 @@ fn main() {
         .node(1, 0.5) // half speed
         .build();
     let mut cfg = DistConfig::new(48, 2.0, 8, 12);
-    cfg.lb = Some(LbConfig { period: 3 });
+    cfg.lb = Some(LbConfig::every(3));
     println!("== real runtime: 48x48 mesh, 6x6 SDs, speeds [2.0, 1.0, 1.0, 0.5] ==");
     let report = run_distributed(&cluster, &cfg);
     println!("SD migrations: {}", report.migrations);
@@ -52,7 +52,7 @@ fn main() {
     let mut sim_cfg = SimConfig::paper(400, 25, 40, nodes);
     sim_cfg.lb = None;
     let off = simulate(&sim_cfg);
-    sim_cfg.lb = Some(SimLbConfig { period: 4 });
+    sim_cfg.lb = Some(SimLbConfig::every(4));
     let on = simulate(&sim_cfg);
     println!("\n== simulator: 400x400 mesh, 16x16 SDs, 40 steps ==");
     println!(
@@ -89,7 +89,7 @@ fn main() {
     });
     let mut cfg = DistConfig::new(48, 2.0, 8, 8);
     cfg.net = topo;
-    cfg.lb = Some(LbConfig { period: 3 });
+    cfg.lb = Some(LbConfig::every(3));
     let cluster = cfg.cluster().uniform(4, 1).build();
     println!("\n== real runtime on 2 racks x 2 nodes (slow inter-rack uplink) ==");
     let report = run_distributed(&cluster, &cfg);
@@ -132,6 +132,37 @@ fn main() {
             hidden.total_time * 1e3,
             exposed.total_time * 1e3,
             hidden.cross_bytes as f64 / 1e6
+        );
+    }
+
+    // --- communication-aware balancing: the λ knob ---
+    // Each rack pairs a fast and a slow node, so the useful rebalancing
+    // flow is intra-rack; the count-based planner (λ = 0) still routes
+    // part of every settlement over the slow uplink. λ > 0 gates a
+    // migration unless its busy-time relief covers λ x the estimated
+    // transfer seconds — inter-rack migration bytes drop while the
+    // makespan holds (ablation A7 sweeps this in full).
+    let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
+        .iter()
+        .map(|&speed| VirtualNode { cores: 1, speed })
+        .collect();
+    let mut lam_cfg = SimConfig::paper(400, 25, 16, nodes);
+    lam_cfg.partition = nonlocalheat::sim::SimPartition::Strip;
+    lam_cfg.net = NetSpec::Topology(TopologySpec {
+        nodes_per_rack: 2,
+        intra_node: LinkSpec::new(1e-7, 5e9),
+        intra_rack: LinkSpec::new(1e-4, 1e8),
+        inter_rack: LinkSpec::new(4e-4, 2.5e7),
+    });
+    println!("\n== cost-aware balancing on 2 racks (speeds 2:1 in each rack) ==");
+    for lambda in [0.0, 1.0, 2.0] {
+        lam_cfg.lb = Some(SimLbConfig::every(4).with_lambda(lambda));
+        let run = simulate(&lam_cfg);
+        println!(
+            "lambda {lambda}: {:>6.1} KB inter-rack / {:>6.1} KB total migration traffic, makespan {:.2} ms",
+            run.inter_rack_migration_bytes as f64 / 1e3,
+            run.migration_bytes as f64 / 1e3,
+            run.total_time * 1e3
         );
     }
 }

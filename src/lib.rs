@@ -45,7 +45,9 @@ pub use nlheat_sim as sim;
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use nlheat_amt::prelude::*;
-    pub use nlheat_core::balance::{iterate_rebalance, plan_rebalance};
+    pub use nlheat_core::balance::{
+        iterate_rebalance, plan_rebalance, plan_rebalance_with_cost, CostParams,
+    };
     pub use nlheat_core::dist::{run_distributed, DistConfig, LbConfig, PartitionMethod};
     pub use nlheat_core::ownership::Ownership;
     pub use nlheat_core::shared::{SharedConfig, SharedSolver};

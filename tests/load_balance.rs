@@ -1,12 +1,23 @@
 //! Integration tests of Algorithm 1 across the stack: pure planning,
-//! virtual iteration, the DES, and the real distributed runtime.
+//! virtual iteration, the DES, and the real distributed runtime —
+//! including the communication-aware (λ > 0) planning path.
 
-use nonlocalheat::core::balance::{iterate_rebalance, plan_rebalance};
+use nonlocalheat::core::balance::{iterate_rebalance, plan_rebalance, plan_rebalance_with_cost};
 use nonlocalheat::prelude::*;
 
 /// Busy model for identical nodes: busy ∝ SD count.
 fn symmetric_busy(own: &Ownership) -> Vec<f64> {
     own.counts().iter().map(|&c| c.max(1) as f64).collect()
+}
+
+/// A 2-rack interconnect with a meaningfully slower uplink.
+fn two_rack_spec() -> NetSpec {
+    NetSpec::Topology(TopologySpec {
+        nodes_per_rack: 2,
+        intra_node: LinkSpec::new(0.0, f64::INFINITY),
+        intra_rack: LinkSpec::new(1e-4, 1e8),
+        inter_rack: LinkSpec::new(4e-4, 2.5e7),
+    })
 }
 
 #[test]
@@ -72,7 +83,7 @@ fn power_proportional_distribution_in_sim() {
         },
     ];
     let mut cfg = SimConfig::paper(400, 25, 30, nodes);
-    cfg.lb = Some(SimLbConfig { period: 3 });
+    cfg.lb = Some(SimLbConfig::every(3));
     let run = simulate(&cfg);
     let counts = run.final_ownership.counts();
     let total: usize = counts.iter().sum();
@@ -107,7 +118,7 @@ fn sim_busy_fractions_equalize_with_lb() {
     let mut cfg = SimConfig::paper(400, 25, 40, nodes);
     cfg.lb = None;
     let off = simulate(&cfg);
-    cfg.lb = Some(SimLbConfig { period: 4 });
+    cfg.lb = Some(SimLbConfig::every(4));
     let on = simulate(&cfg);
     let spread = |fractions: &[f64]| {
         fractions.iter().cloned().fold(0.0, f64::max)
@@ -125,7 +136,7 @@ fn sim_busy_fractions_equalize_with_lb() {
 fn real_runtime_migrations_match_plans() {
     let cluster = ClusterBuilder::new().uniform(2, 1).build();
     let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-    cfg.lb = Some(LbConfig { period: 2 });
+    cfg.lb = Some(LbConfig::every(2));
     let mut owners = vec![0u32; 16];
     owners[15] = 1;
     cfg.partition = PartitionMethod::Explicit(owners);
@@ -135,6 +146,104 @@ fn real_runtime_migrations_match_plans() {
     let last = report.lb_history.last().expect("at least one epoch");
     assert_eq!(*last, report.final_ownership.counts());
     assert!(report.migrations > 0);
+}
+
+#[test]
+fn lambda_zero_cost_aware_plans_match_seed_planner() {
+    // Acceptance criterion: with λ = 0 the cost-aware planner emits
+    // byte-identical plans on this file's fixtures, even when a real
+    // 2-rack CommCost and tile size are attached.
+    let params = CostParams::new(two_rack_spec().comm_cost(), 0.0, 25 * 25 * 8 + 24);
+    // fixture 1: the Fig. 14 scenario
+    let sds = SdGrid::new(5, 5, 50);
+    let mut owners = vec![0u32; 25];
+    owners[sds.id(4, 0) as usize] = 1;
+    owners[sds.id(0, 4) as usize] = 2;
+    owners[sds.id(4, 4) as usize] = 3;
+    let fig14 = Ownership::new(sds, owners, 4);
+    // fixture 2: a partitioner-produced ownership
+    let sds6 = SdGrid::new(6, 6, 10);
+    let partitioned = Ownership::from_partition(sds6, &part_mesh_dual(&sds6, 4, 3));
+    for own in [fig14, partitioned] {
+        for busy in [
+            symmetric_busy(&own),
+            vec![3.0, 0.5, 1.0, 2.0],
+            vec![1.0, 1.0, 9.0, 1.0],
+        ] {
+            let seed = plan_rebalance(&own, &busy);
+            let cost_aware = plan_rebalance_with_cost(&own, &busy, &params);
+            assert_eq!(seed.moves, cost_aware.moves);
+            assert_eq!(seed.new_ownership, cost_aware.new_ownership);
+            assert_eq!(seed.metrics, cost_aware.metrics);
+        }
+    }
+}
+
+#[test]
+fn sim_lambda_reduces_inter_rack_migration_traffic() {
+    // End-to-end through the simulator: same 2-rack workload, λ on vs
+    // off. λ must cut inter-rack migration bytes without freezing the
+    // balancer.
+    let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
+        .iter()
+        .map(|&speed| VirtualNode { cores: 1, speed })
+        .collect();
+    let mut cfg = SimConfig::paper(400, 25, 16, nodes);
+    cfg.partition = nonlocalheat::sim::SimPartition::Strip;
+    cfg.net = two_rack_spec();
+    cfg.lb = Some(SimLbConfig::every(4));
+    let count_based = simulate(&cfg);
+    cfg.lb = Some(SimLbConfig::every(4).with_lambda(2.0));
+    let cost_aware = simulate(&cfg);
+    assert!(
+        count_based.inter_rack_migration_bytes > 0,
+        "baseline must cross racks for the comparison to mean anything"
+    );
+    assert!(
+        cost_aware.inter_rack_migration_bytes < count_based.inter_rack_migration_bytes,
+        "λ=2 must cut inter-rack migration bytes: {} vs {}",
+        cost_aware.inter_rack_migration_bytes,
+        count_based.inter_rack_migration_bytes
+    );
+    assert!(cost_aware.migrations > 0, "balancer must keep working");
+    assert!(
+        cost_aware.total_time <= count_based.total_time * 1.10,
+        "makespan must stay within noise: {} vs {}",
+        cost_aware.total_time,
+        count_based.total_time
+    );
+    // bookkeeping sanity: migration bytes are a subset of cross traffic
+    assert!(cost_aware.migration_bytes <= cost_aware.cross_bytes);
+    assert!(cost_aware.inter_rack_migration_bytes <= cost_aware.migration_bytes);
+}
+
+#[test]
+fn real_runtime_cost_aware_lb_preserves_numerics() {
+    // The distributed runtime with a topology fabric and λ > 0: the plan
+    // changes, the numerics must not. Two regimes: a tiny λ whose gate
+    // always passes (migrations proceed), and a λ so large that no
+    // measured relief can cover the link cost (every migration gated, the
+    // imbalanced ownership freezes) — both must stay bit-exact.
+    let parts = ProblemSpec::square(16, 2.0).build();
+    let mut serial = SerialSolver::manufactured(&parts);
+    serial.run(6);
+    let reference = serial.field();
+    for (lambda, expect_migrations) in [(1e-4, true), (1e6, false)] {
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.net = two_rack_spec();
+        cfg.lb = Some(LbConfig::every(2).with_lambda(lambda));
+        let mut owners = vec![0u32; 16];
+        owners[15] = 1;
+        cfg.partition = PartitionMethod::Explicit(owners);
+        let cluster = cfg.cluster().uniform(2, 1).build();
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, reference, "λ={lambda}");
+        if expect_migrations {
+            assert!(report.migrations > 0, "λ={lambda} gate must pass");
+        } else {
+            assert_eq!(report.migrations, 0, "λ={lambda} must gate every migration");
+        }
+    }
 }
 
 #[test]
@@ -148,7 +257,7 @@ fn crack_workload_rebalances_in_sim() {
         half_width: 30,
         factor: 0.25,
     };
-    cfg.lb = Some(SimLbConfig { period: 4 });
+    cfg.lb = Some(SimLbConfig::every(4));
     let run = simulate(&cfg);
     assert!(run.migrations > 0, "crack imbalance must trigger migration");
     // nodes hosting the cheap band end with more SDs than the others

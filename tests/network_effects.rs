@@ -125,7 +125,7 @@ fn latency_with_load_balancing_still_exact() {
         ))
         .build();
     let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-    cfg.lb = Some(LbConfig { period: 2 });
+    cfg.lb = Some(LbConfig::every(2));
     let report = run_distributed(&cluster, &cfg);
     assert_eq!(report.field, reference);
 }
@@ -137,7 +137,7 @@ fn shared_nic_with_load_balancing_still_exact() {
     let reference = serial_field(16, 2.0, 6);
     let mut cfg = DistConfig::new(16, 2.0, 4, 6);
     cfg.net = NetSpec::shared(200e-6, 4e6);
-    cfg.lb = Some(LbConfig { period: 2 });
+    cfg.lb = Some(LbConfig::every(2));
     let cluster = cfg.cluster().node(1, 1.0).node(1, 0.5).build();
     let report = run_distributed(&cluster, &cfg);
     assert_eq!(report.field, reference);

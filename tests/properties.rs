@@ -3,9 +3,10 @@
 use bytes::Bytes;
 use nonlocalheat::amt::codec::{decode_f64_vec, encode_f64_slice, Wire};
 use nonlocalheat::amt::rendezvous::Rendezvous;
-use nonlocalheat::core::balance::plan_rebalance;
+use nonlocalheat::core::balance::{plan_rebalance, plan_rebalance_with_cost, CostParams};
 use nonlocalheat::core::ownership::Ownership;
 use nonlocalheat::mesh::{build_halo_plan, split_cases, Rect, SdGrid};
+use nonlocalheat::netmodel::{CommCost, LinkSpec, NetSpec, TopologySpec};
 use nonlocalheat::partition::{balance as part_balance, part_graph, Csr, PartitionConfig};
 use proptest::prelude::*;
 
@@ -209,5 +210,63 @@ proptest! {
         );
         // 4. metrics imbalance sums to zero
         prop_assert_eq!(plan.metrics.imbalance.iter().sum::<i64>(), 0);
+    }
+}
+
+// The single-hop invariant, across count-based and cost-aware plans:
+// within one `MigrationPlan`, no SD may appear as a transfer source
+// (`from`) after having appeared as a destination (`to`) — the
+// distributed driver ships every migrating tile concurrently from its
+// pre-epoch owner, so a chained plan would ask a node to forward a tile
+// it never received (panic "migrating unowned SD", then cluster
+// deadlock). Random ownerships, busy vectors and λ weights over a 2-rack
+// topology whose uplink is slow enough for the λ gate to actually fire on
+// some cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn no_sd_moves_again_after_arriving(
+        nsx in 2i64..7,
+        nsy in 2i64..7,
+        n_nodes in 2u32..6,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.05f64..10.0, 8),
+        lambda in 0.0f64..4.0,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        let owners: Vec<u32> = (0..count)
+            .map(|i| ((owner_seed >> (i % 60)) as u32 ^ i as u32) % n_nodes)
+            .collect();
+        let own = Ownership::new(grid, owners, n_nodes);
+        let busy_vec: Vec<f64> =
+            (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+        let comm = CommCost::from_spec(&NetSpec::Topology(TopologySpec {
+            nodes_per_rack: 2,
+            intra_node: LinkSpec::new(0.0, f64::INFINITY),
+            intra_rack: LinkSpec::new(1e-3, 1e6),
+            inter_rack: LinkSpec::new(0.5, 2e4),
+        }));
+        let params = CostParams::new(comm, lambda, 4 * 4 * 8 + 24);
+        let plan = plan_rebalance_with_cost(&own, &busy_vec, &params);
+
+        let mut arrived = std::collections::HashSet::new();
+        for m in &plan.moves {
+            prop_assert!(
+                !arrived.contains(&m.sd),
+                "SD {} re-moved after arriving (λ={})", m.sd, lambda
+            );
+            // `from` is always the pre-epoch owner: the collapse folded
+            // any internal chain into one direct hop
+            prop_assert_eq!(own.owner(m.sd), m.from);
+            prop_assert!(m.from != m.to);
+            arrived.insert(m.sd);
+        }
+        // applying the single hops lands exactly on the claimed ownership
+        let mut check = own.clone();
+        for m in &plan.moves {
+            check.set_owner(m.sd, m.to);
+        }
+        prop_assert_eq!(&check, &plan.new_ownership);
     }
 }
