@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use nlheat_bench::ablations::{
     a1_partition_quality, a2_overlap, a3_sd_size, a4_lb_heterogeneous, a5_crack, a5b_moving_crack,
-    a6_network_models, a7_comm_aware_lambda,
+    a6_network_models, a7_comm_aware_lambda, a8_policy_comparison,
 };
 
 fn bench(c: &mut Criterion) {
@@ -16,6 +16,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", a5b_moving_crack(true).to_markdown());
     println!("{}", a6_network_models(true).to_markdown());
     println!("{}", a7_comm_aware_lambda(true).to_markdown());
+    println!("{}", a8_policy_comparison(true).to_markdown());
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("a1_partition_quality", |b| {
@@ -31,6 +32,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("a6_network_models", |b| b.iter(|| a6_network_models(true)));
     g.bench_function("a7_comm_aware_lambda", |b| {
         b.iter(|| a7_comm_aware_lambda(true))
+    });
+    g.bench_function("a8_policy_comparison", |b| {
+        b.iter(|| a8_policy_comparison(true))
     });
     g.finish();
 }

@@ -153,7 +153,20 @@ pub fn plan_rebalance(own: &Ownership, busy: &[f64]) -> MigrationPlan {
 pub fn plan_rebalance_with_cost(own: &Ownership, busy: &[f64], cost: &CostParams) -> MigrationPlan {
     let n = own.n_nodes() as usize;
     assert_eq!(busy.len(), n, "one busy time per node");
-    let metrics = compute_metrics(&own.counts(), busy);
+    plan_rebalance_from_metrics(own, compute_metrics(&own.counts(), busy), cost)
+}
+
+/// [`plan_rebalance_with_cost`] from precomputed eqs. 8–10 metrics — the
+/// entry point of the tree policy in the pluggable [`crate::balance::policy`]
+/// layer, where every policy receives the same [`LoadMetrics`] and the
+/// caller computed them once.
+pub fn plan_rebalance_from_metrics(
+    own: &Ownership,
+    metrics: LoadMetrics,
+    cost: &CostParams,
+) -> MigrationPlan {
+    let n = own.n_nodes() as usize;
+    assert_eq!(metrics.counts.len(), n, "metrics cover every node");
     let adjacency = own.node_adjacency();
     let forest = build_forest_weighted(&adjacency, &metrics.imbalance, |u, v| {
         cost.edge_weight(u, v)
@@ -161,7 +174,6 @@ pub fn plan_rebalance_with_cost(own: &Ownership, busy: &[f64], cost: &CostParams
 
     let mut imbalance = metrics.imbalance.clone();
     let mut working = own.clone();
-    let mut moves: Vec<Move> = Vec::new();
     let mut visited = vec![false; n];
 
     // Raw transfers in tree order; may route one SD through several owners.
@@ -229,11 +241,25 @@ pub fn plan_rebalance_with_cost(own: &Ownership, busy: &[f64], cost: &CostParams
             }
         }
     }
-    // Collapse per-SD chains (A→B, then B→C later in the same plan) into
-    // net single-hop moves (A→C). The runtime ships each migrating tile
-    // exactly once per epoch, directly from the owner that actually holds
-    // it; a chained plan would ask the intermediate owner to forward a
-    // tile it never received. Collapsing also drops A→…→A round trips.
+    finish_plan(metrics, working, raw, &cost.comm, cost.sd_bytes)
+}
+
+/// Turn a policy's raw transfer trace into the emitted [`MigrationPlan`]:
+/// collapse per-SD chains (A→B, then B→C later in the same plan) into net
+/// single-hop moves (A→C) and summarize the migration traffic. The runtime
+/// ships each migrating tile exactly once per epoch, directly from the
+/// owner that actually holds it; a chained plan would ask the intermediate
+/// owner to forward a tile it never received. Collapsing also drops
+/// A→…→A round trips — this is where *every* [`crate::balance::policy`]
+/// implementation earns the single-hop invariant the fabric relies on.
+pub(crate) fn finish_plan(
+    metrics: LoadMetrics,
+    working: Ownership,
+    raw: Vec<Move>,
+    comm_cost: &CommCost,
+    sd_bytes: u64,
+) -> MigrationPlan {
+    let mut moves: Vec<Move> = Vec::new();
     let mut slot: std::collections::HashMap<SdId, usize> = std::collections::HashMap::new();
     for mv in raw {
         match slot.entry(mv.sd) {
@@ -250,9 +276,9 @@ pub fn plan_rebalance_with_cost(own: &Ownership, busy: &[f64], cost: &CostParams
     let mut comm = PlanComm::default();
     let mut est_migration_seconds = 0.0;
     for m in &moves {
-        comm.total_bytes += cost.sd_bytes;
-        comm.bytes_by_class[cost.comm.link_class(m.from, m.to) as usize] += cost.sd_bytes;
-        est_migration_seconds += cost.comm.seconds(m.from, m.to, cost.sd_bytes);
+        comm.total_bytes += sd_bytes;
+        comm.bytes_by_class[comm_cost.link_class(m.from, m.to) as usize] += sd_bytes;
+        est_migration_seconds += comm_cost.seconds(m.from, m.to, sd_bytes);
     }
 
     MigrationPlan {

@@ -24,15 +24,26 @@
 //! selection gate transfers whose busy-time relief does not cover
 //! `λ · migration bytes × link cost`. With `λ = 0` the whole stack
 //! degenerates — byte-identically — to the paper's count-based planner.
+//!
+//! The tree planner is one strategy behind the pluggable [`policy`] layer:
+//! both substrates select an [`policy::LbPolicy`] via
+//! [`policy::LbSpec`]/[`policy::LbSchedule`] (tree, diffusion,
+//! greedy-steal, or the adaptive-λ decorator), and every policy emits the
+//! same single-hop [`MigrationPlan`] contract.
 
 pub mod algorithm;
+pub mod policy;
 pub mod power;
 pub mod transfer;
 pub mod tree;
 
 pub use algorithm::{
-    iterate_rebalance, plan_rebalance, plan_rebalance_with_cost, CostParams, MigrationPlan, Move,
-    PlanComm,
+    iterate_rebalance, plan_rebalance, plan_rebalance_from_metrics, plan_rebalance_with_cost,
+    CostParams, MigrationPlan, Move, PlanComm,
+};
+pub use policy::{
+    AdaptiveLambdaPolicy, DiffusionPolicy, GreedyStealPolicy, LbNetwork, LbPolicy, LbSchedule,
+    LbSpec, TreePolicy,
 };
 pub use power::{compute_metrics, LoadMetrics};
 pub use transfer::{select_transfer, select_transfer_scored};

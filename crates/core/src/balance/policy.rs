@@ -1,0 +1,944 @@
+//! The pluggable load-balancing policy layer.
+//!
+//! The paper contributes *one* rebalancing strategy — the Algorithm-1
+//! dependency-tree planner — but which strategy wins depends on the
+//! workload and the interconnect, so both execution substrates select the
+//! strategy through the same seam they already use for network models
+//! (`NetSpec`): an [`LbSpec`] configuration enum instantiating an
+//! [`LbPolicy`] trait object. A policy maps one epoch's measured state
+//! ([`LoadMetrics`] + [`Ownership`] + the planning-grade network view in
+//! [`LbNetwork`]) to a [`MigrationPlan`]; stateful policies (adaptive λ)
+//! additionally receive post-epoch feedback through
+//! [`LbPolicy::observe_stall`].
+//!
+//! Every policy emits **single-hop plans**: within one plan no SD appears
+//! twice and every move's `from` is the SD's pre-epoch owner. The
+//! distributed fabric ships all migrating tiles concurrently and would
+//! deadlock on a chained plan, so every implementation routes its raw
+//! transfer trace through the same collapse
+//! (`balance::algorithm::finish_plan`) the tree planner uses — the
+//! invariant is earned structurally, not per policy, and is property-tested
+//! over every variant.
+//!
+//! Shipped policies:
+//!
+//! * [`LbSpec::Tree`] — the paper's Algorithm 1 with the λ-weighted
+//!   communication-cost gate of `plan_rebalance_with_cost`; byte-identical
+//!   to the pre-policy-layer planner by construction (it delegates to it).
+//! * [`LbSpec::Diffusion`] — first-order pairwise load exchange
+//!   (dimension-exchange diffusion, cf. Cybenko 1989 and Demirel &
+//!   Sbalzarini, arXiv:1308.0148) over the neighbour graph induced by the
+//!   link classes, cheap links swept first.
+//! * [`LbSpec::GreedySteal`] — work-stealing-style greedy offload
+//!   (cf. Fernandes et al., arXiv:2401.04494): the most overloaded rank
+//!   repeatedly sheds one SD to its cheapest underloaded neighbour.
+//! * [`LbSpec::AdaptiveLambda`] — a decorator closing the "λ adapts
+//!   online" loop: wraps any inner policy and nudges its cost weight from
+//!   the measured migration-stall fraction of previous epochs.
+
+use crate::balance::algorithm::{
+    finish_plan, plan_rebalance_from_metrics, CostParams, MigrationPlan, Move,
+};
+use crate::balance::power::LoadMetrics;
+use crate::balance::transfer::select_transfer_scored;
+use crate::ownership::{NodeId, Ownership};
+use nlheat_netmodel::{CommCost, NetSpec};
+
+/// The planning-grade network view handed to every policy: the same
+/// [`CommCost`] the tree planner already consumed, plus the wire size of
+/// one migrating SD tile. Derived from the active [`NetSpec`] by both
+/// substrates, so planner and transport agree on what the network looks
+/// like by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LbNetwork {
+    /// Transfer-cost estimate derived from the active network spec.
+    pub comm: CommCost,
+    /// Wire bytes of one migrating SD tile (payload + framing).
+    pub sd_bytes: u64,
+}
+
+impl LbNetwork {
+    pub fn new(comm: CommCost, sd_bytes: u64) -> Self {
+        LbNetwork { comm, sd_bytes }
+    }
+
+    /// Free network: every cost term vanishes, λ gates are inert.
+    pub fn free() -> Self {
+        LbNetwork {
+            comm: CommCost::free(),
+            sd_bytes: 0,
+        }
+    }
+
+    /// Derive the view from a network spec (what `DistConfig`/`SimConfig`
+    /// do with their configured `net`).
+    pub fn from_spec(spec: &NetSpec, sd_bytes: u64) -> Self {
+        LbNetwork::new(spec.comm_cost(), sd_bytes)
+    }
+
+    /// The view for migrating SD tiles of `cells_per_sd` cells: the wire
+    /// size both substrates actually ship per tile (8-byte f64 payload per
+    /// cell plus the codec's length/framing overhead). This is the **one**
+    /// copy of that formula — `core::dist` and `sim::engine` both call it,
+    /// so their planners can never disagree on `sd_bytes`.
+    pub fn for_sd_tiles(spec: &NetSpec, cells_per_sd: usize) -> Self {
+        LbNetwork::from_spec(spec, (cells_per_sd * 8 + 24) as u64)
+    }
+}
+
+/// A load-balancing policy: one epoch's measured state in, a single-hop
+/// [`MigrationPlan`] out.
+///
+/// Policies may be stateful across epochs (the adaptive-λ decorator is),
+/// so the substrate builds one instance per run via [`LbSpec::build`] and
+/// keeps it alive between epochs.
+pub trait LbPolicy: Send {
+    /// Short label for ablation tables and logs.
+    fn name(&self) -> &'static str;
+
+    /// Plan one epoch. `metrics` are the eqs. 8–10 metrics computed from
+    /// the measured busy times (seconds, so relief is commensurable with
+    /// the [`LbNetwork`] transfer estimates); `own` is the pre-epoch
+    /// ownership the emitted moves' `from` fields must match.
+    fn plan(&mut self, own: &Ownership, metrics: &LoadMetrics, net: &LbNetwork) -> MigrationPlan;
+
+    /// Post-epoch feedback: the fraction of the last balancing window the
+    /// substrate spent stalled on migration traffic (0 when the plan was
+    /// empty). Default: ignored.
+    fn observe_stall(&mut self, stall_frac: f64) {
+        let _ = stall_frac;
+    }
+
+    /// Override the policy's communication-cost weight λ (used by the
+    /// adaptive-λ decorator to steer its inner policy). Default: ignored —
+    /// a policy without a cost gate has nothing to set.
+    fn set_cost_weight(&mut self, lambda: f64) {
+        let _ = lambda;
+    }
+
+    /// The policy's current communication-cost weight λ (0 for policies
+    /// without a cost gate).
+    fn cost_weight(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Serde-free policy selection shared by `DistConfig` and `SimConfig`
+/// (via [`LbSchedule`]), mirroring how `NetSpec` selects a `NetModel`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LbSpec {
+    /// The paper's Algorithm-1 dependency-tree planner with the λ-weighted
+    /// communication-cost gate; `lambda = 0` is the count-based paper
+    /// algorithm, byte-identical to the pre-policy-layer planner.
+    Tree { lambda: f64 },
+    /// First-order diffusion: sweep the link-class neighbour graph
+    /// (cheap edges first) and settle half of each pair's imbalance
+    /// difference, for at most `max_rounds` rounds or until every node is
+    /// within `tolerance` SDs of its expected share.
+    Diffusion { tolerance: f64, max_rounds: usize },
+    /// Greedy offload: while some rank's overload is at least `threshold`
+    /// SDs, the most overloaded rank sheds one SD to its cheapest
+    /// underloaded neighbour.
+    GreedySteal { threshold: usize },
+    /// Decorator: run `inner`, and after each epoch nudge its cost weight
+    /// λ so the measured migration-stall fraction approaches
+    /// `target_stall_frac` (doubling λ when migrations stall more than
+    /// the target, halving it when they stall less than half of it).
+    AdaptiveLambda {
+        inner: Box<LbSpec>,
+        target_stall_frac: f64,
+    },
+}
+
+impl Default for LbSpec {
+    /// The paper's count-based Algorithm 1.
+    fn default() -> Self {
+        LbSpec::Tree { lambda: 0.0 }
+    }
+}
+
+impl LbSpec {
+    /// Algorithm 1 weighing migration traffic by `lambda`.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters — see [`LbSpec::validate`].
+    pub fn tree(lambda: f64) -> Self {
+        let spec = LbSpec::Tree { lambda };
+        spec.validate();
+        spec
+    }
+
+    /// Diffusion with the given stop condition.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters — see [`LbSpec::validate`].
+    pub fn diffusion(tolerance: f64, max_rounds: usize) -> Self {
+        let spec = LbSpec::Diffusion {
+            tolerance,
+            max_rounds,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// Greedy stealing with the given overload threshold.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters — see [`LbSpec::validate`].
+    pub fn greedy_steal(threshold: usize) -> Self {
+        let spec = LbSpec::GreedySteal { threshold };
+        spec.validate();
+        spec
+    }
+
+    /// Wrap `inner` in the adaptive-λ decorator.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters — see [`LbSpec::validate`].
+    pub fn adaptive(inner: LbSpec, target_stall_frac: f64) -> Self {
+        let spec = LbSpec::AdaptiveLambda {
+            inner: Box::new(inner),
+            target_stall_frac,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// The policy's ablation label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LbSpec::Tree { .. } => "tree",
+            LbSpec::Diffusion { .. } => "diffusion",
+            LbSpec::GreedySteal { .. } => "greedy-steal",
+            LbSpec::AdaptiveLambda { .. } => "adaptive-lambda",
+        }
+    }
+
+    /// Reject degenerate parameters at configuration time — like a bad
+    /// `NetSpec`, a bad policy parameter must fail on the caller's thread,
+    /// not on a driver thread mid-run (where a panic at the first LB epoch
+    /// deadlocks the cluster).
+    ///
+    /// # Panics
+    /// Panics on: non-finite or negative `lambda`; non-finite or
+    /// non-positive `tolerance`; `max_rounds` of 0; `threshold` of 0;
+    /// `target_stall_frac` outside `(0, 1)`; or an invalid inner spec.
+    pub fn validate(&self) {
+        match self {
+            LbSpec::Tree { lambda } => assert!(
+                *lambda >= 0.0 && lambda.is_finite(),
+                "lambda must be finite and non-negative, got {lambda}"
+            ),
+            LbSpec::Diffusion {
+                tolerance,
+                max_rounds,
+            } => {
+                assert!(
+                    *tolerance > 0.0 && tolerance.is_finite(),
+                    "diffusion tolerance must be finite and positive, got {tolerance}"
+                );
+                assert!(*max_rounds >= 1, "diffusion max_rounds must be at least 1");
+            }
+            LbSpec::GreedySteal { threshold } => {
+                assert!(*threshold >= 1, "greedy-steal threshold must be at least 1");
+            }
+            LbSpec::AdaptiveLambda {
+                inner,
+                target_stall_frac,
+            } => {
+                assert!(
+                    *target_stall_frac > 0.0
+                        && *target_stall_frac < 1.0
+                        && target_stall_frac.is_finite(),
+                    "target_stall_frac must be in (0, 1), got {target_stall_frac}"
+                );
+                // A nested decorator would be silently inert: the outer
+                // one keeps the stall feedback to itself and clobbers the
+                // inner's λ every epoch. Reject rather than surprise.
+                assert!(
+                    !matches!(**inner, LbSpec::AdaptiveLambda { .. }),
+                    "AdaptiveLambda cannot wrap another AdaptiveLambda"
+                );
+                inner.validate();
+            }
+        }
+    }
+
+    /// Instantiate the policy object for one run.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters — see [`LbSpec::validate`].
+    pub fn build(&self) -> Box<dyn LbPolicy> {
+        self.validate();
+        match self {
+            LbSpec::Tree { lambda } => Box::new(TreePolicy { lambda: *lambda }),
+            LbSpec::Diffusion {
+                tolerance,
+                max_rounds,
+            } => Box::new(DiffusionPolicy {
+                tolerance: *tolerance,
+                max_rounds: *max_rounds,
+                cost_weight: 0.0,
+            }),
+            LbSpec::GreedySteal { threshold } => Box::new(GreedyStealPolicy {
+                threshold: *threshold,
+                cost_weight: 0.0,
+            }),
+            LbSpec::AdaptiveLambda {
+                inner,
+                target_stall_frac,
+            } => {
+                let inner = inner.build();
+                // start from the inner policy's configured weight so the
+                // decorator nudges rather than resets
+                let lambda = inner.cost_weight();
+                Box::new(AdaptiveLambdaPolicy {
+                    inner,
+                    target_stall_frac: *target_stall_frac,
+                    lambda,
+                })
+            }
+        }
+    }
+}
+
+/// When to balance and how — the one load-balancing configuration shared
+/// by `DistConfig` (as `LbConfig`) and `SimConfig` (as `SimLbConfig`),
+/// replacing the duplicated per-substrate structs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LbSchedule {
+    /// Run the policy every `period` (simulated or real) timesteps.
+    pub period: usize,
+    /// Which policy plans the epochs.
+    pub spec: LbSpec,
+}
+
+impl LbSchedule {
+    /// The paper's count-based Algorithm 1 every `period` timesteps.
+    ///
+    /// # Panics
+    /// Panics on a zero period.
+    pub fn every(period: usize) -> Self {
+        assert!(period >= 1, "LB period must be at least 1 step");
+        LbSchedule {
+            period,
+            spec: LbSpec::default(),
+        }
+    }
+
+    /// Select the balancing policy.
+    ///
+    /// # Panics
+    /// Panics on invalid policy parameters — see [`LbSpec::validate`].
+    pub fn with_spec(mut self, spec: LbSpec) -> Self {
+        spec.validate();
+        self.spec = spec;
+        self
+    }
+
+    /// Weigh migration traffic with `lambda` in the tree planner.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `lambda`.
+    #[deprecated(note = "use with_spec(LbSpec::Tree { lambda }) instead")]
+    pub fn with_lambda(self, lambda: f64) -> Self {
+        self.with_spec(LbSpec::Tree { lambda })
+    }
+
+    /// Validate the whole schedule (covers direct field assignment that
+    /// bypassed the builders).
+    ///
+    /// # Panics
+    /// Panics on a zero period or invalid policy parameters.
+    pub fn validate(&self) {
+        assert!(self.period >= 1, "LB period must be at least 1 step");
+        self.spec.validate();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Policy implementations
+// ---------------------------------------------------------------------
+
+/// [`LbSpec::Tree`]: delegates to the Algorithm-1 planner.
+pub struct TreePolicy {
+    lambda: f64,
+}
+
+impl LbPolicy for TreePolicy {
+    fn name(&self) -> &'static str {
+        "tree"
+    }
+
+    fn plan(&mut self, own: &Ownership, metrics: &LoadMetrics, net: &LbNetwork) -> MigrationPlan {
+        let cost = CostParams::new(net.comm, self.lambda, net.sd_bytes);
+        plan_rebalance_from_metrics(own, metrics.clone(), &cost)
+    }
+
+    fn set_cost_weight(&mut self, lambda: f64) {
+        self.lambda = lambda;
+    }
+
+    fn cost_weight(&self) -> f64 {
+        self.lambda
+    }
+}
+
+/// [`LbSpec::Diffusion`]: first-order pairwise load exchange.
+pub struct DiffusionPolicy {
+    tolerance: f64,
+    max_rounds: usize,
+    /// λ gate on realizations; 0 unless set by the adaptive decorator.
+    cost_weight: f64,
+}
+
+impl LbPolicy for DiffusionPolicy {
+    fn name(&self) -> &'static str {
+        "diffusion"
+    }
+
+    fn plan(&mut self, own: &Ownership, metrics: &LoadMetrics, net: &LbNetwork) -> MigrationPlan {
+        let mut imbalance = metrics.imbalance.clone();
+        let mut working = own.clone();
+        let mut raw: Vec<Move> = Vec::new();
+        // Undirected exchange edges from the link-class neighbour graph,
+        // cheapest class first (ties by ids) so imbalance settles within
+        // racks before any of it crosses them.
+        let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (i, nbs) in net.comm.neighbour_graph(own.n_nodes()).iter().enumerate() {
+            for &j in nbs {
+                if (j as usize) > i {
+                    edges.push((i as NodeId, j));
+                }
+            }
+        }
+        edges.sort_by(|&(a, b), &(c, d)| {
+            net.comm
+                .link_class(a, b)
+                .cmp(&net.comm.link_class(c, d))
+                .then(a.cmp(&c))
+                .then(b.cmp(&d))
+        });
+        for _round in 0..self.max_rounds {
+            let worst = imbalance.iter().map(|v| v.abs()).max().unwrap_or(0);
+            if (worst as f64) <= self.tolerance {
+                break;
+            }
+            let mut progressed = false;
+            for &(i, j) in &edges {
+                // settle half the pair's difference toward the needier end
+                let flow = (imbalance[j as usize] - imbalance[i as usize]) / 2;
+                if flow == 0 {
+                    continue;
+                }
+                let (src, dst, amount) = if flow > 0 {
+                    (i, j, flow as usize)
+                } else {
+                    (j, i, (-flow) as usize)
+                };
+                let gain = metrics.relief_per_sd(src as usize)
+                    - self.cost_weight * net.comm.seconds(src, dst, net.sd_bytes);
+                let chosen = select_transfer_scored(&working, src, dst, amount, |_| gain);
+                if chosen.is_empty() {
+                    continue;
+                }
+                for &sd in &chosen {
+                    working.set_owner(sd, dst);
+                    raw.push(Move {
+                        sd,
+                        from: src,
+                        to: dst,
+                    });
+                }
+                let realized = chosen.len() as i64;
+                imbalance[dst as usize] -= realized;
+                imbalance[src as usize] += realized;
+                progressed = true;
+            }
+            // exhausted frontiers or fully gated: residual imbalance stays
+            // for the next epoch, like the tree planner's residuals
+            if !progressed {
+                break;
+            }
+        }
+        finish_plan(metrics.clone(), working, raw, &net.comm, net.sd_bytes)
+    }
+
+    fn set_cost_weight(&mut self, lambda: f64) {
+        self.cost_weight = lambda;
+    }
+
+    fn cost_weight(&self) -> f64 {
+        self.cost_weight
+    }
+}
+
+/// [`LbSpec::GreedySteal`]: max-loaded rank sheds to its cheapest
+/// underloaded neighbour, one SD at a time.
+pub struct GreedyStealPolicy {
+    threshold: usize,
+    /// λ gate on steals; 0 unless set by the adaptive decorator.
+    cost_weight: f64,
+}
+
+impl LbPolicy for GreedyStealPolicy {
+    fn name(&self) -> &'static str {
+        "greedy-steal"
+    }
+
+    fn plan(&mut self, own: &Ownership, metrics: &LoadMetrics, net: &LbNetwork) -> MigrationPlan {
+        let n = own.n_nodes() as usize;
+        let mut imbalance = metrics.imbalance.clone();
+        let mut working = own.clone();
+        let mut raw: Vec<Move> = Vec::new();
+        let graph = net.comm.neighbour_graph(own.n_nodes());
+        // A rank whose every candidate fails (no reachable frontier, or
+        // fully λ-gated) is parked so the loop always terminates: each
+        // iteration either realizes a move (shrinking Σ|imbalance|) or
+        // parks one rank.
+        let mut parked = vec![false; n];
+        while let Some(src) = (0..n)
+            .filter(|&i| !parked[i] && -imbalance[i] >= self.threshold as i64)
+            .min_by_key(|&i| (imbalance[i], i))
+        {
+            let mut moved = false;
+            for &dst in &graph[src] {
+                if imbalance[dst as usize] <= 0 {
+                    continue;
+                }
+                let gain = metrics.relief_per_sd(src)
+                    - self.cost_weight * net.comm.seconds(src as NodeId, dst, net.sd_bytes);
+                let chosen = select_transfer_scored(&working, src as NodeId, dst, 1, |_| gain);
+                if let Some(&sd) = chosen.first() {
+                    working.set_owner(sd, dst);
+                    raw.push(Move {
+                        sd,
+                        from: src as NodeId,
+                        to: dst,
+                    });
+                    imbalance[dst as usize] -= 1;
+                    imbalance[src] += 1;
+                    moved = true;
+                    break;
+                }
+            }
+            if !moved {
+                parked[src] = true;
+            }
+        }
+        finish_plan(metrics.clone(), working, raw, &net.comm, net.sd_bytes)
+    }
+
+    fn set_cost_weight(&mut self, lambda: f64) {
+        self.cost_weight = lambda;
+    }
+
+    fn cost_weight(&self) -> f64 {
+        self.cost_weight
+    }
+}
+
+/// [`LbSpec::AdaptiveLambda`]: closes the λ feedback loop. Doubles the
+/// inner policy's cost weight when migrations stalled the last window more
+/// than the target fraction, halves it when they stalled less than half
+/// the target (the dead band in between holds λ steady, avoiding
+/// oscillation around the setpoint).
+pub struct AdaptiveLambdaPolicy {
+    inner: Box<dyn LbPolicy>,
+    target_stall_frac: f64,
+    lambda: f64,
+}
+
+impl AdaptiveLambdaPolicy {
+    /// λ is clamped here so `CostParams::new` can never see a non-finite
+    /// weight, no matter how many stalled epochs pile up.
+    const LAMBDA_MAX: f64 = 1e9;
+    /// Below this, λ snaps to exactly 0 so the inner policy degenerates to
+    /// its count-based behaviour instead of carrying float dust.
+    const LAMBDA_MIN: f64 = 1e-6;
+}
+
+impl LbPolicy for AdaptiveLambdaPolicy {
+    fn name(&self) -> &'static str {
+        "adaptive-lambda"
+    }
+
+    fn plan(&mut self, own: &Ownership, metrics: &LoadMetrics, net: &LbNetwork) -> MigrationPlan {
+        self.inner.set_cost_weight(self.lambda);
+        self.inner.plan(own, metrics, net)
+    }
+
+    fn observe_stall(&mut self, stall_frac: f64) {
+        if !stall_frac.is_finite() || stall_frac < 0.0 {
+            return;
+        }
+        if stall_frac > self.target_stall_frac {
+            self.lambda = if self.lambda <= 0.0 {
+                1.0
+            } else {
+                (self.lambda * 2.0).min(Self::LAMBDA_MAX)
+            };
+        } else if stall_frac < self.target_stall_frac * 0.5 {
+            self.lambda *= 0.5;
+            if self.lambda < Self::LAMBDA_MIN {
+                self.lambda = 0.0;
+            }
+        }
+    }
+
+    fn set_cost_weight(&mut self, lambda: f64) {
+        self.lambda = lambda;
+    }
+
+    fn cost_weight(&self) -> f64 {
+        self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::algorithm::{plan_rebalance, plan_rebalance_with_cost};
+    use crate::balance::power::compute_metrics;
+    use nlheat_mesh::{SdGrid, SdId};
+    use nlheat_netmodel::{LinkSpec, TopologySpec};
+
+    fn symmetric_busy(own: &Ownership) -> Vec<f64> {
+        own.counts().iter().map(|&c| c.max(1) as f64).collect()
+    }
+
+    fn metrics_for(own: &Ownership, busy: &[f64]) -> LoadMetrics {
+        compute_metrics(&own.counts(), busy)
+    }
+
+    /// The Fig. 14 imbalanced start: 5x5 SDs, 4 symmetric nodes.
+    fn fig14_initial() -> Ownership {
+        let sds = SdGrid::new(5, 5, 4);
+        let mut owners = vec![0u32; 25];
+        owners[sds.id(4, 0) as usize] = 1;
+        owners[sds.id(4, 4) as usize] = 3;
+        owners[sds.id(0, 4) as usize] = 2;
+        Ownership::new(sds, owners, 4)
+    }
+
+    fn two_rack_net(sd_bytes: u64) -> LbNetwork {
+        LbNetwork::from_spec(
+            &NetSpec::Topology(TopologySpec {
+                nodes_per_rack: 2,
+                intra_node: LinkSpec::new(0.0, f64::INFINITY),
+                intra_rack: LinkSpec::new(1e-9, f64::INFINITY),
+                inter_rack: LinkSpec::new(10.0, 1.0),
+            }),
+            sd_bytes,
+        )
+    }
+
+    /// Sweep of skewed ownerships/busy vectors shared by the invariant
+    /// tests (same family as `moves_are_single_hop_per_sd`).
+    fn sweep(mut check: impl FnMut(&Ownership, &[f64])) {
+        let sds = SdGrid::new(6, 6, 4);
+        for pattern in 0..8u32 {
+            let owners: Vec<u32> = (0..36u32)
+                .map(|sd| {
+                    let (sx, sy) = sds.coords(sd);
+                    ((sx as u32 + pattern) / 2 + 2 * (sy as u32 / 3)) % 4
+                })
+                .collect();
+            let own = Ownership::new(sds, owners, 4);
+            for skew in 0..4 {
+                let busy: Vec<f64> = (0..4)
+                    .map(|n| 1.0 + ((n + skew) % 4) as f64 * 1.7)
+                    .collect();
+                check(&own, &busy);
+            }
+        }
+    }
+
+    fn all_specs() -> Vec<LbSpec> {
+        vec![
+            LbSpec::tree(0.0),
+            LbSpec::tree(1.0),
+            LbSpec::diffusion(1.0, 8),
+            LbSpec::greedy_steal(1),
+            LbSpec::adaptive(LbSpec::tree(0.5), 0.1),
+            LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1),
+        ]
+    }
+
+    #[test]
+    fn tree_policy_is_byte_identical_to_planner() {
+        // The tentpole acceptance criterion: routing Algorithm 1 through
+        // the policy layer must not change a single move, at λ = 0 and
+        // λ > 0 alike.
+        let net = two_rack_net(1 << 12);
+        for lambda in [0.0, 0.5, 2.0] {
+            let mut policy = LbSpec::tree(lambda).build();
+            sweep(|own, busy| {
+                let direct = plan_rebalance_with_cost(
+                    own,
+                    busy,
+                    &CostParams::new(net.comm, lambda, net.sd_bytes),
+                );
+                let via_policy = policy.plan(own, &metrics_for(own, busy), &net);
+                assert_eq!(direct.moves, via_policy.moves, "λ={lambda}");
+                assert_eq!(direct.new_ownership, via_policy.new_ownership);
+                assert_eq!(direct.comm, via_policy.comm);
+            });
+        }
+        // and with a free network the λ=0 tree matches the seed planner
+        let mut policy = LbSpec::tree(0.0).build();
+        sweep(|own, busy| {
+            let seed = plan_rebalance(own, busy);
+            let via_policy = policy.plan(own, &metrics_for(own, busy), &LbNetwork::free());
+            assert_eq!(seed.moves, via_policy.moves);
+        });
+    }
+
+    #[test]
+    fn every_policy_emits_single_hop_plans() {
+        // No SD moves twice, no move targets the SD's current owner, and
+        // the moves land exactly on the claimed ownership — for every
+        // variant over the skewed sweep.
+        let net = two_rack_net(4 * 4 * 8 + 24);
+        for spec in all_specs() {
+            let mut policy = spec.build();
+            sweep(|own, busy| {
+                let plan = policy.plan(own, &metrics_for(own, busy), &net);
+                let mut seen = std::collections::HashSet::new();
+                for m in &plan.moves {
+                    assert!(
+                        seen.insert(m.sd),
+                        "{}: SD {} moved twice",
+                        spec.name(),
+                        m.sd
+                    );
+                    assert_eq!(own.owner(m.sd), m.from, "{}: stale source", spec.name());
+                    assert_ne!(m.from, m.to, "{}: no-op move", spec.name());
+                }
+                let mut check = own.clone();
+                for m in &plan.moves {
+                    check.set_owner(m.sd, m.to);
+                }
+                assert_eq!(check, plan.new_ownership, "{}", spec.name());
+            });
+        }
+    }
+
+    #[test]
+    fn diffusion_balances_fig14() {
+        let own = fig14_initial();
+        let mut policy = LbSpec::diffusion(1.0, 16).build();
+        let plan = policy.plan(
+            &own,
+            &metrics_for(&own, &symmetric_busy(&own)),
+            &LbNetwork::free(),
+        );
+        assert!(!plan.is_noop());
+        let counts = plan.new_ownership.counts();
+        let spread = counts.iter().max().unwrap() - counts.iter().min().unwrap();
+        assert!(
+            spread < 21,
+            "diffusion must shrink the 22/1/1/1 spread: {counts:?}"
+        );
+        assert_eq!(counts.iter().sum::<usize>(), 25);
+    }
+
+    #[test]
+    fn diffusion_tolerance_gates_small_imbalance() {
+        // 13/12 split on two nodes: |imbalance| <= 1, within tolerance 1.
+        let sds = SdGrid::new(5, 5, 4);
+        let owners: Vec<u32> = (0..25).map(|i| u32::from(i >= 13)).collect();
+        let own = Ownership::new(sds, owners, 2);
+        let mut policy = LbSpec::diffusion(1.0, 8).build();
+        let plan = policy.plan(
+            &own,
+            &metrics_for(&own, &symmetric_busy(&own)),
+            &LbNetwork::free(),
+        );
+        assert!(plan.is_noop(), "within tolerance: {:?}", plan.moves);
+    }
+
+    #[test]
+    fn greedy_steal_balances_two_nodes() {
+        // 1x6 row, 5/1 split: greedy sheds frontier SDs one at a time.
+        let sds = SdGrid::new(6, 1, 4);
+        let own = Ownership::new(sds, vec![0, 0, 0, 0, 0, 1], 2);
+        let mut policy = LbSpec::greedy_steal(1).build();
+        let plan = policy.plan(
+            &own,
+            &metrics_for(&own, &symmetric_busy(&own)),
+            &LbNetwork::free(),
+        );
+        assert_eq!(plan.new_ownership.counts(), vec![3, 3]);
+        let moved: Vec<SdId> = plan.moves.iter().map(|m| m.sd).collect();
+        assert_eq!(moved, vec![4, 3], "frontier first, ring by ring");
+    }
+
+    #[test]
+    fn greedy_steal_threshold_parks_small_overloads() {
+        let sds = SdGrid::new(6, 1, 4);
+        let own = Ownership::new(sds, vec![0, 0, 0, 0, 1, 1], 2);
+        // overload is 1; threshold 2 must not act
+        let mut policy = LbSpec::greedy_steal(2).build();
+        let plan = policy.plan(
+            &own,
+            &metrics_for(&own, &symmetric_busy(&own)),
+            &LbNetwork::free(),
+        );
+        assert!(plan.is_noop(), "{:?}", plan.moves);
+    }
+
+    #[test]
+    fn greedy_steal_prefers_cheap_neighbours() {
+        // 8x1 row, racks {0,1} and {2,3}: node 1 holds 5 of 8 SDs while
+        // its rack peer 0 and the inter-rack nodes 2, 3 are each one SD
+        // under their share. Greedy must satisfy the rack peer first, even
+        // though the inter-rack candidates are equally underloaded.
+        let sds = SdGrid::new(8, 1, 4);
+        let own = Ownership::new(sds, vec![0, 1, 1, 1, 1, 1, 2, 3], 4);
+        let net = two_rack_net(1000);
+        let mut policy = LbSpec::greedy_steal(1).build();
+        let plan = policy.plan(&own, &metrics_for(&own, &symmetric_busy(&own)), &net);
+        assert!(!plan.is_noop());
+        let first = plan.moves[0];
+        assert_eq!(
+            (first.from, first.to),
+            (1, 0),
+            "rack peer must be served first: {:?}",
+            plan.moves
+        );
+        assert_eq!(plan.new_ownership.counts()[0], 2, "peer topped up");
+    }
+
+    #[test]
+    fn adaptive_lambda_tracks_stall_feedback() {
+        let mut policy = LbSpec::adaptive(LbSpec::tree(0.0), 0.1).build();
+        assert_eq!(policy.cost_weight(), 0.0, "starts from the inner λ");
+        policy.observe_stall(0.5); // stalled well above target: engage gate
+        assert_eq!(policy.cost_weight(), 1.0);
+        policy.observe_stall(0.5);
+        assert_eq!(policy.cost_weight(), 2.0, "doubles while stalling");
+        policy.observe_stall(0.07); // inside the dead band: hold
+        assert_eq!(policy.cost_weight(), 2.0);
+        policy.observe_stall(0.01); // below half target: relax
+        assert_eq!(policy.cost_weight(), 1.0);
+        for _ in 0..40 {
+            policy.observe_stall(0.0);
+        }
+        assert_eq!(policy.cost_weight(), 0.0, "λ decays to exactly 0");
+        // garbage feedback is ignored
+        policy.observe_stall(f64::NAN);
+        policy.observe_stall(-1.0);
+        assert_eq!(policy.cost_weight(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_lambda_steers_its_inner_tree() {
+        // Same 8x1 two-rack fixture as the planner's gating test: with a
+        // raised λ the wrapped tree must stop crossing racks.
+        let sds = SdGrid::new(8, 1, 4);
+        let own = Ownership::new(sds, vec![0, 0, 1, 1, 1, 1, 2, 3], 4);
+        let busy = symmetric_busy(&own);
+        let net = two_rack_net(1000);
+        let mut policy = LbSpec::adaptive(LbSpec::tree(0.0), 0.05).build();
+        let free_plan = policy.plan(&own, &metrics_for(&own, &busy), &net);
+        assert!(
+            free_plan.comm.inter_rack_bytes() > 0,
+            "λ=0 must cross racks: {:?}",
+            free_plan.moves
+        );
+        policy.observe_stall(0.9); // λ -> 1: inter-rack cost >> relief
+        let gated = policy.plan(&own, &metrics_for(&own, &busy), &net);
+        assert_eq!(
+            gated.comm.inter_rack_bytes(),
+            0,
+            "raised λ must gate the uplink: {:?}",
+            gated.moves
+        );
+        assert!(!gated.is_noop(), "intra-rack settlement must survive");
+    }
+
+    #[test]
+    fn schedule_builders_and_shim() {
+        let sched = LbSchedule::every(4).with_spec(LbSpec::greedy_steal(2));
+        assert_eq!(sched.period, 4);
+        assert_eq!(sched.spec, LbSpec::GreedySteal { threshold: 2 });
+        assert_eq!(LbSchedule::every(3).spec, LbSpec::Tree { lambda: 0.0 });
+        // the deprecated λ shim maps onto Tree { lambda }
+        #[allow(deprecated)]
+        let shim = LbSchedule::every(2).with_lambda(1.5);
+        assert_eq!(shim.spec, LbSpec::Tree { lambda: 1.5 });
+    }
+
+    #[test]
+    fn spec_names_are_stable() {
+        assert_eq!(LbSpec::tree(0.0).name(), "tree");
+        assert_eq!(LbSpec::diffusion(1.0, 4).name(), "diffusion");
+        assert_eq!(LbSpec::greedy_steal(1).name(), "greedy-steal");
+        let spec = LbSpec::adaptive(LbSpec::diffusion(1.0, 4), 0.2);
+        assert_eq!(spec.name(), "adaptive-lambda");
+        assert_eq!(spec.build().name(), "adaptive-lambda");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn tree_rejects_negative_lambda() {
+        let _ = LbSpec::tree(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be finite and positive")]
+    fn diffusion_rejects_zero_tolerance() {
+        let _ = LbSpec::diffusion(0.0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_rounds must be at least 1")]
+    fn diffusion_rejects_zero_rounds() {
+        let _ = LbSpec::diffusion(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be at least 1")]
+    fn greedy_rejects_zero_threshold() {
+        let _ = LbSpec::greedy_steal(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_stall_frac must be in (0, 1)")]
+    fn adaptive_rejects_bad_target() {
+        let _ = LbSpec::adaptive(LbSpec::tree(0.0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot wrap another AdaptiveLambda")]
+    fn nested_adaptive_rejected() {
+        // would be silently inert (outer λ clobbers inner every epoch)
+        let _ = LbSpec::adaptive(LbSpec::adaptive(LbSpec::tree(0.0), 0.1), 0.1);
+    }
+
+    #[test]
+    fn sd_tile_view_is_the_shared_wire_formula() {
+        // both substrates derive sd_bytes through this one constructor
+        let net = LbNetwork::for_sd_tiles(&NetSpec::cluster(), 25 * 25);
+        assert_eq!(net.sd_bytes, 25 * 25 * 8 + 24);
+        assert!(!net.comm.is_free());
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be finite")]
+    fn adaptive_validates_its_inner_spec() {
+        // constructed via the struct literal so only validate() can catch it
+        let spec = LbSpec::AdaptiveLambda {
+            inner: Box::new(LbSpec::Tree { lambda: f64::NAN }),
+            target_stall_frac: 0.1,
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be at least 1")]
+    fn zero_period_rejected() {
+        let _ = LbSchedule::every(0);
+    }
+}

@@ -5,16 +5,17 @@
 //! case-2 (foreign-independent) computation launched immediately while
 //! case-1 computation is a dataflow continuation on the ghost futures
 //! (§6.3, Fig. 5) — so communication hides behind computation — and, every
-//! `LbConfig::period` steps, a full Algorithm-1 load-balancing epoch:
-//! busy-time gather, plan on locality 0, broadcast, SD migration, counter
-//! reset (§7).
+//! `LbConfig::period` steps, a full load-balancing epoch: busy-time
+//! gather, plan on locality 0 via the configured [`LbSpec`] policy
+//! (Algorithm 1 by default), broadcast, SD migration, counter reset (§7).
 //!
 //! There is deliberately **no global barrier between timesteps**: tags
 //! carry the step index, so a fast node may run ahead and its messages are
 //! stashed by the receiver's rendezvous table until expected — the
 //! asynchronous pipelining an AMT runtime buys.
 
-use crate::balance::{plan_rebalance_with_cost, CostParams};
+pub use crate::balance::LbSpec;
+use crate::balance::{compute_metrics, LbNetwork, LbSchedule};
 use crate::ownership::Ownership;
 use crate::workload::WorkModel;
 use bytes::{Bytes, BytesMut};
@@ -52,47 +53,12 @@ pub enum PartitionMethod {
     Explicit(Vec<u32>),
 }
 
-/// Load-balancing epoch configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LbConfig {
-    /// Run Algorithm 1 every `period` timesteps.
-    pub period: usize,
-    /// Communication-cost weight λ of the cost-aware planner (see
-    /// [`CostParams`]): a migration only happens when its busy-time relief
-    /// exceeds `λ ×` the estimated transfer seconds of one SD tile over
-    /// the link it would take (derived from [`DistConfig::net`]). 0 keeps
-    /// the paper's count-based Algorithm 1.
-    pub lambda: f64,
-}
-
-impl LbConfig {
-    /// Count-based balancing (λ = 0) every `period` timesteps.
-    pub fn every(period: usize) -> Self {
-        LbConfig {
-            period,
-            lambda: 0.0,
-        }
-    }
-
-    /// Weigh migration traffic with `lambda`.
-    ///
-    /// # Panics
-    /// Panics on negative or non-finite `lambda` — like a degenerate
-    /// [`NetSpec`], a bad λ must fail at configuration time, not on a
-    /// driver thread mid-run (where a panic deadlocks the cluster).
-    pub fn with_lambda(mut self, lambda: f64) -> Self {
-        Self::validate_lambda(lambda);
-        self.lambda = lambda;
-        self
-    }
-
-    fn validate_lambda(lambda: f64) {
-        assert!(
-            lambda >= 0.0 && lambda.is_finite(),
-            "lambda must be finite and non-negative, got {lambda}"
-        );
-    }
-}
+/// Load-balancing epoch configuration of the real runtime — the shared
+/// [`LbSchedule`] (period + [`LbSpec`] policy), the same type the
+/// simulator consumes as `SimLbConfig`. Build with
+/// `LbConfig::every(period).with_spec(spec)`; the policy defaults to the
+/// paper's count-based Algorithm 1 (`LbSpec::Tree { lambda: 0.0 }`).
+pub type LbConfig = LbSchedule;
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone)]
@@ -270,12 +236,12 @@ pub fn run_distributed(cluster: &Cluster, cfg: &DistConfig) -> DistReport {
         cfg.net,
         cluster.net_spec()
     );
-    // Reject a degenerate λ here (covers direct field assignment that
-    // bypassed `with_lambda`): a panic inside the locality-0 driver at
-    // the first LB epoch would leave the other localities blocked on the
-    // plan rendezvous forever.
+    // Reject a degenerate policy parameter here (covers direct field
+    // assignment that bypassed `with_spec`): a panic inside the locality-0
+    // driver at the first LB epoch would leave the other localities
+    // blocked on the plan rendezvous forever.
     if let Some(lb) = &cfg.lb {
-        LbConfig::validate_lambda(lb.lambda);
+        lb.validate();
     }
     let n_nodes = cluster.len() as u32;
     let setup = Arc::new(Setup::build(cfg.clone(), n_nodes));
@@ -376,6 +342,22 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
     let mut in_migrations = 0usize;
     let mut lb_counts: Vec<Vec<usize>> = Vec::new();
     let spawner = loc.spawner();
+
+    // Locality 0 plans every epoch through one policy instance, kept
+    // alive across epochs so stateful policies (the adaptive-λ decorator)
+    // can learn from the measured migration stalls.
+    let mut policy = if me == 0 {
+        cfg.lb.as_ref().map(|lb| lb.spec.build())
+    } else {
+        None
+    };
+    let lb_net = LbNetwork::for_sd_tiles(&cfg.net, sds.cells_per_sd());
+    // Wall time this locality spent in the previous epoch's migration
+    // exchange (gathered with the busy times as the adaptive-λ stall
+    // signal) and, on locality 0, the length of the previous window.
+    let mut prev_stall_ns = 0u64;
+    let mut prev_window_secs: Option<f64> = None;
+    let mut window_t0 = Instant::now();
 
     for step in 0..cfg.n_steps {
         if comm_dirty {
@@ -531,19 +513,24 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
             error_partials.push(0.0);
         }
 
-        // --- 6. load-balancing epoch (Algorithm 1) ---
+        // --- 6. load-balancing epoch (the configured LbSpec policy) ---
         let do_lb = cfg
             .lb
+            .as_ref()
             .is_some_and(|lb| (step + 1) % lb.period == 0 && step + 1 < cfg.n_steps);
         if do_lb {
-            let lb_cfg = cfg.lb.unwrap();
+            let lb_cfg = cfg.lb.as_ref().unwrap();
             let epoch = ((step + 1) / lb_cfg.period) as u64;
-            // gather busy times on locality 0
+            // gather busy times on locality 0, piggybacking the wall time
+            // each locality spent in the *previous* epoch's migration
+            // exchange — the cluster-wide stall signal adaptive policies
+            // feed on (locality 0's own exchange alone would miss
+            // migrations flowing entirely between other localities)
             let busy = loc.busy_time_ns();
             loc.send(
                 0,
                 tag(CLASS_LBSTAT, epoch, me as u64, 0),
-                (busy, states.len() as u64).to_bytes(),
+                (busy, states.len() as u64, prev_stall_ns).to_bytes(),
             );
             let plan_fut = loc.expect(tag(CLASS_LBPLAN, epoch, me as u64, 0));
             if me == 0 {
@@ -551,23 +538,28 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                     .map(|n| loc.expect(tag(CLASS_LBSTAT, epoch, n as u64, 0)))
                     .collect();
                 let mut busy_vec = Vec::with_capacity(setup.n_nodes as usize);
+                let mut max_stall_ns = 0u64;
                 for fut in stat_futs {
-                    let (busy_ns, _count) =
-                        <(u64, u64)>::from_bytes(fut.get()).expect("corrupt LB stat");
+                    let (busy_ns, _count, stall_ns) =
+                        <(u64, u64, u64)>::from_bytes(fut.get()).expect("corrupt LB stat");
                     // seconds, so relief is commensurable with the
                     // CommCost transfer estimates the planner weighs in
                     busy_vec.push((busy_ns as f64 * 1e-9).max(1e-12));
+                    max_stall_ns = max_stall_ns.max(stall_ns);
+                }
+                let policy = policy.as_mut().expect("locality 0 holds the policy");
+                // Controller update before planning: the previous epoch's
+                // measured stall (worst locality) over the previous
+                // window, so the nudged λ steers *this* epoch's plan.
+                if let Some(window) = prev_window_secs {
+                    policy.observe_stall((max_stall_ns as f64 * 1e-9) / window.max(1e-9));
                 }
                 let ownership = Ownership::new(sds, owners.clone(), setup.n_nodes);
-                // The planner sees the same network the fabric was built
-                // with: locality 0 derives the cost estimate from the
-                // config's NetSpec and weighs it by the configured λ.
-                let cost = CostParams::new(
-                    cfg.net.comm_cost(),
-                    lb_cfg.lambda,
-                    (sds.cells_per_sd() * 8 + 24) as u64,
-                );
-                let plan = plan_rebalance_with_cost(&ownership, &busy_vec, &cost);
+                // The policy sees the same network the fabric was built
+                // with: locality 0 derives the LbNetwork cost estimate
+                // from the config's NetSpec.
+                let metrics = compute_metrics(&ownership.counts(), &busy_vec);
+                let plan = policy.plan(&ownership, &metrics, &lb_net);
                 let wire: Vec<(u64, u32, u32)> = plan
                     .moves
                     .iter()
@@ -580,6 +572,7 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
             }
             let moves: Vec<(u64, u32, u32)> =
                 Wire::from_bytes(plan_fut.get()).expect("corrupt LB plan");
+            let migrate_t0 = Instant::now();
             // send outgoing SDs first, then collect incoming
             let mut incoming: Vec<(SdId, Future<Bytes>)> = Vec::new();
             for &(sd64, from, to) in &moves {
@@ -615,15 +608,29 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 in_migrations += 1;
             }
             comm_dirty = true;
+            // Record this locality's migration-exchange time for the next
+            // epoch's LBSTAT gather (0 for an empty plan — nothing
+            // shipped, nothing stalled).
+            prev_stall_ns = if moves.is_empty() {
+                0
+            } else {
+                migrate_t0.elapsed().as_nanos() as u64
+            };
             // Algorithm 1 line 35: reset the busy-time counters so the next
             // epoch measures a fresh interval.
             loc.busy_counter().reset();
             if me == 0 {
-                let mut counts = vec![0usize; setup.n_nodes as usize];
-                for &o in &owners {
-                    counts[o as usize] += 1;
+                prev_window_secs = Some(window_t0.elapsed().as_secs_f64());
+                window_t0 = Instant::now();
+                // Metrics emission is skipped for empty plans so
+                // idle-policy runs don't record no-op epochs.
+                if !moves.is_empty() {
+                    let mut counts = vec![0usize; setup.n_nodes as usize];
+                    for &o in &owners {
+                        counts[o as usize] += 1;
+                    }
+                    lb_counts.push(counts);
                 }
-                lb_counts.push(counts);
             }
         }
     }
@@ -759,17 +766,77 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda must be finite")]
     fn degenerate_lambda_rejected_before_the_run() {
-        // Even a λ written directly into the struct (bypassing
-        // `with_lambda`) must fail up front on the caller's thread, not
+        // Even a spec written directly into the struct (bypassing
+        // `with_spec`) must fail up front on the caller's thread, not
         // inside the locality-0 driver where a panic at the first LB
         // epoch would deadlock the other localities.
         let cluster = ClusterBuilder::new().uniform(2, 1).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 4);
         cfg.lb = Some(LbConfig {
             period: 2,
-            lambda: -1.0,
+            spec: LbSpec::Tree { lambda: -1.0 },
         });
         let _ = run_distributed(&cluster, &cfg);
+    }
+
+    #[test]
+    fn diffusion_policy_preserves_numerics_and_migrates() {
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::diffusion(1.0, 8)));
+        let mut owners = vec![0u32; 16];
+        owners[15] = 1;
+        cfg.partition = PartitionMethod::Explicit(owners);
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, serial_field(16, 2.0, 6));
+        assert!(report.migrations > 0, "15/1 start must diffuse");
+        let counts = report.final_ownership.counts();
+        assert!(
+            counts.iter().all(|&c| (4..=12).contains(&c)),
+            "final counts {counts:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_steal_policy_preserves_numerics_and_migrates() {
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::greedy_steal(1)));
+        let mut owners = vec![0u32; 16];
+        owners[15] = 1;
+        cfg.partition = PartitionMethod::Explicit(owners);
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, serial_field(16, 2.0, 6));
+        assert!(report.migrations > 0, "15/1 start must shed work");
+    }
+
+    #[test]
+    fn adaptive_policy_preserves_numerics() {
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::adaptive(LbSpec::tree(0.0), 0.2)));
+        let mut owners = vec![0u32; 16];
+        owners[15] = 1;
+        cfg.partition = PartitionMethod::Explicit(owners);
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, serial_field(16, 2.0, 6));
+    }
+
+    #[test]
+    fn noop_epochs_emit_no_lb_history() {
+        // A single-node cluster plans a no-op every epoch: the history
+        // must stay empty instead of recording unchanged counts.
+        let cluster = ClusterBuilder::new().uniform(1, 2).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.lb = Some(LbConfig::every(2));
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, serial_field(16, 2.0, 6));
+        assert_eq!(report.migrations, 0);
+        assert!(
+            report.lb_history.is_empty(),
+            "no-op epochs must not emit metrics: {:?}",
+            report.lb_history
+        );
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`balance`] — **Algorithm 1**: busy-time-derived node power (eq. 8),
 //!   expected SD counts (eq. 10), load imbalance (eq. 9), the
 //!   data-dependency tree with topological ordering (Fig. 7), and
-//!   contiguity-preserving uniform SD borrowing (Fig. 6).
+//!   contiguity-preserving uniform SD borrowing (Fig. 6) — one strategy
+//!   behind the pluggable `LbPolicy`/`LbSpec` layer that also ships
+//!   diffusion, greedy-steal and adaptive-λ policies.
 //! * [`ownership`] — the SD→node ownership map shared by all of the above.
 //! * [`workload`] — heterogeneity models (per-node speed, per-SD work
 //!   factors such as the crack scenario of §7).
@@ -22,7 +24,9 @@ pub mod ownership;
 pub mod shared;
 pub mod workload;
 
-pub use balance::{plan_rebalance, LoadMetrics, MigrationPlan, Move};
+pub use balance::{
+    plan_rebalance, LbNetwork, LbPolicy, LbSchedule, LbSpec, LoadMetrics, MigrationPlan, Move,
+};
 pub use dist::{DistConfig, DistReport, LbConfig, PartitionMethod};
 pub use ownership::Ownership;
 pub use shared::{SharedConfig, SharedReport, SharedSolver};

@@ -396,6 +396,26 @@ impl CommCost {
         }
     }
 
+    /// The neighbour graph induced by the link classes — the graph the
+    /// policy layer (diffusion, greedy stealing) exchanges load over. For
+    /// each node, every *other* node ordered cheapest link class first
+    /// (ties by id), so intra-rack partners rank before inter-rack ones.
+    /// Uniform and free models degenerate to plain id order, which matches
+    /// the count-based tie-breaks of the tree planner.
+    pub fn neighbour_graph(&self, n_nodes: u32) -> Vec<Vec<u32>> {
+        (0..n_nodes)
+            .map(|i| {
+                let mut others: Vec<u32> = (0..n_nodes).filter(|&j| j != i).collect();
+                others.sort_by(|&a, &b| {
+                    self.link_class(i, a)
+                        .cmp(&self.link_class(i, b))
+                        .then(a.cmp(&b))
+                });
+                others
+            })
+            .collect()
+    }
+
     /// Estimated seconds to move `bytes` from `src` to `dst`: link
     /// latency plus sender-side serialization plus receiver-side ingress
     /// (see the type docs for why ingress is charged although arrival
@@ -752,6 +772,27 @@ mod tests {
         let link = spec.link(0, 2);
         let expect = link.latency_s + 2.0 * (b as f64 / link.bytes_per_sec);
         assert!((cost.seconds(0, 2, b) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn neighbour_graph_ranks_cheap_links_first() {
+        // 2 racks x 2 nodes: node 1's cheapest partner is its rack peer 0,
+        // then the inter-rack nodes 2 and 3 in id order.
+        let topo = NetSpec::Topology(TopologySpec::two_tier(2)).comm_cost();
+        let graph = topo.neighbour_graph(4);
+        assert_eq!(graph[1], vec![0, 2, 3]);
+        assert_eq!(graph[2], vec![3, 0, 1]);
+        assert_eq!(graph.len(), 4);
+        // every node lists every other node exactly once
+        for (i, nbs) in graph.iter().enumerate() {
+            let mut sorted = nbs.clone();
+            sorted.sort_unstable();
+            let expect: Vec<u32> = (0..4).filter(|&j| j != i as u32).collect();
+            assert_eq!(sorted, expect);
+        }
+        // uniform models degenerate to plain id order
+        let flat = NetSpec::cluster().comm_cost().neighbour_graph(3);
+        assert_eq!(flat, vec![vec![1, 2], vec![0, 2], vec![0, 1]]);
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! load-balancing epochs.
 
 use crate::cost::CostModel;
-use nlheat_core::balance::{plan_rebalance_with_cost, CostParams};
+pub use nlheat_core::balance::LbSpec;
+use nlheat_core::balance::{compute_metrics, LbNetwork, LbPolicy, LbSchedule};
 use nlheat_core::ownership::Ownership;
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{build_halo_plan, split_cases, Grid, HaloPlan, PatchSource, SdGrid, Stencil};
@@ -39,42 +40,11 @@ pub enum SimPartition {
     Explicit(Vec<u32>),
 }
 
-/// Load-balancing epochs in the simulation.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct SimLbConfig {
-    /// Run Algorithm 1 every `period` simulated steps.
-    pub period: usize,
-    /// Communication-cost weight λ of the cost-aware planner (see
-    /// [`CostParams`]): a migration only happens when its busy-time
-    /// relief exceeds `λ ×` the estimated transfer seconds of one SD tile
-    /// over the link it would take (derived from [`SimConfig::net`]). 0
-    /// keeps the paper's count-based Algorithm 1.
-    pub lambda: f64,
-}
-
-impl SimLbConfig {
-    /// Count-based balancing (λ = 0) every `period` simulated steps.
-    pub fn every(period: usize) -> Self {
-        SimLbConfig {
-            period,
-            lambda: 0.0,
-        }
-    }
-
-    /// Weigh migration traffic with `lambda`.
-    ///
-    /// # Panics
-    /// Panics on negative or non-finite `lambda` — configuration errors
-    /// fail here, not at the first simulated LB epoch.
-    pub fn with_lambda(mut self, lambda: f64) -> Self {
-        assert!(
-            lambda >= 0.0 && lambda.is_finite(),
-            "lambda must be finite and non-negative, got {lambda}"
-        );
-        self.lambda = lambda;
-        self
-    }
-}
+/// Load-balancing epochs in the simulation — the same shared
+/// [`LbSchedule`] (period + `LbSpec` policy) the real runtime consumes as
+/// `LbConfig`, so one configuration describes both substrates. Build with
+/// `SimLbConfig::every(period).with_spec(spec)`.
+pub type SimLbConfig = LbSchedule;
 
 /// Full simulation configuration.
 #[derive(Debug, Clone)]
@@ -256,9 +226,16 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
     let mut migration_bytes = 0u64;
     let mut inter_rack_migration_bytes = 0u64;
     // Planner-facing cost estimate of the same network the event loop
-    // simulates — the simulator mirrors `core::dist`'s wiring exactly.
-    let sd_tile_bytes = (geo.sds.cells_per_sd() * 8 + 24) as u64;
-    let comm_cost = cfg.net.comm_cost();
+    // simulates — the simulator mirrors `core::dist`'s wiring exactly:
+    // one policy instance lives across epochs (stateful policies learn
+    // from the simulated migration stalls).
+    let lb_net = LbNetwork::for_sd_tiles(&cfg.net, geo.sds.cells_per_sd());
+    let sd_tile_bytes = lb_net.sd_bytes;
+    let mut policy: Option<Box<dyn LbPolicy>> = cfg.lb.as_ref().map(|lb| {
+        lb.validate();
+        lb.spec.build()
+    });
+    let mut last_barrier = 0.0f64;
 
     for step in 0..cfg.n_steps {
         // --- ghost messages: (dst node, dst sd) -> arrival time ---
@@ -352,9 +329,10 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
             busy_window[node] += busy;
         }
 
-        // --- load-balancing epoch ---
+        // --- load-balancing epoch (the configured LbSpec policy) ---
         let do_lb = cfg
             .lb
+            .as_ref()
             .is_some_and(|lb| (step + 1) % lb.period == 0 && step + 1 < cfg.n_steps);
         if do_lb {
             // collective: everyone synchronizes for the gather/plan
@@ -363,30 +341,42 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 *t = barrier;
             }
             let busy_vec: Vec<f64> = busy_window.iter().map(|&b| b.max(1e-12)).collect();
-            let cost = CostParams::new(comm_cost, cfg.lb.unwrap().lambda, sd_tile_bytes);
-            let plan = plan_rebalance_with_cost(&ownership, &busy_vec, &cost);
-            // migration costs: tile payloads over the network
-            net.reset(barrier);
-            for mv in &plan.moves {
-                let bytes = sd_tile_bytes;
-                let arr = net.arrival(
-                    node_time[mv.from as usize],
-                    &Msg {
-                        src: mv.from,
-                        dst: mv.to,
-                        bytes,
-                    },
-                );
-                let dst = mv.to as usize;
-                node_time[dst] = node_time[dst].max(arr);
-                cross_bytes += bytes;
-                messages += 1;
+            let metrics = compute_metrics(&ownership.counts(), &busy_vec);
+            let policy = policy.as_mut().expect("lb configured");
+            let plan = policy.plan(&ownership, &metrics, &lb_net);
+            // An empty plan pays the planning barrier but emits no
+            // metrics: idle epochs must not skew migration accounting or
+            // record no-op history entries.
+            if !plan.moves.is_empty() {
+                // migration costs: tile payloads over the network
+                net.reset(barrier);
+                for mv in &plan.moves {
+                    let bytes = sd_tile_bytes;
+                    let arr = net.arrival(
+                        node_time[mv.from as usize],
+                        &Msg {
+                            src: mv.from,
+                            dst: mv.to,
+                            bytes,
+                        },
+                    );
+                    let dst = mv.to as usize;
+                    node_time[dst] = node_time[dst].max(arr);
+                    cross_bytes += bytes;
+                    messages += 1;
+                }
+                migrations += plan.moves.len();
+                migration_bytes += plan.comm.total_bytes;
+                inter_rack_migration_bytes += plan.comm.inter_rack_bytes();
+                ownership = plan.new_ownership.clone();
+                lb_history.push(ownership.counts());
             }
-            migrations += plan.moves.len();
-            migration_bytes += plan.comm.total_bytes;
-            inter_rack_migration_bytes += plan.comm.inter_rack_bytes();
-            ownership = plan.new_ownership.clone();
-            lb_history.push(ownership.counts());
+            // Feedback for adaptive policies: how much of the balancing
+            // window the epoch's migrations stalled the cluster.
+            let after = node_time.iter().cloned().fold(0.0, f64::max);
+            let window = (barrier - last_barrier).max(1e-12);
+            policy.observe_stall((after - barrier) / window);
+            last_barrier = barrier;
             // Algorithm 1 line 35: reset the busy window
             for b in busy_window.iter_mut() {
                 *b = 0.0;
@@ -603,7 +593,70 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda must be finite")]
     fn degenerate_lambda_rejected_at_configuration() {
-        let _ = SimLbConfig::every(4).with_lambda(f64::NAN);
+        let _ = SimLbConfig::every(4).with_spec(LbSpec::Tree { lambda: f64::NAN });
+    }
+
+    #[test]
+    fn noop_epochs_emit_no_metrics() {
+        // One node: every plan is a no-op. The balancer must not record
+        // history entries or migration traffic for idle epochs (it still
+        // pays the planning barrier).
+        let mut cfg = shared_cfg(4, 2);
+        cfg.lb = Some(SimLbConfig::every(2));
+        let run = simulate(&cfg);
+        assert_eq!(run.migrations, 0);
+        assert_eq!(run.migration_bytes, 0);
+        assert!(
+            run.lb_history.is_empty(),
+            "no-op epochs must not emit metrics: {:?}",
+            run.lb_history
+        );
+    }
+
+    #[test]
+    fn diffusion_and_greedy_balance_heterogeneous_nodes() {
+        // The policy seam end to end in the simulator: both alternative
+        // policies must migrate work toward the 2x-fast node, like the
+        // tree planner does in `lb_balances_heterogeneous_nodes`.
+        for spec in [
+            LbSpec::diffusion(1.0, 8),
+            LbSpec::greedy_steal(1),
+            LbSpec::adaptive(LbSpec::tree(0.0), 0.2),
+        ] {
+            let mut cfg = SimConfig::paper(
+                400,
+                25,
+                24,
+                vec![
+                    VirtualNode {
+                        cores: 1,
+                        speed: 2.0,
+                    },
+                    VirtualNode {
+                        cores: 1,
+                        speed: 1.0,
+                    },
+                    VirtualNode {
+                        cores: 1,
+                        speed: 1.0,
+                    },
+                    VirtualNode {
+                        cores: 1,
+                        speed: 1.0,
+                    },
+                ],
+            );
+            cfg.lb = Some(SimLbConfig::every(4).with_spec(spec.clone()));
+            let run = simulate(&cfg);
+            assert!(run.migrations > 0, "{} must migrate", spec.name());
+            let counts = run.final_ownership.counts();
+            assert!(
+                counts[0] > counts[1],
+                "{}: fast node must hold more SDs: {counts:?}",
+                spec.name()
+            );
+            assert_eq!(counts.iter().sum::<usize>(), 256, "{}", spec.name());
+        }
     }
 
     #[test]

@@ -25,3 +25,4 @@ pub mod net;
 pub use cost::CostModel;
 pub use engine::{simulate, SimConfig, SimLbConfig, SimPartition, SimRun, VirtualNode};
 pub use net::{NetModel, NetSpec};
+pub use nlheat_core::balance::{LbSchedule, LbSpec};

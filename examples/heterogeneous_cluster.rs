@@ -156,13 +156,58 @@ fn main() {
     });
     println!("\n== cost-aware balancing on 2 racks (speeds 2:1 in each rack) ==");
     for lambda in [0.0, 1.0, 2.0] {
-        lam_cfg.lb = Some(SimLbConfig::every(4).with_lambda(lambda));
+        lam_cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::Tree { lambda }));
         let run = simulate(&lam_cfg);
         println!(
             "lambda {lambda}: {:>6.1} KB inter-rack / {:>6.1} KB total migration traffic, makespan {:.2} ms",
             run.inter_rack_migration_bytes as f64 / 1e3,
             run.migration_bytes as f64 / 1e3,
             run.total_time * 1e3
+        );
+    }
+
+    // --- pluggable balancing policies: the LbSpec seam ---
+    // One LbSchedule type drives both substrates; swapping the spec
+    // compares the paper's tree planner against diffusion, greedy
+    // stealing and the adaptive-λ decorator on the identical workload
+    // (ablation A8 sweeps this in full).
+    println!("\n== LB policy comparison, same 2-rack cluster (simulator) ==");
+    for spec in [
+        LbSpec::tree(1.0),
+        LbSpec::diffusion(1.0, 8),
+        LbSpec::greedy_steal(1),
+        LbSpec::adaptive(LbSpec::tree(0.0), 0.05),
+    ] {
+        lam_cfg.lb = Some(SimLbConfig::every(4).with_spec(spec.clone()));
+        let run = simulate(&lam_cfg);
+        println!(
+            "{:>15}: makespan {:.2} ms, {} SDs migrated, {:>6.1} KB inter-rack",
+            spec.name(),
+            run.total_time * 1e3,
+            run.migrations,
+            run.inter_rack_migration_bytes as f64 / 1e3,
+        );
+    }
+
+    // ... and the identical specs through the real runtime: the numerics
+    // are policy-independent (bit-exact against the serial solver; the
+    // test suite pins that), only where the SDs end up changes.
+    println!("\n== LB policy comparison, real runtime on the 2-rack fabric ==");
+    for spec in [
+        LbSpec::diffusion(1.0, 8),
+        LbSpec::greedy_steal(1),
+        LbSpec::adaptive(LbSpec::tree(0.0), 0.05),
+    ] {
+        let mut cfg = DistConfig::new(48, 2.0, 8, 8);
+        cfg.net = topo;
+        cfg.lb = Some(LbConfig::every(3).with_spec(spec.clone()));
+        let cluster = cfg.cluster().uniform(4, 1).build();
+        let report = run_distributed(&cluster, &cfg);
+        println!(
+            "{:>15}: {} SDs migrated, final counts {:?}",
+            spec.name(),
+            report.migrations,
+            report.final_ownership.counts()
         );
     }
 }

@@ -46,7 +46,8 @@ pub use nlheat_sim as sim;
 pub mod prelude {
     pub use nlheat_amt::prelude::*;
     pub use nlheat_core::balance::{
-        iterate_rebalance, plan_rebalance, plan_rebalance_with_cost, CostParams,
+        iterate_rebalance, plan_rebalance, plan_rebalance_with_cost, CostParams, LbNetwork,
+        LbPolicy, LbSchedule, LbSpec,
     };
     pub use nlheat_core::dist::{run_distributed, DistConfig, LbConfig, PartitionMethod};
     pub use nlheat_core::ownership::Ownership;

@@ -2,7 +2,9 @@
 //! virtual iteration, the DES, and the real distributed runtime —
 //! including the communication-aware (λ > 0) planning path.
 
-use nonlocalheat::core::balance::{iterate_rebalance, plan_rebalance, plan_rebalance_with_cost};
+use nonlocalheat::core::balance::{
+    compute_metrics, iterate_rebalance, plan_rebalance, plan_rebalance_with_cost,
+};
 use nonlocalheat::prelude::*;
 
 /// Busy model for identical nodes: busy ∝ SD count.
@@ -193,7 +195,7 @@ fn sim_lambda_reduces_inter_rack_migration_traffic() {
     cfg.net = two_rack_spec();
     cfg.lb = Some(SimLbConfig::every(4));
     let count_based = simulate(&cfg);
-    cfg.lb = Some(SimLbConfig::every(4).with_lambda(2.0));
+    cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(2.0)));
     let cost_aware = simulate(&cfg);
     assert!(
         count_based.inter_rack_migration_bytes > 0,
@@ -231,7 +233,7 @@ fn real_runtime_cost_aware_lb_preserves_numerics() {
     for (lambda, expect_migrations) in [(1e-4, true), (1e6, false)] {
         let mut cfg = DistConfig::new(16, 2.0, 4, 6);
         cfg.net = two_rack_spec();
-        cfg.lb = Some(LbConfig::every(2).with_lambda(lambda));
+        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::Tree { lambda }));
         let mut owners = vec![0u32; 16];
         owners[15] = 1;
         cfg.partition = PartitionMethod::Explicit(owners);
@@ -243,6 +245,98 @@ fn real_runtime_cost_aware_lb_preserves_numerics() {
         } else {
             assert_eq!(report.migrations, 0, "λ={lambda} must gate every migration");
         }
+    }
+}
+
+#[test]
+fn tree_spec_pinned_byte_identical_to_pre_policy_planner() {
+    // The api_redesign acceptance criterion: `LbSpec::Tree { lambda }`
+    // routed through the policy layer reproduces the pre-PR planner's
+    // `MigrationPlan`s move for move on this file's fixtures, at λ = 0
+    // and λ > 0 alike.
+    let net = LbNetwork::new(two_rack_spec().comm_cost(), 25 * 25 * 8 + 24);
+    let sds = SdGrid::new(5, 5, 50);
+    let mut owners = vec![0u32; 25];
+    owners[sds.id(4, 0) as usize] = 1;
+    owners[sds.id(0, 4) as usize] = 2;
+    owners[sds.id(4, 4) as usize] = 3;
+    let fig14 = Ownership::new(sds, owners, 4);
+    let sds6 = SdGrid::new(6, 6, 10);
+    let partitioned = Ownership::from_partition(sds6, &part_mesh_dual(&sds6, 4, 3));
+    for lambda in [0.0, 1.0] {
+        let mut policy = LbSpec::Tree { lambda }.build();
+        for own in [fig14.clone(), partitioned.clone()] {
+            for busy in [
+                symmetric_busy(&own),
+                vec![3.0, 0.5, 1.0, 2.0],
+                vec![1.0, 1.0, 9.0, 1.0],
+            ] {
+                let legacy = plan_rebalance_with_cost(
+                    &own,
+                    &busy,
+                    &CostParams::new(net.comm, lambda, net.sd_bytes),
+                );
+                let metrics = compute_metrics(&own.counts(), &busy);
+                let plan = policy.plan(&own, &metrics, &net);
+                assert_eq!(legacy.moves, plan.moves, "λ={lambda}");
+                assert_eq!(legacy.new_ownership, plan.new_ownership);
+                assert_eq!(legacy.metrics, plan.metrics);
+                assert_eq!(legacy.comm, plan.comm);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_lb_spec_runs_both_substrates_on_two_racks() {
+    // The A8 acceptance shape at test scale: all four policy variants
+    // drive a 2-rack run through the simulator AND the real runtime. The
+    // real runtime must stay bit-exact against the serial solver under
+    // every policy (migration plans may differ; numerics may not).
+    let parts = ProblemSpec::square(16, 2.0).build();
+    let mut serial = SerialSolver::manufactured(&parts);
+    serial.run(6);
+    let reference = serial.field();
+    let specs = [
+        LbSpec::tree(1.0),
+        LbSpec::diffusion(1.0, 8),
+        LbSpec::greedy_steal(1),
+        LbSpec::adaptive(LbSpec::tree(0.0), 0.1),
+    ];
+    for spec in specs {
+        // simulator leg
+        let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
+            .iter()
+            .map(|&speed| VirtualNode { cores: 1, speed })
+            .collect();
+        let mut sim_cfg = SimConfig::paper(100, 25, 8, nodes);
+        sim_cfg.net = two_rack_spec();
+        sim_cfg.lb = Some(SimLbConfig::every(2).with_spec(spec.clone()));
+        let run = simulate(&sim_cfg);
+        assert!(
+            run.total_time.is_finite() && run.total_time > 0.0,
+            "{}",
+            spec.name()
+        );
+        assert_eq!(
+            run.final_ownership.counts().iter().sum::<usize>(),
+            16,
+            "{}: SDs conserved",
+            spec.name()
+        );
+        // real-runtime leg: 4 localities over 2 racks, node 0 holding
+        // everything but the far corners
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.net = two_rack_spec();
+        cfg.lb = Some(LbConfig::every(2).with_spec(spec.clone()));
+        let mut owners = vec![0u32; 16];
+        owners[3] = 1;
+        owners[12] = 2;
+        owners[15] = 3;
+        cfg.partition = PartitionMethod::Explicit(owners);
+        let cluster = cfg.cluster().uniform(4, 1).build();
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, reference, "{}", spec.name());
     }
 }
 

@@ -3,7 +3,9 @@
 use bytes::Bytes;
 use nonlocalheat::amt::codec::{decode_f64_vec, encode_f64_slice, Wire};
 use nonlocalheat::amt::rendezvous::Rendezvous;
-use nonlocalheat::core::balance::{plan_rebalance, plan_rebalance_with_cost, CostParams};
+use nonlocalheat::core::balance::{
+    compute_metrics, plan_rebalance, plan_rebalance_with_cost, CostParams, LbNetwork, LbSpec,
+};
 use nonlocalheat::core::ownership::Ownership;
 use nonlocalheat::mesh::{build_halo_plan, split_cases, Rect, SdGrid};
 use nonlocalheat::netmodel::{CommCost, LinkSpec, NetSpec, TopologySpec};
@@ -268,5 +270,73 @@ proptest! {
             check.set_owner(m.sd, m.to);
         }
         prop_assert_eq!(&check, &plan.new_ownership);
+    }
+}
+
+// The same single-hop contract, but for *every* `LbSpec` variant of the
+// pluggable policy layer: whatever strategy plans the epoch, the emitted
+// plan must never move an SD twice, never ship an SD to its current
+// owner, and must land exactly on the claimed post-epoch ownership —
+// over the same random ownership/busy generator as above (`which`
+// selects the policy, so the proptest sweep covers all variants).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn every_lb_spec_yields_single_hop_plans(
+        nsx in 2i64..7,
+        nsy in 2i64..7,
+        n_nodes in 2u32..6,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.05f64..10.0, 8),
+        which in 0usize..5,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        let owners: Vec<u32> = (0..count)
+            .map(|i| ((owner_seed >> (i % 60)) as u32 ^ i as u32) % n_nodes)
+            .collect();
+        let own = Ownership::new(grid, owners, n_nodes);
+        let busy_vec: Vec<f64> =
+            (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+        let net = LbNetwork::new(
+            CommCost::from_spec(&NetSpec::Topology(TopologySpec {
+                nodes_per_rack: 2,
+                intra_node: LinkSpec::new(0.0, f64::INFINITY),
+                intra_rack: LinkSpec::new(1e-3, 1e6),
+                inter_rack: LinkSpec::new(0.5, 2e4),
+            })),
+            4 * 4 * 8 + 24,
+        );
+        let spec = match which {
+            0 => LbSpec::tree(0.0),
+            1 => LbSpec::tree(1.5),
+            2 => LbSpec::diffusion(1.0, 6),
+            3 => LbSpec::greedy_steal(1),
+            _ => LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1),
+        };
+        let mut policy = spec.build();
+        let metrics = compute_metrics(&own.counts(), &busy_vec);
+        let plan = policy.plan(&own, &metrics, &net);
+
+        let mut arrived = std::collections::HashSet::new();
+        for m in &plan.moves {
+            prop_assert!(
+                !arrived.contains(&m.sd),
+                "{}: SD {} re-moved after arriving", spec.name(), m.sd
+            );
+            prop_assert_eq!(own.owner(m.sd), m.from, "{}: stale source", spec.name());
+            prop_assert!(m.from != m.to, "{}: SD shipped to its own owner", spec.name());
+            arrived.insert(m.sd);
+        }
+        let mut check = own.clone();
+        for m in &plan.moves {
+            check.set_owner(m.sd, m.to);
+        }
+        prop_assert_eq!(&check, &plan.new_ownership);
+        // conservation: no SD appears or disappears
+        prop_assert_eq!(
+            plan.new_ownership.counts().iter().sum::<usize>(),
+            count
+        );
     }
 }
