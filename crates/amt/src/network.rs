@@ -84,15 +84,20 @@ enum FabricModel {
     /// Stateless per-message model: computed lock-free on the sender.
     Constant(ConstantBandwidthNet),
     /// Stateful models (per-sender NICs, topology): locked per **sender**.
-    /// Every stateful model this crate ships keeps its contention state
-    /// per sender (`nic_free[src]`), so one full model instance per
+    /// Every shardable stateful model keeps its contention state per
+    /// sender (`nic_free[src]`), so one full model instance per
     /// locality — each only ever queried with its own `src` — yields the
     /// same arrival times as one shared instance while concurrent senders
-    /// never contend on a lock. A future model with genuinely cross-sender
-    /// state (e.g. per-link contention on a shared uplink) must go back
-    /// to one shard; the sharding here is the fabric's encoding of the
-    /// per-sender-state contract, not a general-purpose cache.
+    /// never contend on a lock. Models with genuinely cross-sender state
+    /// (the duplex receiver-ingress queue) go through
+    /// [`FabricModel::CrossSender`] instead; `NetSpec::has_cross_sender_state`
+    /// is the netmodel crate's encoding of that contract.
     Stateful(Vec<Mutex<Box<dyn NetModel>>>),
+    /// One shard for models whose contention state couples senders (e.g.
+    /// [`nlheat_netmodel::DuplexBandwidthNet`]: every sender mutates the
+    /// receiver's ingress queue, so sharding per sender would silently
+    /// erase the incast contention the model exists to apply).
+    CrossSender(Mutex<Box<dyn NetModel>>),
 }
 
 impl FabricModel {
@@ -107,6 +112,9 @@ impl FabricModel {
                 latency_s,
                 bytes_per_sec,
             } => FabricModel::Constant(ConstantBandwidthNet::new(latency_s, bytes_per_sec)),
+            spec if spec.has_cross_sender_state() => {
+                FabricModel::CrossSender(Mutex::new(spec.build(n)))
+            }
             spec => FabricModel::Stateful((0..n).map(|_| Mutex::new(spec.build(n))).collect()),
         }
     }
@@ -236,6 +244,16 @@ impl FabricHandle {
             // Lock only this sender's shard: concurrent localities keep
             // their NIC arithmetic fully parallel.
             FabricModel::Stateful(shards) => shards[parcel.src as usize].lock().arrival(
+                now_s,
+                &Msg {
+                    src: parcel.src,
+                    dst: parcel.dst,
+                    bytes: parcel.wire_size() as u64,
+                },
+            ),
+            // Cross-sender state (receiver-ingress queues): all senders
+            // serialize on the one true model instance.
+            FabricModel::CrossSender(model) => model.lock().arrival(
                 now_s,
                 &Msg {
                     src: parcel.src,

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use nlheat_bench::ablations::{
     a1_partition_quality, a2_overlap, a3_sd_size, a4_lb_heterogeneous, a5_crack, a5b_moving_crack,
-    a6_network_models, a7_comm_aware_lambda, a8_policy_comparison,
+    a6_network_models, a7_comm_aware_lambda, a8_policy_comparison, a9_ghost_aware_mu,
 };
 
 fn bench(c: &mut Criterion) {
@@ -17,6 +17,7 @@ fn bench(c: &mut Criterion) {
     println!("{}", a6_network_models(true).to_markdown());
     println!("{}", a7_comm_aware_lambda(true).to_markdown());
     println!("{}", a8_policy_comparison(true).to_markdown());
+    println!("{}", a9_ghost_aware_mu(true).to_markdown());
     let mut g = c.benchmark_group("ablations");
     g.sample_size(10);
     g.bench_function("a1_partition_quality", |b| {
@@ -36,6 +37,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("a8_policy_comparison", |b| {
         b.iter(|| a8_policy_comparison(true))
     });
+    g.bench_function("a9_ghost_aware_mu", |b| b.iter(|| a9_ghost_aware_mu(true)));
     g.finish();
 }
 

@@ -6,6 +6,7 @@ use crate::balance::tree::build_forest_weighted;
 use crate::ownership::{NodeId, Ownership};
 use nlheat_mesh::SdId;
 use nlheat_netmodel::{CommCost, N_LINK_CLASSES};
+use nlheat_partition::SdGraph;
 
 /// One SD migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,14 @@ pub struct Move {
 /// imbalance settles over cheap links and expensive (e.g. inter-rack)
 /// migrations need to earn their bytes. Busy times must be in **seconds**
 /// for the comparison to be meaningful.
+///
+/// `μ` weighs the **recurring** cost of a move — the change in
+/// steady-state ghost-exchange seconds per timestep that reassigning the
+/// SD causes (its edge-cut delta over the [`SdGraph`], each cut edge
+/// priced by its link class). λ prices the one-off migration, μ prices
+/// what the ownership costs *every step afterwards*; `μ = 0` (the
+/// default, and any plan without an [`SdGraph`]) is pinned byte-identical
+/// to the μ-less planner.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostParams {
     /// Transfer-cost estimate derived from the active network spec.
@@ -37,15 +46,19 @@ pub struct CostParams {
     pub lambda: f64,
     /// Wire bytes of one migrating SD tile (payload + framing).
     pub sd_bytes: u64,
+    /// Weight of the per-SD ghost-traffic (edge-cut) delta against
+    /// busy-time relief; 0 disables the term.
+    pub mu: f64,
 }
 
 impl CostParams {
-    /// Free network, λ = 0: the count-based planner.
+    /// Free network, λ = μ = 0: the count-based planner.
     pub fn free() -> Self {
         CostParams {
             comm: CommCost::free(),
             lambda: 0.0,
             sd_bytes: 0,
+            mu: 0.0,
         }
     }
 
@@ -58,12 +71,35 @@ impl CostParams {
             comm,
             lambda,
             sd_bytes,
+            mu: 0.0,
         }
+    }
+
+    /// Weigh the steady-state ghost-traffic delta of each candidate move
+    /// by `mu`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `mu`.
+    pub fn with_mu(mut self, mu: f64) -> Self {
+        validate_mu(mu);
+        self.mu = mu;
+        self
     }
 
     /// True when λ-weighted cost terms can affect the plan.
     fn is_active(&self) -> bool {
         self.lambda > 0.0 && !self.comm.is_free()
+    }
+
+    /// The ghost graph, iff the μ term can affect the plan — `None`
+    /// otherwise, so the degenerate case takes exactly the μ-less code
+    /// path (byte-identical plans, no float dust).
+    fn ghost_graph<'g>(&self, ghost: Option<&'g SdGraph>) -> Option<&'g SdGraph> {
+        if mu_active(self.mu, &self.comm) {
+            ghost
+        } else {
+            None
+        }
     }
 
     /// λ-weighted cost (seconds) of migrating one SD tile `src` → `dst`;
@@ -76,6 +112,58 @@ impl CostParams {
             0.0
         }
     }
+}
+
+/// The one copy of the μ invariant, shared by [`CostParams::with_mu`]
+/// and the `LbSpec` builders/validation in [`crate::balance::policy`].
+///
+/// # Panics
+/// Panics on negative or non-finite `mu`.
+pub(crate) fn validate_mu(mu: f64) {
+    assert!(
+        mu >= 0.0 && mu.is_finite(),
+        "mu must be finite and non-negative, got {mu}"
+    );
+}
+
+/// The one copy of the μ-activity predicate: the ghost term can affect a
+/// plan only with a positive weight over a non-free network. Shared by
+/// [`CostParams`] (the tree planner's gate) and `LbNetwork::ghost_graph`
+/// (every other policy's gate), so the policies can never disagree on
+/// when ghost machinery engages.
+pub(crate) fn mu_active(mu: f64, comm: &CommCost) -> bool {
+    mu > 0.0 && !comm.is_free()
+}
+
+/// Change in steady-state ghost-exchange seconds per timestep if `sd`
+/// were reassigned from its current owner to `to` — the [`SdGraph`]
+/// edge-cut delta of the move, each affected edge priced by the link
+/// class of its (new or vanished) owner pair. Same-node exchanges cost
+/// nothing: no message is sent, exactly as both substrates behave.
+/// Positive: the move adds recurring traffic; negative: the move heals
+/// the partition (the SD moves toward its ghost neighbours).
+pub fn ghost_delta_seconds(
+    comm: &CommCost,
+    graph: &SdGraph,
+    owners: &[NodeId],
+    sd: SdId,
+    to: NodeId,
+) -> f64 {
+    let from = owners[sd as usize];
+    if from == to {
+        return 0.0;
+    }
+    let mut delta = 0.0;
+    for (nb, bytes) in graph.neighbours(sd) {
+        let o = owners[nb as usize];
+        if o != from {
+            delta -= comm.seconds(from, o, bytes); // this cut edge vanishes
+        }
+        if o != to {
+            delta += comm.seconds(to, o, bytes); // this cut edge appears
+        }
+    }
+    delta
 }
 
 /// Communication summary of a [`MigrationPlan`]: what shipping it costs.
@@ -159,14 +247,38 @@ pub fn plan_rebalance_with_cost(own: &Ownership, busy: &[f64], cost: &CostParams
 /// [`plan_rebalance_with_cost`] from precomputed eqs. 8–10 metrics — the
 /// entry point of the tree policy in the pluggable [`crate::balance::policy`]
 /// layer, where every policy receives the same [`LoadMetrics`] and the
-/// caller computed them once.
+/// caller computed them once. Ghost-blind: [`plan_rebalance_ghost_aware`]
+/// with no [`SdGraph`].
 pub fn plan_rebalance_from_metrics(
     own: &Ownership,
     metrics: LoadMetrics,
     cost: &CostParams,
 ) -> MigrationPlan {
+    plan_rebalance_ghost_aware(own, metrics, cost, None)
+}
+
+/// [`plan_rebalance_from_metrics`] with the SD adjacency / halo-volume
+/// graph attached: every candidate transfer is scored
+/// `relief − λ·migration_seconds − μ·Δghost_seconds`, where the last term
+/// is the move's [`SdGraph`] edge-cut delta priced by link class
+/// ([`ghost_delta_seconds`]) against the *working* ownership at the time
+/// the frontier is settled. The μ term both gates transfers (negative
+/// score ⇒ the move's recurring traffic outweighs its relief) and shapes
+/// partial-ring growth (cut-healing SDs are picked first). With `μ = 0`,
+/// a free network, or no graph, the closure collapses to the constant
+/// λ-gated score — byte-identical to the μ-less planner by construction.
+pub fn plan_rebalance_ghost_aware(
+    own: &Ownership,
+    metrics: LoadMetrics,
+    cost: &CostParams,
+    ghost: Option<&SdGraph>,
+) -> MigrationPlan {
     let n = own.n_nodes() as usize;
     assert_eq!(metrics.counts.len(), n, "metrics cover every node");
+    let ghost = cost.ghost_graph(ghost);
+    if let Some(g) = ghost {
+        assert_eq!(g.n_sds(), own.sds().count(), "ghost graph covers the grid");
+    }
     let adjacency = own.node_adjacency();
     let forest = build_forest_weighted(&adjacency, &metrics.imbalance, |u, v| {
         cost.edge_weight(u, v)
@@ -223,18 +335,34 @@ pub fn plan_rebalance_from_metrics(
                 };
                 // Per-SD migration score: busy-time relief minus the
                 // λ-weighted transfer cost. Uniform tiles make it constant
-                // across this frontier, so it acts as a transfer gate.
+                // across this frontier, so it acts as a transfer gate —
+                // unless μ is active, in which case each SD additionally
+                // pays (or earns) its ghost-traffic delta.
                 let gain = metrics.relief_per_sd(src as usize) - cost.edge_weight(src, dst);
-                let chosen = select_transfer_scored(&working, src, dst, amount, |_| gain);
-                for &sd in &chosen {
-                    working.set_owner(sd, dst);
-                    raw.push(Move {
-                        sd,
-                        from: src,
-                        to: dst,
-                    });
-                }
-                let realized = chosen.len() as i64;
+                let realized = match ghost {
+                    Some(g) => realize_ghost_aware(
+                        &mut working,
+                        &mut raw,
+                        src,
+                        dst,
+                        amount,
+                        |owners, sd| {
+                            gain - cost.mu * ghost_delta_seconds(&cost.comm, g, owners, sd, dst)
+                        },
+                    ),
+                    None => {
+                        let chosen = select_transfer_scored(&working, src, dst, amount, |_| gain);
+                        for &sd in &chosen {
+                            working.set_owner(sd, dst);
+                            raw.push(Move {
+                                sd,
+                                from: src,
+                                to: dst,
+                            });
+                        }
+                        chosen.len() as i64
+                    }
+                };
                 // bookkeeping: dst gained `realized`, src lost them
                 imbalance[dst as usize] -= realized;
                 imbalance[src as usize] += realized;
@@ -242,6 +370,37 @@ pub fn plan_rebalance_from_metrics(
         }
     }
     finish_plan(metrics, working, raw, &cost.comm, cost.sd_bytes)
+}
+
+/// Realize a ghost-aware transfer of up to `amount` SDs `src` → `dst`,
+/// **one SD at a time**: after every pick the working ownership advances,
+/// so the next SD's ghost-traffic delta is exact — a batch selection
+/// would price every ring SD as if its ring-mates stayed behind,
+/// systematically overcharging contiguous block moves (the common case)
+/// and mis-ordering partial rings. Returns the number of SDs realized.
+/// Only the μ-active path pays this cost; the μ-less planner keeps the
+/// batch selection, whose plans are pinned byte-identical.
+pub(crate) fn realize_ghost_aware(
+    working: &mut Ownership,
+    raw: &mut Vec<Move>,
+    src: NodeId,
+    dst: NodeId,
+    amount: usize,
+    score: impl Fn(&[NodeId], SdId) -> f64,
+) -> i64 {
+    let mut realized = 0i64;
+    for _ in 0..amount {
+        let chosen = select_transfer_scored(working, src, dst, 1, |sd| score(working.owners(), sd));
+        let Some(&sd) = chosen.first() else { break };
+        working.set_owner(sd, dst);
+        raw.push(Move {
+            sd,
+            from: src,
+            to: dst,
+        });
+        realized += 1;
+    }
+    realized
 }
 
 /// Turn a policy's raw transfer trace into the emitted [`MigrationPlan`]:
@@ -485,6 +644,66 @@ mod tests {
                 }
                 assert_eq!(check, plan.new_ownership);
             }
+        }
+    }
+
+    #[test]
+    fn ghost_delta_signs_track_the_cut() {
+        // 6x6 halves with one node-1 intrusion at (2, 0): sending the
+        // intruder home heals the cut (negative delta), roughening the
+        // straight boundary costs (positive delta), and the priced delta
+        // agrees in sign with the pure byte-cut delta of the graph.
+        let sds = SdGrid::new(6, 6, 4);
+        let mut owners: Vec<u32> = (0..36).map(|sd| u32::from(sds.coords(sd).0 >= 3)).collect();
+        owners[sds.id(2, 0) as usize] = 1;
+        let graph = nlheat_partition::SdGraph::build(&sds, 1);
+        let comm = CommCost::from_spec(&NetSpec::cluster());
+        let heal = ghost_delta_seconds(&comm, &graph, &owners, sds.id(2, 0), 0);
+        assert!(heal < 0.0, "sending the intruder home must heal: {heal}");
+        let worsen = ghost_delta_seconds(&comm, &graph, &owners, sds.id(3, 3), 0);
+        assert!(worsen > 0.0, "roughening the boundary must cost: {worsen}");
+        for (sd, to) in [(sds.id(2, 0), 0u32), (sds.id(3, 3), 0), (sds.id(0, 0), 1)] {
+            let secs = ghost_delta_seconds(&comm, &graph, &owners, sd, to);
+            let bytes = graph.cut_delta_bytes(&owners, sd, to);
+            assert_eq!(
+                secs > 0.0,
+                bytes > 0,
+                "sign must match the byte cut: sd {sd} -> {to}"
+            );
+        }
+        // no-op move, free network: exactly zero
+        assert_eq!(
+            ghost_delta_seconds(&comm, &graph, &owners, sds.id(0, 0), 0),
+            0.0
+        );
+        assert_eq!(
+            ghost_delta_seconds(&CommCost::free(), &graph, &owners, sds.id(3, 3), 0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn ghost_aware_plan_without_mu_is_byte_identical() {
+        // plan_rebalance_ghost_aware with a graph but μ = 0 must take the
+        // ghost-blind path exactly.
+        let sds = SdGrid::new(6, 6, 4);
+        let graph = nlheat_partition::SdGraph::build(&sds, 2);
+        let comm = CommCost::from_spec(&NetSpec::Topology(harsh_two_rack()));
+        let params = CostParams::new(comm, 1.0, 5024);
+        for pattern in 0..4u32 {
+            let owners: Vec<u32> = (0..36u32)
+                .map(|sd| {
+                    let (sx, sy) = sds.coords(sd);
+                    ((sx as u32 + pattern) / 2 + 2 * (sy as u32 / 3)) % 4
+                })
+                .collect();
+            let own = Ownership::new(sds, owners, 4);
+            let busy: Vec<f64> = (0..4).map(|n| 1.0 + (n % 4) as f64 * 2.3).collect();
+            let blind = plan_rebalance_with_cost(&own, &busy, &params);
+            let metrics = compute_metrics(&own.counts(), &busy);
+            let ghosted = plan_rebalance_ghost_aware(&own, metrics, &params, Some(&graph));
+            assert_eq!(blind.moves, ghosted.moves, "pattern {pattern}");
+            assert_eq!(blind.new_ownership, ghosted.new_ownership);
         }
     }
 

@@ -25,6 +25,17 @@
 //! `λ · migration bytes × link cost`. With `λ = 0` the whole stack
 //! degenerates — byte-identically — to the paper's count-based planner.
 //!
+//! It is also **ghost-traffic-aware**: migration bytes are paid once, but
+//! an ownership's edge cut over the SD adjacency / halo-volume graph
+//! ([`SdGraph`], built from the same halo plans the runtimes execute) is
+//! paid *every timestep*. A second weight μ prices each candidate move's
+//! cut delta ([`ghost_delta_seconds`]) so the balancer can refuse — or
+//! favour — moves by the recurring traffic they leave behind (cf.
+//! Lifflander et al., arXiv:2404.16793). `μ = 0` is pinned
+//! byte-identical to the ghost-blind planner, and every realized epoch is
+//! recorded as an [`EpochTrace`] (plan size, migration bytes, cut
+//! before/after) by both substrates.
+//!
 //! The tree planner is one strategy behind the pluggable [`policy`] layer:
 //! both substrates select an [`policy::LbPolicy`] via
 //! [`policy::LbSpec`]/[`policy::LbSchedule`] (tree, diffusion,
@@ -34,17 +45,21 @@
 pub mod algorithm;
 pub mod policy;
 pub mod power;
+pub mod trace;
 pub mod transfer;
 pub mod tree;
 
 pub use algorithm::{
-    iterate_rebalance, plan_rebalance, plan_rebalance_from_metrics, plan_rebalance_with_cost,
-    CostParams, MigrationPlan, Move, PlanComm,
+    ghost_delta_seconds, iterate_rebalance, plan_rebalance, plan_rebalance_from_metrics,
+    plan_rebalance_ghost_aware, plan_rebalance_with_cost, CostParams, MigrationPlan, Move,
+    PlanComm,
 };
+pub use nlheat_partition::SdGraph;
 pub use policy::{
     AdaptiveLambdaPolicy, DiffusionPolicy, GreedyStealPolicy, LbNetwork, LbPolicy, LbSchedule,
     LbSpec, TreePolicy,
 };
 pub use power::{compute_metrics, LoadMetrics};
+pub use trace::EpochTrace;
 pub use transfer::{select_transfer, select_transfer_scored};
 pub use tree::{build_forest, build_forest_weighted, DependencyTree};

@@ -37,37 +37,54 @@
 //!   the measured migration-stall fraction of previous epochs.
 
 use crate::balance::algorithm::{
-    finish_plan, plan_rebalance_from_metrics, CostParams, MigrationPlan, Move,
+    finish_plan, ghost_delta_seconds, mu_active, plan_rebalance_ghost_aware, realize_ghost_aware,
+    CostParams, MigrationPlan, Move,
 };
 use crate::balance::power::LoadMetrics;
 use crate::balance::transfer::select_transfer_scored;
 use crate::ownership::{NodeId, Ownership};
 use nlheat_netmodel::{CommCost, NetSpec};
+use nlheat_partition::SdGraph;
+use std::sync::Arc;
 
 /// The planning-grade network view handed to every policy: the same
-/// [`CommCost`] the tree planner already consumed, plus the wire size of
-/// one migrating SD tile. Derived from the active [`NetSpec`] by both
-/// substrates, so planner and transport agree on what the network looks
-/// like by construction.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// [`CommCost`] the tree planner already consumed, the wire size of one
+/// migrating SD tile, and (when the substrate attaches it) the SD
+/// adjacency / halo-volume graph whose ownership edge cut is the
+/// recurring ghost traffic a plan leaves behind. Derived from the active
+/// [`NetSpec`] and halo geometry by both substrates, so planner and
+/// transport agree on what the network looks like by construction.
+#[derive(Debug, Clone, PartialEq)]
 pub struct LbNetwork {
     /// Transfer-cost estimate derived from the active network spec.
     pub comm: CommCost,
     /// Wire bytes of one migrating SD tile (payload + framing).
     pub sd_bytes: u64,
+    /// The SD adjacency / halo-volume graph ([`SdGraph`]), shared with
+    /// the substrate that built it. `None` = ghost-blind planning (every
+    /// μ term is inert), the pre-ghost-aware behaviour.
+    pub sd_graph: Option<Arc<SdGraph>>,
 }
 
 impl LbNetwork {
     pub fn new(comm: CommCost, sd_bytes: u64) -> Self {
-        LbNetwork { comm, sd_bytes }
+        LbNetwork {
+            comm,
+            sd_bytes,
+            sd_graph: None,
+        }
     }
 
-    /// Free network: every cost term vanishes, λ gates are inert.
+    /// Free network: every cost term vanishes, λ/μ gates are inert.
     pub fn free() -> Self {
-        LbNetwork {
-            comm: CommCost::free(),
-            sd_bytes: 0,
-        }
+        LbNetwork::new(CommCost::free(), 0)
+    }
+
+    /// Attach the SD adjacency / halo-volume graph, enabling μ-weighted
+    /// ghost-traffic terms in every policy.
+    pub fn with_sd_graph(mut self, graph: Arc<SdGraph>) -> Self {
+        self.sd_graph = Some(graph);
+        self
     }
 
     /// Derive the view from a network spec (what `DistConfig`/`SimConfig`
@@ -78,11 +95,91 @@ impl LbNetwork {
 
     /// The view for migrating SD tiles of `cells_per_sd` cells: the wire
     /// size both substrates actually ship per tile (8-byte f64 payload per
-    /// cell plus the codec's length/framing overhead). This is the **one**
-    /// copy of that formula — `core::dist` and `sim::engine` both call it,
-    /// so their planners can never disagree on `sd_bytes`.
+    /// cell plus the codec's length/framing overhead). `core::dist` and
+    /// `sim::engine` both call it, and it shares the per-message formula
+    /// with the [`SdGraph`] edge weights
+    /// ([`nlheat_partition::patch_wire_bytes`]), so their planners can
+    /// never disagree on `sd_bytes`.
     pub fn for_sd_tiles(spec: &NetSpec, cells_per_sd: usize) -> Self {
-        LbNetwork::from_spec(spec, (cells_per_sd * 8 + 24) as u64)
+        LbNetwork::from_spec(
+            spec,
+            nlheat_partition::patch_wire_bytes(cells_per_sd as i64),
+        )
+    }
+
+    /// The ghost graph iff a μ term of weight `mu` can affect plans
+    /// (graph attached, `mu > 0`, non-free network — the same
+    /// `mu_active` predicate the tree planner's [`CostParams`] gates on)
+    /// — `None` otherwise, so degenerate cases take exactly the
+    /// ghost-blind code path.
+    pub fn ghost_graph(&self, mu: f64) -> Option<&SdGraph> {
+        if mu_active(mu, &self.comm) {
+            self.sd_graph.as_deref()
+        } else {
+            None
+        }
+    }
+
+    /// The node neighbour graph a policy exchanges load over, each list
+    /// ordered cheapest link class first (ties by id).
+    ///
+    /// With an active ghost term (`mu > 0` and an attached [`SdGraph`])
+    /// this is the *real* exchange adjacency: node pairs whose
+    /// territories trade ghost patches under `own`, projected from the SD
+    /// graph — the same adjacency the partitioner's edge cut counts — plus
+    /// every pair involving an empty territory (which has no ghost edges
+    /// but still needs bootstrap seeding). Ghost-blind (`mu = 0` or no
+    /// graph) it falls back to [`CommCost::neighbour_graph`]'s complete
+    /// graph, keeping μ = 0 plans byte-identical to the pre-ghost-aware
+    /// planner: a policy may discover mid-plan that two initially
+    /// non-adjacent territories became adjacent, which a fixed projected
+    /// adjacency cannot represent, so the degenerate case must not use it.
+    /// For μ > 0 that mid-plan emergence is deliberately ignored — a
+    /// transfer between non-adjacent territories cannot be realized
+    /// anyway (no shared frontier), and any adjacency a plan creates is
+    /// in the projection of the *next* epoch, so restricting the edge set
+    /// costs at most extra epochs, never reachability.
+    pub fn neighbour_graph(&self, own: &Ownership, mu: f64) -> Vec<Vec<NodeId>> {
+        let Some(graph) = self.ghost_graph(mu) else {
+            return self.comm.neighbour_graph(own.n_nodes());
+        };
+        let n = own.n_nodes() as usize;
+        let owners = own.owners();
+        let counts = own.counts();
+        let mut adj = vec![std::collections::BTreeSet::new(); n];
+        for sd in 0..graph.n_sds() as u32 {
+            let a = owners[sd as usize];
+            for (nb, _) in graph.neighbours(sd) {
+                let b = owners[nb as usize];
+                if a != b {
+                    adj[a as usize].insert(b);
+                    adj[b as usize].insert(a);
+                }
+            }
+        }
+        for i in 0..n {
+            if counts[i] == 0 {
+                for j in 0..n {
+                    if i != j {
+                        adj[i].insert(j as NodeId);
+                        adj[j].insert(i as NodeId);
+                    }
+                }
+            }
+        }
+        adj.into_iter()
+            .enumerate()
+            .map(|(i, set)| {
+                let mut list: Vec<NodeId> = set.into_iter().collect();
+                list.sort_by(|&a, &b| {
+                    self.comm
+                        .link_class(i as NodeId, a)
+                        .cmp(&self.comm.link_class(i as NodeId, b))
+                        .then(a.cmp(&b))
+                });
+                list
+            })
+            .collect()
     }
 }
 
@@ -121,6 +218,18 @@ pub trait LbPolicy: Send {
     fn cost_weight(&self) -> f64 {
         0.0
     }
+
+    /// Override the policy's ghost-traffic weight μ. Default: ignored — a
+    /// policy without a ghost gate has nothing to set.
+    fn set_ghost_weight(&mut self, mu: f64) {
+        let _ = mu;
+    }
+
+    /// The policy's current ghost-traffic weight μ (0 for policies
+    /// without a ghost gate).
+    fn ghost_weight(&self) -> f64 {
+        0.0
+    }
 }
 
 /// Serde-free policy selection shared by `DistConfig` and `SimConfig`
@@ -128,18 +237,25 @@ pub trait LbPolicy: Send {
 #[derive(Debug, Clone, PartialEq)]
 pub enum LbSpec {
     /// The paper's Algorithm-1 dependency-tree planner with the λ-weighted
-    /// communication-cost gate; `lambda = 0` is the count-based paper
-    /// algorithm, byte-identical to the pre-policy-layer planner.
-    Tree { lambda: f64 },
-    /// First-order diffusion: sweep the link-class neighbour graph
-    /// (cheap edges first) and settle half of each pair's imbalance
-    /// difference, for at most `max_rounds` rounds or until every node is
-    /// within `tolerance` SDs of its expected share.
-    Diffusion { tolerance: f64, max_rounds: usize },
+    /// communication-cost gate and the μ-weighted ghost-traffic gate;
+    /// `lambda = mu = 0` is the count-based paper algorithm,
+    /// byte-identical to the pre-policy-layer planner.
+    Tree { lambda: f64, mu: f64 },
+    /// First-order diffusion: sweep the neighbour graph (cheap edges
+    /// first) and settle half of each pair's imbalance difference, for at
+    /// most `max_rounds` rounds or until every node is within `tolerance`
+    /// SDs of its expected share. `mu > 0` additionally charges each
+    /// candidate SD its ghost-traffic delta.
+    Diffusion {
+        tolerance: f64,
+        max_rounds: usize,
+        mu: f64,
+    },
     /// Greedy offload: while some rank's overload is at least `threshold`
     /// SDs, the most overloaded rank sheds one SD to its cheapest
-    /// underloaded neighbour.
-    GreedySteal { threshold: usize },
+    /// underloaded neighbour. `mu > 0` additionally charges each candidate
+    /// SD its ghost-traffic delta.
+    GreedySteal { threshold: usize, mu: f64 },
     /// Decorator: run `inner`, and after each epoch nudge its cost weight
     /// λ so the measured migration-stall fraction approaches
     /// `target_stall_frac` (doubling λ when migrations stall more than
@@ -153,22 +269,26 @@ pub enum LbSpec {
 impl Default for LbSpec {
     /// The paper's count-based Algorithm 1.
     fn default() -> Self {
-        LbSpec::Tree { lambda: 0.0 }
+        LbSpec::Tree {
+            lambda: 0.0,
+            mu: 0.0,
+        }
     }
 }
 
 impl LbSpec {
-    /// Algorithm 1 weighing migration traffic by `lambda`.
+    /// Algorithm 1 weighing migration traffic by `lambda` (ghost-blind:
+    /// `mu = 0`).
     ///
     /// # Panics
     /// Panics on invalid parameters — see [`LbSpec::validate`].
     pub fn tree(lambda: f64) -> Self {
-        let spec = LbSpec::Tree { lambda };
+        let spec = LbSpec::Tree { lambda, mu: 0.0 };
         spec.validate();
         spec
     }
 
-    /// Diffusion with the given stop condition.
+    /// Diffusion with the given stop condition (ghost-blind: `mu = 0`).
     ///
     /// # Panics
     /// Panics on invalid parameters — see [`LbSpec::validate`].
@@ -176,19 +296,42 @@ impl LbSpec {
         let spec = LbSpec::Diffusion {
             tolerance,
             max_rounds,
+            mu: 0.0,
         };
         spec.validate();
         spec
     }
 
-    /// Greedy stealing with the given overload threshold.
+    /// Greedy stealing with the given overload threshold (ghost-blind:
+    /// `mu = 0`).
     ///
     /// # Panics
     /// Panics on invalid parameters — see [`LbSpec::validate`].
     pub fn greedy_steal(threshold: usize) -> Self {
-        let spec = LbSpec::GreedySteal { threshold };
+        let spec = LbSpec::GreedySteal { threshold, mu: 0.0 };
         spec.validate();
         spec
+    }
+
+    /// Weigh each candidate move's recurring ghost-traffic delta by `mu`
+    /// (applied to the inner policy of an adaptive decorator). The term
+    /// only bites when the substrate attaches an [`SdGraph`] to its
+    /// [`LbNetwork`]; both execution substrates always do.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `mu`.
+    pub fn with_mu(mut self, mu: f64) -> Self {
+        crate::balance::algorithm::validate_mu(mu);
+        match &mut self {
+            LbSpec::Tree { mu: m, .. }
+            | LbSpec::Diffusion { mu: m, .. }
+            | LbSpec::GreedySteal { mu: m, .. } => *m = mu,
+            LbSpec::AdaptiveLambda { inner, .. } => {
+                let updated = std::mem::take(inner.as_mut()).with_mu(mu);
+                **inner = updated;
+            }
+        }
+        self
     }
 
     /// Wrap `inner` in the adaptive-λ decorator.
@@ -220,27 +363,34 @@ impl LbSpec {
     /// deadlocks the cluster).
     ///
     /// # Panics
-    /// Panics on: non-finite or negative `lambda`; non-finite or
+    /// Panics on: non-finite or negative `lambda` or `mu`; non-finite or
     /// non-positive `tolerance`; `max_rounds` of 0; `threshold` of 0;
     /// `target_stall_frac` outside `(0, 1)`; or an invalid inner spec.
     pub fn validate(&self) {
+        let check_mu = |mu: &f64| crate::balance::algorithm::validate_mu(*mu);
         match self {
-            LbSpec::Tree { lambda } => assert!(
-                *lambda >= 0.0 && lambda.is_finite(),
-                "lambda must be finite and non-negative, got {lambda}"
-            ),
+            LbSpec::Tree { lambda, mu } => {
+                assert!(
+                    *lambda >= 0.0 && lambda.is_finite(),
+                    "lambda must be finite and non-negative, got {lambda}"
+                );
+                check_mu(mu);
+            }
             LbSpec::Diffusion {
                 tolerance,
                 max_rounds,
+                mu,
             } => {
                 assert!(
                     *tolerance > 0.0 && tolerance.is_finite(),
                     "diffusion tolerance must be finite and positive, got {tolerance}"
                 );
                 assert!(*max_rounds >= 1, "diffusion max_rounds must be at least 1");
+                check_mu(mu);
             }
-            LbSpec::GreedySteal { threshold } => {
+            LbSpec::GreedySteal { threshold, mu } => {
                 assert!(*threshold >= 1, "greedy-steal threshold must be at least 1");
+                check_mu(mu);
             }
             LbSpec::AdaptiveLambda {
                 inner,
@@ -271,18 +421,24 @@ impl LbSpec {
     pub fn build(&self) -> Box<dyn LbPolicy> {
         self.validate();
         match self {
-            LbSpec::Tree { lambda } => Box::new(TreePolicy { lambda: *lambda }),
+            LbSpec::Tree { lambda, mu } => Box::new(TreePolicy {
+                lambda: *lambda,
+                mu: *mu,
+            }),
             LbSpec::Diffusion {
                 tolerance,
                 max_rounds,
+                mu,
             } => Box::new(DiffusionPolicy {
                 tolerance: *tolerance,
                 max_rounds: *max_rounds,
                 cost_weight: 0.0,
+                ghost_weight: *mu,
             }),
-            LbSpec::GreedySteal { threshold } => Box::new(GreedyStealPolicy {
+            LbSpec::GreedySteal { threshold, mu } => Box::new(GreedyStealPolicy {
                 threshold: *threshold,
                 cost_weight: 0.0,
+                ghost_weight: *mu,
             }),
             LbSpec::AdaptiveLambda {
                 inner,
@@ -340,9 +496,9 @@ impl LbSchedule {
     ///
     /// # Panics
     /// Panics on negative or non-finite `lambda`.
-    #[deprecated(note = "use with_spec(LbSpec::Tree { lambda }) instead")]
+    #[deprecated(note = "use with_spec(LbSpec::tree(lambda)) instead")]
     pub fn with_lambda(self, lambda: f64) -> Self {
-        self.with_spec(LbSpec::Tree { lambda })
+        self.with_spec(LbSpec::Tree { lambda, mu: 0.0 })
     }
 
     /// Validate the whole schedule (covers direct field assignment that
@@ -363,6 +519,7 @@ impl LbSchedule {
 /// [`LbSpec::Tree`]: delegates to the Algorithm-1 planner.
 pub struct TreePolicy {
     lambda: f64,
+    mu: f64,
 }
 
 impl LbPolicy for TreePolicy {
@@ -371,8 +528,8 @@ impl LbPolicy for TreePolicy {
     }
 
     fn plan(&mut self, own: &Ownership, metrics: &LoadMetrics, net: &LbNetwork) -> MigrationPlan {
-        let cost = CostParams::new(net.comm, self.lambda, net.sd_bytes);
-        plan_rebalance_from_metrics(own, metrics.clone(), &cost)
+        let cost = CostParams::new(net.comm, self.lambda, net.sd_bytes).with_mu(self.mu);
+        plan_rebalance_ghost_aware(own, metrics.clone(), &cost, net.sd_graph.as_deref())
     }
 
     fn set_cost_weight(&mut self, lambda: f64) {
@@ -382,6 +539,14 @@ impl LbPolicy for TreePolicy {
     fn cost_weight(&self) -> f64 {
         self.lambda
     }
+
+    fn set_ghost_weight(&mut self, mu: f64) {
+        self.mu = mu;
+    }
+
+    fn ghost_weight(&self) -> f64 {
+        self.mu
+    }
 }
 
 /// [`LbSpec::Diffusion`]: first-order pairwise load exchange.
@@ -390,6 +555,8 @@ pub struct DiffusionPolicy {
     max_rounds: usize,
     /// λ gate on realizations; 0 unless set by the adaptive decorator.
     cost_weight: f64,
+    /// μ gate on each candidate SD's ghost-traffic delta.
+    ghost_weight: f64,
 }
 
 impl LbPolicy for DiffusionPolicy {
@@ -401,11 +568,17 @@ impl LbPolicy for DiffusionPolicy {
         let mut imbalance = metrics.imbalance.clone();
         let mut working = own.clone();
         let mut raw: Vec<Move> = Vec::new();
-        // Undirected exchange edges from the link-class neighbour graph,
-        // cheapest class first (ties by ids) so imbalance settles within
-        // racks before any of it crosses them.
+        let ghost = net.ghost_graph(self.ghost_weight);
+        // Undirected exchange edges from the neighbour graph (the real
+        // ghost-exchange adjacency when μ is active, the complete
+        // link-class graph otherwise), cheapest class first (ties by ids)
+        // so imbalance settles within racks before any of it crosses them.
         let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-        for (i, nbs) in net.comm.neighbour_graph(own.n_nodes()).iter().enumerate() {
+        for (i, nbs) in net
+            .neighbour_graph(own, self.ghost_weight)
+            .iter()
+            .enumerate()
+        {
             for &j in nbs {
                 if (j as usize) > i {
                     edges.push((i as NodeId, j));
@@ -438,19 +611,30 @@ impl LbPolicy for DiffusionPolicy {
                 };
                 let gain = metrics.relief_per_sd(src as usize)
                     - self.cost_weight * net.comm.seconds(src, dst, net.sd_bytes);
-                let chosen = select_transfer_scored(&working, src, dst, amount, |_| gain);
-                if chosen.is_empty() {
+                let realized = match ghost {
+                    Some(g) => {
+                        // one SD at a time so every delta is exact against
+                        // the evolving ownership (see realize_ghost_aware)
+                        realize_ghost_aware(&mut working, &mut raw, src, dst, amount, |o, sd| {
+                            gain - self.ghost_weight * ghost_delta_seconds(&net.comm, g, o, sd, dst)
+                        })
+                    }
+                    None => {
+                        let chosen = select_transfer_scored(&working, src, dst, amount, |_| gain);
+                        for &sd in &chosen {
+                            working.set_owner(sd, dst);
+                            raw.push(Move {
+                                sd,
+                                from: src,
+                                to: dst,
+                            });
+                        }
+                        chosen.len() as i64
+                    }
+                };
+                if realized == 0 {
                     continue;
                 }
-                for &sd in &chosen {
-                    working.set_owner(sd, dst);
-                    raw.push(Move {
-                        sd,
-                        from: src,
-                        to: dst,
-                    });
-                }
-                let realized = chosen.len() as i64;
                 imbalance[dst as usize] -= realized;
                 imbalance[src as usize] += realized;
                 progressed = true;
@@ -471,6 +655,14 @@ impl LbPolicy for DiffusionPolicy {
     fn cost_weight(&self) -> f64 {
         self.cost_weight
     }
+
+    fn set_ghost_weight(&mut self, mu: f64) {
+        self.ghost_weight = mu;
+    }
+
+    fn ghost_weight(&self) -> f64 {
+        self.ghost_weight
+    }
 }
 
 /// [`LbSpec::GreedySteal`]: max-loaded rank sheds to its cheapest
@@ -479,6 +671,8 @@ pub struct GreedyStealPolicy {
     threshold: usize,
     /// λ gate on steals; 0 unless set by the adaptive decorator.
     cost_weight: f64,
+    /// μ gate on each candidate SD's ghost-traffic delta.
+    ghost_weight: f64,
 }
 
 impl LbPolicy for GreedyStealPolicy {
@@ -491,7 +685,8 @@ impl LbPolicy for GreedyStealPolicy {
         let mut imbalance = metrics.imbalance.clone();
         let mut working = own.clone();
         let mut raw: Vec<Move> = Vec::new();
-        let graph = net.comm.neighbour_graph(own.n_nodes());
+        let ghost = net.ghost_graph(self.ghost_weight);
+        let graph = net.neighbour_graph(own, self.ghost_weight);
         // A rank whose every candidate fails (no reachable frontier, or
         // fully λ-gated) is parked so the loop always terminates: each
         // iteration either realizes a move (shrinking Σ|imbalance|) or
@@ -508,7 +703,13 @@ impl LbPolicy for GreedyStealPolicy {
                 }
                 let gain = metrics.relief_per_sd(src)
                     - self.cost_weight * net.comm.seconds(src as NodeId, dst, net.sd_bytes);
-                let chosen = select_transfer_scored(&working, src as NodeId, dst, 1, |_| gain);
+                let chosen = match ghost {
+                    Some(g) => select_transfer_scored(&working, src as NodeId, dst, 1, |sd| {
+                        gain - self.ghost_weight
+                            * ghost_delta_seconds(&net.comm, g, working.owners(), sd, dst)
+                    }),
+                    None => select_transfer_scored(&working, src as NodeId, dst, 1, |_| gain),
+                };
                 if let Some(&sd) = chosen.first() {
                     working.set_owner(sd, dst);
                     raw.push(Move {
@@ -535,6 +736,14 @@ impl LbPolicy for GreedyStealPolicy {
 
     fn cost_weight(&self) -> f64 {
         self.cost_weight
+    }
+
+    fn set_ghost_weight(&mut self, mu: f64) {
+        self.ghost_weight = mu;
+    }
+
+    fn ghost_weight(&self) -> f64 {
+        self.ghost_weight
     }
 }
 
@@ -592,6 +801,16 @@ impl LbPolicy for AdaptiveLambdaPolicy {
 
     fn cost_weight(&self) -> f64 {
         self.lambda
+    }
+
+    /// The ghost gate is orthogonal to the adapted λ: forward it to the
+    /// inner policy untouched.
+    fn set_ghost_weight(&mut self, mu: f64) {
+        self.inner.set_ghost_weight(mu);
+    }
+
+    fn ghost_weight(&self) -> f64 {
+        self.inner.ghost_weight()
     }
 }
 
@@ -862,12 +1081,50 @@ mod tests {
     fn schedule_builders_and_shim() {
         let sched = LbSchedule::every(4).with_spec(LbSpec::greedy_steal(2));
         assert_eq!(sched.period, 4);
-        assert_eq!(sched.spec, LbSpec::GreedySteal { threshold: 2 });
-        assert_eq!(LbSchedule::every(3).spec, LbSpec::Tree { lambda: 0.0 });
-        // the deprecated λ shim maps onto Tree { lambda }
+        assert_eq!(
+            sched.spec,
+            LbSpec::GreedySteal {
+                threshold: 2,
+                mu: 0.0
+            }
+        );
+        assert_eq!(
+            LbSchedule::every(3).spec,
+            LbSpec::Tree {
+                lambda: 0.0,
+                mu: 0.0
+            }
+        );
+        // the deprecated λ shim maps onto Tree { lambda, mu: 0 }
         #[allow(deprecated)]
         let shim = LbSchedule::every(2).with_lambda(1.5);
-        assert_eq!(shim.spec, LbSpec::Tree { lambda: 1.5 });
+        assert_eq!(
+            shim.spec,
+            LbSpec::Tree {
+                lambda: 1.5,
+                mu: 0.0
+            }
+        );
+        // with_mu reaches the variant's μ field, through decorators too
+        assert_eq!(
+            LbSpec::tree(1.0).with_mu(0.5),
+            LbSpec::Tree {
+                lambda: 1.0,
+                mu: 0.5
+            }
+        );
+        match LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1).with_mu(2.0) {
+            LbSpec::AdaptiveLambda { inner, .. } => {
+                assert_eq!(
+                    *inner,
+                    LbSpec::GreedySteal {
+                        threshold: 1,
+                        mu: 2.0
+                    }
+                );
+            }
+            other => panic!("decorator shape lost: {other:?}"),
+        }
     }
 
     #[test]
@@ -918,6 +1175,112 @@ mod tests {
     }
 
     #[test]
+    fn mu_zero_with_graph_attached_is_byte_identical() {
+        // The tentpole acceptance criterion at unit scale: attaching the
+        // SdGraph must not change a single move while μ = 0, for every
+        // policy variant — the ghost machinery is pinned inert.
+        let sds = SdGrid::new(6, 6, 4);
+        let graph = std::sync::Arc::new(nlheat_partition::SdGraph::build(&sds, 2));
+        let plain = two_rack_net(4 * 4 * 8 + 24);
+        let with_graph = plain.clone().with_sd_graph(graph);
+        for spec in all_specs() {
+            let mut a = spec.build();
+            let mut b = spec.build();
+            sweep(|own, busy| {
+                let m = metrics_for(own, busy);
+                let pa = a.plan(own, &m, &plain);
+                let pb = b.plan(own, &m, &with_graph);
+                assert_eq!(pa.moves, pb.moves, "{}", spec.name());
+                assert_eq!(pa.new_ownership, pb.new_ownership, "{}", spec.name());
+            });
+        }
+    }
+
+    #[test]
+    fn huge_mu_gates_cut_worsening_moves() {
+        // 6x6 halves: every borrowing move roughens the straight column
+        // boundary, i.e. adds recurring ghost traffic. An enormous μ must
+        // therefore gate the whole plan; μ = 0 keeps balancing.
+        let sds = SdGrid::new(6, 6, 4);
+        let owners: Vec<u32> = (0..36).map(|sd| u32::from(sds.coords(sd).0 >= 3)).collect();
+        let own = Ownership::new(sds, owners, 2);
+        let busy = vec![9.0, 1.0];
+        let graph = std::sync::Arc::new(nlheat_partition::SdGraph::build(&sds, 1));
+        let net = LbNetwork::from_spec(&NetSpec::cluster(), 1000).with_sd_graph(graph);
+        let mut free = LbSpec::tree(0.0).build();
+        assert!(
+            !free.plan(&own, &metrics_for(&own, &busy), &net).is_noop(),
+            "μ=0 must balance the skew"
+        );
+        let mut gated = LbSpec::tree(0.0).with_mu(1e12).build();
+        assert!(
+            gated.plan(&own, &metrics_for(&own, &busy), &net).is_noop(),
+            "huge μ must refuse cut-worsening moves"
+        );
+    }
+
+    #[test]
+    fn ghost_weight_hooks_round_trip_and_steer_plans() {
+        // The μ feedback seam (the future AdaptiveMu decorator's handle):
+        // every concrete policy round-trips set_ghost_weight, the
+        // decorator forwards to its inner policy, and a raised μ actually
+        // changes planning — the same gate as the spec-level field.
+        for spec in [
+            LbSpec::tree(0.0),
+            LbSpec::diffusion(1.0, 8),
+            LbSpec::greedy_steal(1),
+            LbSpec::adaptive(LbSpec::tree(0.0), 0.1),
+        ] {
+            let mut policy = spec.with_mu(0.75).build();
+            assert_eq!(policy.ghost_weight(), 0.75, "{}: spec μ", policy.name());
+            policy.set_ghost_weight(2.5);
+            assert_eq!(policy.ghost_weight(), 2.5, "{}: round trip", policy.name());
+        }
+        // steering: the huge_mu fixture, but with μ injected through the
+        // hook after build instead of the spec
+        let sds = SdGrid::new(6, 6, 4);
+        let owners: Vec<u32> = (0..36).map(|sd| u32::from(sds.coords(sd).0 >= 3)).collect();
+        let own = Ownership::new(sds, owners, 2);
+        let busy = vec![9.0, 1.0];
+        let graph = std::sync::Arc::new(nlheat_partition::SdGraph::build(&sds, 1));
+        let net = LbNetwork::from_spec(&NetSpec::cluster(), 1000).with_sd_graph(graph);
+        let mut policy = LbSpec::tree(0.0).build();
+        assert!(!policy.plan(&own, &metrics_for(&own, &busy), &net).is_noop());
+        policy.set_ghost_weight(1e12);
+        assert!(
+            policy.plan(&own, &metrics_for(&own, &busy), &net).is_noop(),
+            "hook-injected μ must gate like the spec field"
+        );
+    }
+
+    #[test]
+    fn neighbour_graph_projects_real_adjacency_when_ghost_active() {
+        // 8x1 row over 4 nodes in 2 racks: territory adjacency is the
+        // chain 0-1-2-3. Ghost-active policies see exactly that chain
+        // (cheapest class first); ghost-blind ones see the complete graph.
+        let sds = SdGrid::new(8, 1, 4);
+        let own = Ownership::new(sds, vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        let graph = std::sync::Arc::new(nlheat_partition::SdGraph::build(&sds, 1));
+        let net = two_rack_net(1000).with_sd_graph(graph);
+        let projected = net.neighbour_graph(&own, 1.0);
+        assert_eq!(projected[0], vec![1]);
+        assert_eq!(projected[1], vec![0, 2], "intra-rack peer first");
+        assert_eq!(projected[2], vec![3, 1]);
+        assert_eq!(projected[3], vec![2]);
+        // μ = 0 falls back to the complete link-class graph
+        assert_eq!(
+            net.neighbour_graph(&own, 0.0),
+            net.comm.neighbour_graph(4),
+            "ghost-blind path must stay the PR-3 complete graph"
+        );
+        // an empty territory keeps every partner (bootstrap seeding)
+        let lopsided = Ownership::new(sds, vec![0, 0, 0, 0, 0, 0, 1, 1], 3);
+        let boot = net.neighbour_graph(&lopsided, 1.0);
+        assert_eq!(boot[2], vec![0, 1], "empty node 2 reaches everyone");
+        assert!(boot[0].contains(&2) && boot[1].contains(&2));
+    }
+
+    #[test]
     fn sd_tile_view_is_the_shared_wire_formula() {
         // both substrates derive sd_bytes through this one constructor
         let net = LbNetwork::for_sd_tiles(&NetSpec::cluster(), 25 * 25);
@@ -930,8 +1293,27 @@ mod tests {
     fn adaptive_validates_its_inner_spec() {
         // constructed via the struct literal so only validate() can catch it
         let spec = LbSpec::AdaptiveLambda {
-            inner: Box::new(LbSpec::Tree { lambda: f64::NAN }),
+            inner: Box::new(LbSpec::Tree {
+                lambda: f64::NAN,
+                mu: 0.0,
+            }),
             target_stall_frac: 0.1,
+        };
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be finite")]
+    fn negative_mu_rejected() {
+        let _ = LbSpec::tree(0.0).with_mu(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be finite")]
+    fn nan_mu_rejected_by_validate() {
+        let spec = LbSpec::GreedySteal {
+            threshold: 1,
+            mu: f64::NAN,
         };
         spec.validate();
     }

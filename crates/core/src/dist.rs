@@ -15,7 +15,7 @@
 //! asynchronous pipelining an AMT runtime buys.
 
 pub use crate::balance::LbSpec;
-use crate::balance::{compute_metrics, LbNetwork, LbSchedule};
+use crate::balance::{compute_metrics, EpochTrace, LbNetwork, LbSchedule, SdGraph};
 use crate::ownership::Ownership;
 use crate::workload::WorkModel;
 use bytes::{Bytes, BytesMut};
@@ -137,6 +137,11 @@ pub struct DistReport {
     pub migrations: usize,
     /// Per-node SD counts after each balancing epoch.
     pub lb_history: Vec<Vec<usize>>,
+    /// One [`EpochTrace`] per realized balancing epoch (recorded on
+    /// locality 0, in epoch order): plan size, migration bytes, and the
+    /// recurring ghost-traffic cut before/after — the per-epoch data
+    /// A8/A9-style plots are drawn from.
+    pub epoch_traces: Vec<EpochTrace>,
 }
 
 /// Ownership-independent, cluster-wide setup shared by all drivers.
@@ -149,6 +154,10 @@ struct Setup {
     /// Reverse index: for each source SD, the `(destination SD, patch
     /// index)` pairs that read from it.
     reverse: Vec<Vec<(SdId, u16)>>,
+    /// The SD adjacency / halo-volume graph derived from `plans` — the
+    /// planner's view of the recurring ghost traffic the real parcels
+    /// produce.
+    sd_graph: Arc<SdGraph>,
     initial_owners: Vec<u32>,
     n_nodes: u32,
 }
@@ -178,12 +187,14 @@ impl Setup {
                 owners.clone()
             }
         };
+        let sd_graph = Arc::new(SdGraph::from_plans(&sds, &plans));
         Setup {
             cfg,
             parts,
             sds,
             plans,
             reverse,
+            sd_graph,
             initial_owners,
             n_nodes,
         }
@@ -217,6 +228,7 @@ struct NodeReport {
     busy_ns: u64,
     in_migrations: usize,
     lb_counts: Vec<Vec<usize>>,
+    lb_traces: Vec<EpochTrace>,
 }
 
 /// Run the distributed solver on `cluster`.
@@ -280,6 +292,11 @@ pub fn run_distributed(cluster: &Cluster, cfg: &DistConfig) -> DistReport {
         .map(|r| r.lb_counts.clone())
         .find(|h| !h.is_empty())
         .unwrap_or_default();
+    let epoch_traces = reports
+        .iter()
+        .map(|r| r.lb_traces.clone())
+        .find(|t| !t.is_empty())
+        .unwrap_or_default();
     DistReport {
         elapsed,
         error,
@@ -288,6 +305,7 @@ pub fn run_distributed(cluster: &Cluster, cfg: &DistConfig) -> DistReport {
         busy_ns: reports.iter().map(|r| r.busy_ns).collect(),
         migrations,
         lb_history,
+        epoch_traces,
     }
 }
 
@@ -341,6 +359,7 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
     let mut error_partials = Vec::with_capacity(cfg.n_steps);
     let mut in_migrations = 0usize;
     let mut lb_counts: Vec<Vec<usize>> = Vec::new();
+    let mut lb_traces: Vec<EpochTrace> = Vec::new();
     let spawner = loc.spawner();
 
     // Locality 0 plans every epoch through one policy instance, kept
@@ -351,7 +370,12 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
     } else {
         None
     };
-    let lb_net = LbNetwork::for_sd_tiles(&cfg.net, sds.cells_per_sd());
+    // The planning view: the fabric's CommCost plus the SD adjacency /
+    // halo-volume graph of the *real* halo plans, so μ-weighted policies
+    // price the recurring parcels this driver sends every step (to within
+    // the constant framing word `patch_wire_bytes` documents).
+    let lb_net =
+        LbNetwork::for_sd_tiles(&cfg.net, sds.cells_per_sd()).with_sd_graph(setup.sd_graph.clone());
     // Wall time this locality spent in the previous epoch's migration
     // exchange (gathered with the busy times as the adaptive-λ stall
     // signal) and, on locality 0, the length of the previous window.
@@ -560,6 +584,15 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 // from the config's NetSpec.
                 let metrics = compute_metrics(&ownership.counts(), &busy_vec);
                 let plan = policy.plan(&ownership, &metrics, &lb_net);
+                if !plan.moves.is_empty() {
+                    lb_traces.push(EpochTrace::record(
+                        step + 1,
+                        policy.name(),
+                        &plan,
+                        &ownership,
+                        &lb_net,
+                    ));
+                }
                 let wire: Vec<(u64, u32, u32)> = plan
                     .moves
                     .iter()
@@ -650,6 +683,7 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
         busy_ns: loc.busy_time_ns(),
         in_migrations,
         lb_counts,
+        lb_traces,
     }
 }
 
@@ -774,7 +808,10 @@ mod tests {
         let mut cfg = DistConfig::new(16, 2.0, 4, 4);
         cfg.lb = Some(LbConfig {
             period: 2,
-            spec: LbSpec::Tree { lambda: -1.0 },
+            spec: LbSpec::Tree {
+                lambda: -1.0,
+                mu: 0.0,
+            },
         });
         let _ = run_distributed(&cluster, &cfg);
     }
@@ -837,6 +874,42 @@ mod tests {
             "no-op epochs must not emit metrics: {:?}",
             report.lb_history
         );
+        assert!(
+            report.epoch_traces.is_empty(),
+            "no-op epochs must not emit traces: {:?}",
+            report.epoch_traces
+        );
+    }
+
+    #[test]
+    fn epoch_traces_record_realized_epochs() {
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.lb = Some(LbConfig::every(2));
+        let mut owners = vec![0u32; 16];
+        owners[15] = 1;
+        cfg.partition = PartitionMethod::Explicit(owners);
+        let report = run_distributed(&cluster, &cfg);
+        assert!(report.migrations > 0);
+        // one trace per realized epoch, aligned with lb_history
+        assert_eq!(report.epoch_traces.len(), report.lb_history.len());
+        let total_moves: usize = report.epoch_traces.iter().map(|t| t.moves).sum();
+        assert_eq!(
+            total_moves, report.migrations,
+            "traces must cover all moves"
+        );
+        for t in &report.epoch_traces {
+            assert_eq!(t.policy, "tree");
+            assert!(t.step >= 2 && t.step % 2 == 0, "schedule steps: {}", t.step);
+            assert!(
+                t.ghost_bytes_before > 0,
+                "the real runtime always attaches its SdGraph"
+            );
+        }
+        // the 15/1 start has a tiny cut; balancing toward 8/8 must grow it
+        // (more boundary), which the recorded cut reflects
+        let first = &report.epoch_traces[0];
+        assert!(first.ghost_bytes_after != first.ghost_bytes_before);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   one node queue behind each other on its link (the simulator's
 //!   historical `NicState` semantics, reproduced exactly — see the
 //!   `shared_bandwidth_matches_legacy_nicstate` test).
+//! * [`DuplexBandwidthNet`] — per-sender egress **and per-receiver
+//!   ingress** serialization: the fan-in of many senders onto one
+//!   receiver queues at the destination NIC, so the model exhibits
+//!   incast. The only model with cross-sender contention state (the
+//!   receiver queue), which transports must not shard per sender.
 //! * [`TopologyNet`] — per-pair link classes (intra-node / intra-rack /
 //!   inter-rack) with per-sender NIC serialization, for heterogeneous
 //!   clusters built by `ClusterBuilder`.
@@ -204,6 +209,66 @@ impl NetModel for SharedBandwidthNet {
     }
 }
 
+/// Per-sender egress **and** per-receiver ingress serialization — the
+/// incast model. A message first drains through its sender's egress NIC
+/// (exactly like [`SharedBandwidthNet`]), then through the receiver's
+/// ingress NIC, then latency is added:
+///
+/// ```text
+/// sent     = max(now, tx_free[src]) + bytes/bw;   tx_free[src] = sent
+/// ingested = max(sent, rx_free[dst]) + bytes/bw;  rx_free[dst] = ingested
+/// arrival  = ingested + latency
+/// ```
+///
+/// A fan-in of `k` same-sized messages onto one receiver therefore lands
+/// over `k` wire times instead of one — the incast effect the per-sender
+/// models cannot show. Note a single uncontended message already pays the
+/// wire **twice** (egress + ingress), which is exactly what the
+/// planning-grade [`CommCost`] estimate has always charged.
+///
+/// Unlike every other stateful model, the receiver queue is
+/// **cross-sender** state: two concurrent senders to one destination
+/// contend. Transports that shard model state per sender must keep this
+/// model on a single shard (see [`NetSpec::has_cross_sender_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DuplexBandwidthNet {
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Per-NIC bandwidth in bytes/second (each direction).
+    pub bytes_per_sec: f64,
+    tx_free: Vec<f64>,
+    rx_free: Vec<f64>,
+}
+
+impl DuplexBandwidthNet {
+    pub fn new(latency_s: f64, bytes_per_sec: f64, n_nodes: usize) -> Self {
+        DuplexBandwidthNet {
+            latency_s,
+            bytes_per_sec,
+            tx_free: vec![0.0; n_nodes],
+            rx_free: vec![0.0; n_nodes],
+        }
+    }
+}
+
+impl NetModel for DuplexBandwidthNet {
+    fn arrival(&mut self, now: f64, msg: &Msg) -> f64 {
+        let wire = wire_sec(msg.bytes, self.bytes_per_sec);
+        let tx = &mut self.tx_free[msg.src as usize];
+        let sent = now.max(*tx) + wire;
+        *tx = sent;
+        let rx = &mut self.rx_free[msg.dst as usize];
+        let ingested = sent.max(*rx) + wire;
+        *rx = ingested;
+        ingested + self.latency_s
+    }
+
+    fn reset(&mut self, t: f64) {
+        self.tx_free.fill(t);
+        self.rx_free.fill(t);
+    }
+}
+
 /// Latency/bandwidth of one link class in a [`TopologyNet`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkSpec {
@@ -320,11 +385,11 @@ pub const N_LINK_CLASSES: usize = 3;
 /// `dst` cost the system" (stateless, planning-grade). The estimate charges
 /// the link latency once plus the wire time **twice** — once for the
 /// sender-side serialization every model applies, once for the
-/// receiver-side ingress that the arrival models do not yet simulate but a
-/// migration target really pays (the tile must be received and unpacked
-/// before its next task can run). Contention is deliberately ignored: a
-/// rebalancing plan cannot know what else will occupy the NICs when it
-/// executes.
+/// receiver-side ingress that a migration target really pays (the tile
+/// must be received and unpacked before its next task can run; the
+/// [`DuplexBandwidthNet`] arrival model simulates exactly this queue).
+/// Contention is deliberately ignored: a rebalancing plan cannot know
+/// what else will occupy the NICs when it executes.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CommCost {
     kind: CostKind,
@@ -362,6 +427,10 @@ impl CommCost {
                 bytes_per_sec,
             }
             | NetSpec::Shared {
+                latency_s,
+                bytes_per_sec,
+            }
+            | NetSpec::Duplex {
                 latency_s,
                 bytes_per_sec,
             } => {
@@ -479,6 +548,9 @@ pub enum NetSpec {
     Constant { latency_s: f64, bytes_per_sec: f64 },
     /// [`SharedBandwidthNet`].
     Shared { latency_s: f64, bytes_per_sec: f64 },
+    /// [`DuplexBandwidthNet`] — per-sender egress + per-receiver ingress
+    /// serialization (incast).
+    Duplex { latency_s: f64, bytes_per_sec: f64 },
     /// [`TopologyNet`].
     Topology(TopologySpec),
 }
@@ -509,6 +581,23 @@ impl NetSpec {
         }
     }
 
+    /// Sender-egress + receiver-ingress serialized model (incast-capable).
+    pub fn duplex(latency_s: f64, bytes_per_sec: f64) -> Self {
+        NetSpec::Duplex {
+            latency_s,
+            bytes_per_sec,
+        }
+    }
+
+    /// True when the built model keeps contention state shared across
+    /// senders (the duplex receiver queue), so transports that shard
+    /// per-sender model instances must fall back to one shared instance.
+    /// Per-sender-only models (shared NICs, topology egress) stay safely
+    /// shardable.
+    pub fn has_cross_sender_state(&self) -> bool {
+        matches!(self, NetSpec::Duplex { .. }) && !self.is_instant()
+    }
+
     /// Convenience for wall-clock call sites (the fabric's historical
     /// `NetModel::new(Duration, f64)` signature).
     pub fn constant_wall(latency: Duration, bytes_per_sec: f64) -> Self {
@@ -519,8 +608,8 @@ impl NetSpec {
     }
 
     /// True when the spec builds a zero-delay model. The degenerate
-    /// `Shared { 0, inf }` spelling qualifies too: with infinite bandwidth
-    /// the NIC queue never backs up, so per-sender serialization is
+    /// `Shared`/`Duplex { 0, inf }` spellings qualify too: with infinite
+    /// bandwidth the NIC queues never back up, so serialization is
     /// indistinguishable from instant delivery — transports may skip their
     /// delivery-thread machinery for it.
     pub fn is_instant(&self) -> bool {
@@ -531,6 +620,10 @@ impl NetSpec {
                 bytes_per_sec,
             }
             | NetSpec::Shared {
+                latency_s,
+                bytes_per_sec,
+            }
+            | NetSpec::Duplex {
                 latency_s,
                 bytes_per_sec,
             } => *latency_s == 0.0 && bytes_per_sec.is_infinite(),
@@ -559,6 +652,10 @@ impl NetSpec {
                 bytes_per_sec,
             }
             | NetSpec::Shared {
+                latency_s,
+                bytes_per_sec,
+            }
+            | NetSpec::Duplex {
                 latency_s,
                 bytes_per_sec,
             } => LinkSpec::new(*latency_s, *bytes_per_sec).validate("NetSpec"),
@@ -593,6 +690,10 @@ impl NetSpec {
                 latency_s,
                 bytes_per_sec,
             } => Box::new(SharedBandwidthNet::new(*latency_s, *bytes_per_sec, n_nodes)),
+            NetSpec::Duplex {
+                latency_s,
+                bytes_per_sec,
+            } => Box::new(DuplexBandwidthNet::new(*latency_s, *bytes_per_sec, n_nodes)),
             NetSpec::Topology(spec) => Box::new(TopologyNet::new(*spec, n_nodes)),
         }
     }
@@ -668,6 +769,85 @@ mod tests {
         net.reset(5.0);
         let a = net.arrival(5.0, &msg(0, 0, 100));
         assert!((a - 6.0).abs() < 1e-12, "reset must clear the queue: {a}");
+    }
+
+    #[test]
+    fn duplex_exhibits_incast() {
+        // Four senders firing one 100-byte message each at the same
+        // receiver: per-sender models deliver them all after one wire
+        // time, the duplex model's receiver NIC drains them one at a time.
+        let wire = 1.0; // 100 B at 100 B/s
+        let mut shared = SharedBandwidthNet::new(0.0, 100.0, 5);
+        let mut duplex = DuplexBandwidthNet::new(0.0, 100.0, 5);
+        let shared_last = (0..4)
+            .map(|s| shared.arrival(0.0, &msg(s, 4, 100)))
+            .fold(0.0f64, f64::max);
+        let duplex_last = (0..4)
+            .map(|s| duplex.arrival(0.0, &msg(s, 4, 100)))
+            .fold(0.0f64, f64::max);
+        assert!(
+            (shared_last - wire).abs() < 1e-12,
+            "independent egress NICs"
+        );
+        // 1 wire of egress (parallel) + 4 wires of serialized ingress
+        assert!(
+            (duplex_last - 5.0 * wire).abs() < 1e-12,
+            "incast must serialize at the receiver: {duplex_last}"
+        );
+    }
+
+    #[test]
+    fn duplex_single_message_charges_wire_twice() {
+        // Matches the CommCost planning estimate: latency + 2x wire.
+        let mut net = DuplexBandwidthNet::new(0.5, 100.0, 2);
+        let arr = net.arrival(0.0, &msg(0, 1, 100));
+        assert!(
+            (arr - 2.5).abs() < 1e-12,
+            "egress + ingress + latency: {arr}"
+        );
+        let cost = NetSpec::duplex(0.5, 100.0).comm_cost();
+        assert!((cost.seconds(0, 1, 100) - arr).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplex_dominates_shared() {
+        // Same parameters, same traffic: the duplex model can only be
+        // slower — the ladder instant <= constant <= shared <= duplex.
+        let traffic = [
+            (0.0, msg(0, 2, 5_000)),
+            (0.0, msg(1, 2, 9_000)),
+            (0.01, msg(0, 1, 123)),
+            (0.02, msg(1, 2, 7_777)),
+        ];
+        let mut shared = SharedBandwidthNet::new(1e-4, 1e6, 3);
+        let mut duplex = DuplexBandwidthNet::new(1e-4, 1e6, 3);
+        for (t, m) in traffic {
+            assert!(duplex.arrival(t, &m) >= shared.arrival(t, &m));
+        }
+    }
+
+    #[test]
+    fn duplex_reset_clears_both_queues() {
+        let mut net = DuplexBandwidthNet::new(0.0, 100.0, 2);
+        let _ = net.arrival(0.0, &msg(0, 1, 10_000)); // both NICs busy
+        net.reset(5.0);
+        let a = net.arrival(5.0, &msg(0, 1, 100));
+        assert!((a - 7.0).abs() < 1e-12, "reset must clear tx and rx: {a}");
+    }
+
+    #[test]
+    fn duplex_spec_plumbs_through() {
+        let spec = NetSpec::duplex(0.0, f64::INFINITY);
+        assert!(spec.is_instant(), "degenerate duplex is instant");
+        assert!(!spec.has_cross_sender_state(), "instant has no state");
+        assert!(spec.build(4).is_instant());
+        let real = NetSpec::duplex(1e-5, 1e9);
+        assert!(!real.is_instant());
+        assert!(real.has_cross_sender_state(), "receiver queue is shared");
+        assert!(!NetSpec::cluster().has_cross_sender_state());
+        assert!(!NetSpec::Topology(TopologySpec::two_tier(2)).has_cross_sender_state());
+        let mut m = real.build(4);
+        assert!(m.arrival(0.0, &msg(0, 3, 1000)) > 0.0);
     }
 
     #[test]

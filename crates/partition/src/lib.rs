@@ -17,6 +17,13 @@
 //! [`part_mesh_dual`] is the `METIS_PartMeshDual` replacement used by the
 //! distributed solver. [`baseline`] provides the naive strip/block
 //! partitioners the ablation study compares against.
+//!
+//! [`sdgraph::SdGraph`] is the runtime-facing sibling of the dual graph:
+//! SD adjacency derived from the halo plans (corner and multi-ring
+//! neighbours included) with edge weights in ghost wire bytes per
+//! timestep, so the load balancer can price the *recurring* traffic of an
+//! ownership — its edge cut over this graph — and not just one-off
+//! migration bytes.
 
 pub mod baseline;
 pub mod bisect;
@@ -25,9 +32,11 @@ pub mod dual;
 pub mod graph;
 pub mod kway;
 pub mod metrics;
+pub mod sdgraph;
 
 pub use baseline::{block_partition, strip_partition};
 pub use dual::{part_mesh_dual, sd_dual_graph};
 pub use graph::Csr;
 pub use kway::{part_graph, Partition, PartitionConfig};
 pub use metrics::{balance, edge_cut};
+pub use sdgraph::{patch_wire_bytes, SdGraph};

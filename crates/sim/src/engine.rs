@@ -4,14 +4,15 @@
 
 use crate::cost::CostModel;
 pub use nlheat_core::balance::LbSpec;
-use nlheat_core::balance::{compute_metrics, LbNetwork, LbPolicy, LbSchedule};
+use nlheat_core::balance::{compute_metrics, EpochTrace, LbNetwork, LbPolicy, LbSchedule};
 use nlheat_core::ownership::Ownership;
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{build_halo_plan, split_cases, Grid, HaloPlan, PatchSource, SdGrid, Stencil};
-use nlheat_netmodel::{Msg, NetSpec};
-use nlheat_partition::{part_mesh_dual, strip_partition};
+use nlheat_netmodel::{LinkClass, Msg, NetSpec};
+use nlheat_partition::{part_mesh_dual, strip_partition, SdGraph};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 /// One node of the virtual cluster.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,6 +136,15 @@ pub struct SimRun {
     /// Migration payload bytes that crossed a rack boundary (per the
     /// configured [`NetSpec`]'s link classes; 0 for rack-less models).
     pub inter_rack_migration_bytes: u64,
+    /// Ghost-exchange payload bytes between nodes over the whole run
+    /// (`cross_bytes` minus the migration traffic).
+    pub ghost_bytes: u64,
+    /// Ghost-exchange bytes that crossed a rack boundary — the recurring
+    /// traffic μ-weighted (ghost-aware) balancing exists to shrink.
+    pub inter_rack_ghost_bytes: u64,
+    /// One [`EpochTrace`] per realized balancing epoch: plan size,
+    /// migration bytes, and the ghost-traffic cut before/after.
+    pub epoch_traces: Vec<EpochTrace>,
     /// Final ownership.
     pub final_ownership: Ownership,
 }
@@ -225,12 +235,22 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
     let mut migrations = 0usize;
     let mut migration_bytes = 0u64;
     let mut inter_rack_migration_bytes = 0u64;
+    let mut ghost_bytes = 0u64;
+    let mut inter_rack_ghost_bytes = 0u64;
+    let mut epoch_traces: Vec<EpochTrace> = Vec::new();
     // Planner-facing cost estimate of the same network the event loop
     // simulates — the simulator mirrors `core::dist`'s wiring exactly:
     // one policy instance lives across epochs (stateful policies learn
-    // from the simulated migration stalls).
-    let lb_net = LbNetwork::for_sd_tiles(&cfg.net, geo.sds.cells_per_sd());
+    // from the simulated migration stalls), and the SD adjacency /
+    // halo-volume graph it prices μ against is built from the very halo
+    // plans whose messages the loop below charges.
+    let lb_net = LbNetwork::for_sd_tiles(&cfg.net, geo.sds.cells_per_sd())
+        .with_sd_graph(Arc::new(SdGraph::from_plans(&geo.sds, &geo.plans)));
     let sd_tile_bytes = lb_net.sd_bytes;
+    // Link classes for the virtual-time ghost accounting: the very
+    // CommCost the planner prices moves with, so counter and μ term can
+    // never disagree on what crosses a rack.
+    let comm = lb_net.comm;
     let mut policy: Option<Box<dyn LbPolicy>> = cfg.lb.as_ref().map(|lb| {
         lb.validate();
         lb.spec.build()
@@ -250,7 +270,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                     if src_node == dst_node {
                         continue;
                     }
-                    let bytes = (patch.dst_rect.area() * 8 + 24) as u64;
+                    let bytes = nlheat_partition::patch_wire_bytes(patch.dst_rect.area());
                     // pack cost delays the send readiness a little
                     let ready = node_time[src_node]
                         + cfg.cost.copy_sec_per_cell * patch.dst_rect.area() as f64;
@@ -264,6 +284,10 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                     );
                     arrivals[sd as usize].push(arr);
                     cross_bytes += bytes;
+                    ghost_bytes += bytes;
+                    if comm.link_class(src_node as u32, dst_node as u32) == LinkClass::InterRack {
+                        inter_rack_ghost_bytes += bytes;
+                    }
                     messages += 1;
                 }
             }
@@ -348,6 +372,13 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
             // metrics: idle epochs must not skew migration accounting or
             // record no-op history entries.
             if !plan.moves.is_empty() {
+                epoch_traces.push(EpochTrace::record(
+                    step + 1,
+                    policy.name(),
+                    &plan,
+                    &ownership,
+                    &lb_net,
+                ));
                 // migration costs: tile payloads over the network
                 net.reset(barrier);
                 for mv in &plan.moves {
@@ -406,6 +437,9 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
         migrations,
         migration_bytes,
         inter_rack_migration_bytes,
+        ghost_bytes,
+        inter_rack_ghost_bytes,
+        epoch_traces,
         final_ownership: ownership,
     }
 }
@@ -593,7 +627,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda must be finite")]
     fn degenerate_lambda_rejected_at_configuration() {
-        let _ = SimLbConfig::every(4).with_spec(LbSpec::Tree { lambda: f64::NAN });
+        let _ = SimLbConfig::every(4).with_spec(LbSpec::Tree {
+            lambda: f64::NAN,
+            mu: 0.0,
+        });
     }
 
     #[test]
@@ -610,6 +647,148 @@ mod tests {
             run.lb_history.is_empty(),
             "no-op epochs must not emit metrics: {:?}",
             run.lb_history
+        );
+        assert!(
+            run.epoch_traces.is_empty(),
+            "no-op epochs must not emit traces: {:?}",
+            run.epoch_traces
+        );
+    }
+
+    #[test]
+    fn ghost_bytes_split_out_of_cross_traffic() {
+        // Two uniform nodes, no LB: all cross traffic is ghost traffic
+        // and a rack-less model never crosses racks.
+        let cfg = SimConfig::paper(
+            400,
+            50,
+            5,
+            vec![VirtualNode::with_cores(1), VirtualNode::with_cores(1)],
+        );
+        let run = simulate(&cfg);
+        assert!(run.ghost_bytes > 0);
+        assert_eq!(run.ghost_bytes, run.cross_bytes);
+        assert_eq!(run.inter_rack_ghost_bytes, 0, "uniform model has no racks");
+        // 2 racks x 1 node: every cross message is inter-rack
+        let mut racked = SimConfig::paper(
+            400,
+            50,
+            5,
+            vec![VirtualNode::with_cores(1), VirtualNode::with_cores(1)],
+        );
+        racked.net = NetSpec::Topology(nlheat_netmodel::TopologySpec::two_tier(1));
+        let rr = simulate(&racked);
+        assert_eq!(rr.inter_rack_ghost_bytes, rr.ghost_bytes);
+        // and with LB on, migration bytes stay separate from ghost bytes
+        let mut lb = SimConfig::paper(
+            400,
+            25,
+            12,
+            vec![
+                VirtualNode {
+                    cores: 1,
+                    speed: 2.0,
+                },
+                VirtualNode {
+                    cores: 1,
+                    speed: 1.0,
+                },
+            ],
+        );
+        lb.lb = Some(SimLbConfig::every(4));
+        let lr = simulate(&lb);
+        assert!(lr.migrations > 0);
+        assert_eq!(lr.cross_bytes, lr.ghost_bytes + lr.migration_bytes);
+    }
+
+    #[test]
+    fn epoch_traces_record_the_cut_from_the_sim_graph() {
+        let mut cfg = SimConfig::paper(
+            400,
+            25,
+            24,
+            vec![
+                VirtualNode {
+                    cores: 1,
+                    speed: 2.0,
+                },
+                VirtualNode {
+                    cores: 1,
+                    speed: 1.0,
+                },
+                VirtualNode {
+                    cores: 1,
+                    speed: 1.0,
+                },
+                VirtualNode {
+                    cores: 1,
+                    speed: 1.0,
+                },
+            ],
+        );
+        cfg.lb = Some(SimLbConfig::every(4));
+        let run = simulate(&cfg);
+        assert!(run.migrations > 0);
+        assert_eq!(run.epoch_traces.len(), run.lb_history.len());
+        let moves: usize = run.epoch_traces.iter().map(|t| t.moves).sum();
+        assert_eq!(moves, run.migrations, "traces cover every migration");
+        for t in &run.epoch_traces {
+            assert_eq!(t.policy, "tree");
+            assert!(t.ghost_bytes_before > 0, "sim always attaches its graph");
+            assert!(t.migration_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn mu_reduces_steady_state_ghost_cut() {
+        // Ghost-aware balancing end to end in the simulator: a Fig.-14
+        // lopsided start on a 2-rack cluster forces a mass
+        // redistribution, and μ shapes *where* the cross-rack territories
+        // grow. The shaped plan must leave strictly less recurring
+        // inter-rack ghost traffic (the recorded cut and the counted
+        // virtual-time bytes both say so) at unchanged makespan.
+        let nodes: Vec<VirtualNode> = (0..4).map(|_| VirtualNode::with_cores(1)).collect();
+        let sds = SdGrid::tile_mesh(400, 400, 25);
+        let mut owners = vec![0u32; 256];
+        owners[sds.id(15, 0) as usize] = 1;
+        owners[sds.id(0, 15) as usize] = 2;
+        owners[sds.id(15, 15) as usize] = 3;
+        let mut cfg = SimConfig::paper(400, 25, 24, nodes);
+        cfg.partition = SimPartition::Explicit(owners);
+        cfg.net = NetSpec::Topology(nlheat_netmodel::TopologySpec {
+            nodes_per_rack: 2,
+            intra_node: nlheat_netmodel::LinkSpec::new(1e-7, 5e9),
+            intra_rack: nlheat_netmodel::LinkSpec::new(1e-4, 1e8),
+            inter_rack: nlheat_netmodel::LinkSpec::new(4e-4, 2.5e7),
+        });
+        cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(0.0)));
+        let blind = simulate(&cfg);
+        cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(0.0).with_mu(0.25)));
+        let aware = simulate(&cfg);
+        assert!(blind.migrations > 0 && aware.migrations > 0);
+        let last_cut = |run: &SimRun| {
+            run.epoch_traces
+                .last()
+                .unwrap()
+                .inter_rack_ghost_bytes_after
+        };
+        assert!(
+            last_cut(&aware) < last_cut(&blind),
+            "μ must leave a better inter-rack cut: {} vs {}",
+            last_cut(&aware),
+            last_cut(&blind)
+        );
+        assert!(
+            aware.inter_rack_ghost_bytes < blind.inter_rack_ghost_bytes,
+            "recurring inter-rack traffic must shrink: {} vs {}",
+            aware.inter_rack_ghost_bytes,
+            blind.inter_rack_ghost_bytes
+        );
+        assert!(
+            aware.total_time <= blind.total_time * 1.05,
+            "makespan must stay within noise: {} vs {}",
+            aware.total_time,
+            blind.total_time
         );
     }
 

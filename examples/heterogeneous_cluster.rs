@@ -156,7 +156,7 @@ fn main() {
     });
     println!("\n== cost-aware balancing on 2 racks (speeds 2:1 in each rack) ==");
     for lambda in [0.0, 1.0, 2.0] {
-        lam_cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::Tree { lambda }));
+        lam_cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::Tree { lambda, mu: 0.0 }));
         let run = simulate(&lam_cfg);
         println!(
             "lambda {lambda}: {:>6.1} KB inter-rack / {:>6.1} KB total migration traffic, makespan {:.2} ms",

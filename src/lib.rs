@@ -46,8 +46,8 @@ pub use nlheat_sim as sim;
 pub mod prelude {
     pub use nlheat_amt::prelude::*;
     pub use nlheat_core::balance::{
-        iterate_rebalance, plan_rebalance, plan_rebalance_with_cost, CostParams, LbNetwork,
-        LbPolicy, LbSchedule, LbSpec,
+        iterate_rebalance, plan_rebalance, plan_rebalance_ghost_aware, plan_rebalance_with_cost,
+        CostParams, EpochTrace, LbNetwork, LbPolicy, LbSchedule, LbSpec,
     };
     pub use nlheat_core::dist::{run_distributed, DistConfig, LbConfig, PartitionMethod};
     pub use nlheat_core::ownership::Ownership;
@@ -55,6 +55,6 @@ pub mod prelude {
     pub use nlheat_core::workload::WorkModel;
     pub use nlheat_mesh::{Grid, SdGrid};
     pub use nlheat_model::prelude::*;
-    pub use nlheat_partition::{part_mesh_dual, PartitionConfig};
+    pub use nlheat_partition::{part_mesh_dual, PartitionConfig, SdGraph};
     pub use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimPartition, VirtualNode};
 }

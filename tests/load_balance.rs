@@ -233,7 +233,7 @@ fn real_runtime_cost_aware_lb_preserves_numerics() {
     for (lambda, expect_migrations) in [(1e-4, true), (1e6, false)] {
         let mut cfg = DistConfig::new(16, 2.0, 4, 6);
         cfg.net = two_rack_spec();
-        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::Tree { lambda }));
+        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::Tree { lambda, mu: 0.0 }));
         let mut owners = vec![0u32; 16];
         owners[15] = 1;
         cfg.partition = PartitionMethod::Explicit(owners);
@@ -264,7 +264,7 @@ fn tree_spec_pinned_byte_identical_to_pre_policy_planner() {
     let sds6 = SdGrid::new(6, 6, 10);
     let partitioned = Ownership::from_partition(sds6, &part_mesh_dual(&sds6, 4, 3));
     for lambda in [0.0, 1.0] {
-        let mut policy = LbSpec::Tree { lambda }.build();
+        let mut policy = LbSpec::Tree { lambda, mu: 0.0 }.build();
         for own in [fig14.clone(), partitioned.clone()] {
             for busy in [
                 symmetric_busy(&own),
@@ -337,6 +337,79 @@ fn every_lb_spec_runs_both_substrates_on_two_racks() {
         let cluster = cfg.cluster().uniform(4, 1).build();
         let report = run_distributed(&cluster, &cfg);
         assert_eq!(report.field, reference, "{}", spec.name());
+    }
+}
+
+#[test]
+fn ghost_aware_lb_preserves_numerics_and_gates() {
+    // The μ gate in the real runtime: bit-exact numerics in the shaping
+    // regime (tiny μ, migrations proceed) and in the full-gate regime
+    // (huge μ: every move's recurring ghost cost dwarfs wall-clock
+    // relief, the lopsided ownership freezes) — like the λ test above,
+    // but priced by the SD graph's edge-cut delta.
+    let parts = ProblemSpec::square(16, 2.0).build();
+    let mut serial = SerialSolver::manufactured(&parts);
+    serial.run(6);
+    let reference = serial.field();
+    for (mu, expect_migrations) in [(1e-9, true), (1e9, false)] {
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.net = two_rack_spec();
+        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::tree(0.0).with_mu(mu)));
+        let mut owners = vec![0u32; 16];
+        owners[15] = 1;
+        cfg.partition = PartitionMethod::Explicit(owners);
+        let cluster = cfg.cluster().uniform(2, 1).build();
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, reference, "μ={mu}");
+        if expect_migrations {
+            assert!(report.migrations > 0, "μ={mu} gate must pass");
+            assert!(
+                !report.epoch_traces.is_empty(),
+                "realized epochs must be traced"
+            );
+            let t = &report.epoch_traces[0];
+            assert!(t.ghost_bytes_before > 0, "real runtime attaches its graph");
+        } else {
+            assert_eq!(report.migrations, 0, "μ={mu} must gate every migration");
+            assert!(report.epoch_traces.is_empty());
+        }
+    }
+}
+
+#[test]
+fn sim_epoch_traces_align_with_aggregates_under_mu() {
+    // Trace/aggregate consistency through the facade on a ghost-aware
+    // run (the μ-lowers-the-cut claim itself is pinned by the engine's
+    // own `mu_reduces_steady_state_ghost_cut` test; duplicating its two
+    // simulations here would buy nothing). One lopsided 2-rack run with
+    // μ active: the recorded per-epoch traces must sum to exactly the
+    // run-level counters and carry the ghost columns.
+    let sds = SdGrid::tile_mesh(400, 400, 25);
+    let mut owners = vec![0u32; sds.count()];
+    owners[sds.id(15, 0) as usize] = 1;
+    owners[sds.id(0, 15) as usize] = 2;
+    owners[sds.id(15, 15) as usize] = 3;
+    let nodes: Vec<VirtualNode> = (0..4).map(|_| VirtualNode::with_cores(1)).collect();
+    let mut cfg = SimConfig::paper(400, 25, 24, nodes);
+    cfg.partition = nonlocalheat::sim::SimPartition::Explicit(owners);
+    cfg.net = two_rack_spec();
+    cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(0.0).with_mu(0.25)));
+    let run = simulate(&cfg);
+    assert!(run.migrations > 0, "the lopsided start must redistribute");
+    assert_eq!(
+        run.epoch_traces.iter().map(|t| t.moves).sum::<usize>(),
+        run.migrations
+    );
+    assert_eq!(
+        run.epoch_traces
+            .iter()
+            .map(|t| t.migration_bytes)
+            .sum::<u64>(),
+        run.migration_bytes
+    );
+    for t in &run.epoch_traces {
+        assert_eq!(t.policy, "tree");
+        assert!(t.ghost_bytes_before > 0, "graph always attached in sim");
     }
 }
 

@@ -27,6 +27,7 @@ fn every_net_model_same_numerics() {
         NetSpec::Instant,
         NetSpec::constant(200e-6, 5e6),
         NetSpec::shared(200e-6, 5e6),
+        NetSpec::duplex(200e-6, 5e6),
         NetSpec::Topology(TopologySpec {
             nodes_per_rack: 2,
             intra_node: LinkSpec::new(0.0, f64::INFINITY),
@@ -68,6 +69,7 @@ fn sim_makespan_monotone_in_contention() {
     let t_instant = run(NetSpec::Instant);
     let t_constant = run(NetSpec::constant(lat, bw));
     let t_shared = run(NetSpec::shared(lat, bw));
+    let t_duplex = run(NetSpec::duplex(lat, bw));
     assert!(
         t_instant <= t_constant * (1.0 + 1e-12),
         "instant {t_instant} must not exceed constant {t_constant}"
@@ -76,12 +78,20 @@ fn sim_makespan_monotone_in_contention() {
         t_constant <= t_shared * (1.0 + 1e-12),
         "constant {t_constant} must not exceed shared {t_shared}"
     );
+    assert!(
+        t_shared <= t_duplex * (1.0 + 1e-12),
+        "shared {t_shared} must not exceed duplex {t_duplex}"
+    );
     // The ladder must actually bite at these parameters, or the test
     // degenerates into 0 <= 0.
     assert!(t_constant > t_instant, "latency must cost something");
     assert!(
         t_shared > t_constant,
         "NIC serialization must cost something"
+    );
+    assert!(
+        t_duplex > t_shared,
+        "receiver-ingress serialization (incast) must cost something"
     );
 }
 

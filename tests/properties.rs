@@ -9,8 +9,9 @@ use nonlocalheat::core::balance::{
 use nonlocalheat::core::ownership::Ownership;
 use nonlocalheat::mesh::{build_halo_plan, split_cases, Rect, SdGrid};
 use nonlocalheat::netmodel::{CommCost, LinkSpec, NetSpec, TopologySpec};
-use nonlocalheat::partition::{balance as part_balance, part_graph, Csr, PartitionConfig};
+use nonlocalheat::partition::{balance as part_balance, part_graph, Csr, PartitionConfig, SdGraph};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 // ---------- codec ----------
 
@@ -289,6 +290,8 @@ proptest! {
         owner_seed in any::<u64>(),
         busy in proptest::collection::vec(0.05f64..10.0, 8),
         which in 0usize..5,
+        mu in 0.0f64..3.0,
+        halo in 1i64..6,
     ) {
         let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
         let count = grid.count();
@@ -298,6 +301,8 @@ proptest! {
         let own = Ownership::new(grid, owners, n_nodes);
         let busy_vec: Vec<f64> =
             (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+        // ghost graph attached and μ swept: the single-hop contract must
+        // survive ghost-aware gating and one-at-a-time realization too
         let net = LbNetwork::new(
             CommCost::from_spec(&NetSpec::Topology(TopologySpec {
                 nodes_per_rack: 2,
@@ -306,14 +311,16 @@ proptest! {
                 inter_rack: LinkSpec::new(0.5, 2e4),
             })),
             4 * 4 * 8 + 24,
-        );
+        )
+        .with_sd_graph(Arc::new(SdGraph::build(&grid, halo)));
         let spec = match which {
             0 => LbSpec::tree(0.0),
             1 => LbSpec::tree(1.5),
             2 => LbSpec::diffusion(1.0, 6),
             3 => LbSpec::greedy_steal(1),
             _ => LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1),
-        };
+        }
+        .with_mu(mu);
         let mut policy = spec.build();
         let metrics = compute_metrics(&own.counts(), &busy_vec);
         let plan = policy.plan(&own, &metrics, &net);
@@ -338,5 +345,58 @@ proptest! {
             plan.new_ownership.counts().iter().sum::<usize>(),
             count
         );
+    }
+}
+
+// The ghost-aware degenerate case, across every `LbSpec` variant: with
+// μ = 0, attaching the SD adjacency / halo-volume graph to the planning
+// view must not change a single move — the whole ghost machinery
+// (edge-cut deltas, one-at-a-time realization, projected neighbour
+// graphs) must be pinned inert, so pre-μ configurations reproduce their
+// plans bit for bit after the upgrade. Random ownerships, busy vectors
+// and halo widths over the same 2-rack topology as above.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn mu_zero_plans_byte_identical_with_and_without_graph(
+        nsx in 2i64..7,
+        nsy in 2i64..7,
+        n_nodes in 2u32..6,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.05f64..10.0, 8),
+        which in 0usize..5,
+        halo in 1i64..6,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        let owners: Vec<u32> = (0..count)
+            .map(|i| ((owner_seed >> (i % 60)) as u32 ^ i as u32) % n_nodes)
+            .collect();
+        let own = Ownership::new(grid, owners, n_nodes);
+        let busy_vec: Vec<f64> =
+            (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+        let plain = LbNetwork::new(
+            CommCost::from_spec(&NetSpec::Topology(TopologySpec {
+                nodes_per_rack: 2,
+                intra_node: LinkSpec::new(0.0, f64::INFINITY),
+                intra_rack: LinkSpec::new(1e-3, 1e6),
+                inter_rack: LinkSpec::new(0.5, 2e4),
+            })),
+            4 * 4 * 8 + 24,
+        );
+        let with_graph = plain.clone().with_sd_graph(Arc::new(SdGraph::build(&grid, halo)));
+        let spec = match which {
+            0 => LbSpec::tree(0.0),
+            1 => LbSpec::tree(1.5),
+            2 => LbSpec::diffusion(1.0, 6),
+            3 => LbSpec::greedy_steal(1),
+            _ => LbSpec::adaptive(LbSpec::tree(0.5), 0.1),
+        };
+        let metrics = compute_metrics(&own.counts(), &busy_vec);
+        let blind = spec.build().plan(&own, &metrics, &plain);
+        let ghosted = spec.build().plan(&own, &metrics, &with_graph);
+        prop_assert_eq!(&blind.moves, &ghosted.moves, "{}", spec.name());
+        prop_assert_eq!(&blind.new_ownership, &ghosted.new_ownership);
+        prop_assert_eq!(blind.comm, ghosted.comm);
     }
 }
