@@ -204,6 +204,23 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
 }
 
+impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok((
+            A::decode(buf)?,
+            B::decode(buf)?,
+            C::decode(buf)?,
+            D::decode(buf)?,
+        ))
+    }
+}
+
 /// Fast bulk encoding for `f64` fields — the dominant payload (ghost-zone
 /// temperature values). Writes the length then raw little-endian words.
 pub fn encode_f64_slice(values: &[f64], buf: &mut BytesMut) {

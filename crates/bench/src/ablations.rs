@@ -1,13 +1,14 @@
 //! Ablation studies for the design choices called out in DESIGN.md.
 
 use crate::figdata::{FigData, Series};
-use nlheat_core::balance::LbSpec;
-use nlheat_core::dist::{run_distributed, DistConfig, LbConfig, PartitionMethod};
+use nlheat_core::balance::{LbSchedule, LbSpec};
+use nlheat_core::scenario::{ClusterSpec, PartitionSpec, Scenario};
+use nlheat_core::scenarios::{lopsided_owners, two_rack_net};
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{Grid, SdGrid};
-use nlheat_netmodel::{LinkClass, NetSpec, TopologySpec};
+use nlheat_netmodel::{LinkClass, NetSpec};
 use nlheat_partition::{edge_cut, sd_dual_graph, strip_partition, SdGraph};
-use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimPartition, VirtualNode};
+use nlheat_sim::{simulate, RunSim, SimConfig, VirtualNode};
 
 fn nodes1(n: usize) -> Vec<VirtualNode> {
     (0..n).map(|_| VirtualNode::with_cores(1)).collect()
@@ -36,9 +37,9 @@ pub fn a1_partition_quality(quick: bool) -> FigData {
         cut_metis.push(k as f64, metis.edgecut as f64);
         cut_strip.push(k as f64, edge_cut(&dual, &strip) as f64);
         let mut cfg = SimConfig::paper(mesh, sd, steps, nodes1(k));
-        cfg.partition = SimPartition::Metis { seed: 1 };
+        cfg.partition = PartitionSpec::Metis { seed: 1 };
         mb_metis.push(k as f64, simulate(&cfg).cross_bytes as f64 / 1e6);
-        cfg.partition = SimPartition::Strip;
+        cfg.partition = PartitionSpec::Strip;
         mb_strip.push(k as f64, simulate(&cfg).cross_bytes as f64 / 1e6);
     }
     fig.series = vec![cut_metis, cut_strip, mb_metis, mb_strip];
@@ -126,7 +127,7 @@ pub fn a4_lb_heterogeneous(quick: bool) -> FigData {
     cfg.lb = None;
     t.push(0.0, simulate(&cfg).total_time * 1e3);
     for &period in &[2usize, 4, 8] {
-        cfg.lb = Some(SimLbConfig::every(period));
+        cfg.lb = Some(LbSchedule::every(period));
         t.push(period as f64, simulate(&cfg).total_time * 1e3);
     }
     fig.series.push(t);
@@ -146,7 +147,7 @@ pub fn a5_crack(quick: bool) -> FigData {
     let mut cfg = SimConfig::paper(400, 25, steps, nodes1(4));
     // crack through the middle: the strip partition gives one node the
     // whole cheap band, so the others become the bottleneck
-    cfg.partition = SimPartition::Strip;
+    cfg.partition = PartitionSpec::Strip;
     cfg.work = WorkModel::Crack {
         y_cell: 200,
         half_width: 30,
@@ -155,7 +156,7 @@ pub fn a5_crack(quick: bool) -> FigData {
     cfg.lb = None;
     t.push(0.0, simulate(&cfg).total_time * 1e3);
     for &period in &[2usize, 4, 8] {
-        cfg.lb = Some(SimLbConfig::every(period));
+        cfg.lb = Some(LbSchedule::every(period));
         t.push(period as f64, simulate(&cfg).total_time * 1e3);
     }
     fig.series.push(t);
@@ -176,7 +177,7 @@ pub fn a5b_moving_crack(quick: bool) -> FigData {
     let mut ratio = Series::new("no-LB / LB");
     for &dwell in &[4usize, 8, 16, 32] {
         let mut cfg = SimConfig::paper(400, 25, steps, nodes1(4));
-        cfg.partition = SimPartition::Strip;
+        cfg.partition = PartitionSpec::Strip;
         let jumps = steps / dwell;
         // Partial band (as in A5): eq. 8 models power per *node*, so a
         // crack that makes a whole strip cheap inflates that node's power
@@ -197,7 +198,7 @@ pub fn a5b_moving_crack(quick: bool) -> FigData {
             .collect();
         cfg.lb = None;
         let off = simulate(&cfg).total_time;
-        cfg.lb = Some(SimLbConfig::every(4));
+        cfg.lb = Some(LbSchedule::every(4));
         let on = simulate(&cfg).total_time;
         ratio.push(dwell as f64, off / on);
     }
@@ -237,36 +238,24 @@ pub fn a6_network_models(quick: bool) -> FigData {
     ];
     // A deliberately tight network so the serialization term matters:
     // 100 µs latency, 100 MB/s per NIC; the topology variant splits the
-    // four nodes into two racks with a 4x slower inter-rack uplink.
+    // four nodes into two racks with a 4x slower inter-rack uplink
+    // (the shared library interconnect, `scenarios::two_rack_net`).
     let specs: [(f64, NetSpec); 4] = [
         (0.0, NetSpec::Instant),
         (1.0, NetSpec::constant(1e-4, 1e8)),
         (2.0, NetSpec::shared(1e-4, 1e8)),
         (3.0, two_rack_net()),
     ];
+    let base = Scenario::square(400, 8.0, 25, steps).on(ClusterSpec { nodes });
     let mut off = Series::new("LB off");
     let mut on = Series::new("LB on (period 4)");
     for (x, spec) in specs {
-        let mut cfg = SimConfig::paper(400, 25, steps, nodes.clone());
-        cfg.net = spec;
-        cfg.lb = None;
-        off.push(x, simulate(&cfg).total_time * 1e3);
-        cfg.lb = Some(SimLbConfig::every(4));
-        on.push(x, simulate(&cfg).total_time * 1e3);
+        let sc = base.clone().with_net(spec);
+        off.push(x, sc.run_sim().makespan * 1e3);
+        on.push(x, sc.with_lb(LbSchedule::every(4)).run_sim().makespan * 1e3);
     }
     fig.series = vec![off, on];
     fig
-}
-
-/// The A6/A7 two-rack cluster interconnect: 100 µs / 100 MB/s inside a
-/// rack, 4x the latency and a quarter of the bandwidth across racks.
-fn two_rack_net() -> NetSpec {
-    NetSpec::Topology(TopologySpec {
-        nodes_per_rack: 2,
-        intra_node: nlheat_netmodel::LinkSpec::new(1e-7, 5e9),
-        intra_rack: nlheat_netmodel::LinkSpec::new(1e-4, 1e8),
-        inter_rack: nlheat_netmodel::LinkSpec::new(4e-4, 2.5e7),
-    })
 }
 
 /// **A7** — communication-aware rebalancing: λ sweep on the two-rack
@@ -287,22 +276,21 @@ pub fn a7_comm_aware_lambda(quick: bool) -> FigData {
         "lambda",
         "inter-rack migration KB / total migration KB / time (ms)",
     );
-    let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
-        .iter()
-        .map(|&speed| VirtualNode { cores: 1, speed })
-        .collect();
+    let base = Scenario::square(400, 8.0, 25, steps)
+        .on(ClusterSpec::speeds(&[2.0, 1.0, 2.0, 1.0]))
+        .with_partition(PartitionSpec::Strip)
+        .with_net(two_rack_net());
     let mut inter = Series::new("inter-rack-KB");
     let mut total = Series::new("migration-KB");
     let mut time = Series::new("time-ms");
     for &lambda in &[0.0, 0.5, 1.0, 2.0, 4.0] {
-        let mut cfg = SimConfig::paper(400, 25, steps, nodes.clone());
-        cfg.partition = SimPartition::Strip;
-        cfg.net = two_rack_net();
-        cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::Tree { lambda, mu: 0.0 }));
-        let run = simulate(&cfg);
+        let run = base
+            .clone()
+            .with_lb(LbSchedule::every(4).with_spec(LbSpec::Tree { lambda, mu: 0.0 }))
+            .run_sim();
         inter.push(lambda, run.inter_rack_migration_bytes as f64 / 1e3);
         total.push(lambda, run.migration_bytes as f64 / 1e3);
-        time.push(lambda, run.total_time * 1e3);
+        time.push(lambda, run.makespan * 1e3);
     }
     fig.series = vec![inter, total, time];
     fig
@@ -312,38 +300,11 @@ pub fn a7_comm_aware_lambda(quick: bool) -> FigData {
 /// figure's x-axis uses.
 pub fn a8_policies() -> Vec<(&'static str, LbSpec)> {
     vec![
-        (
-            "tree λ=1",
-            LbSpec::Tree {
-                lambda: 1.0,
-                mu: 0.0,
-            },
-        ),
-        (
-            "diffusion",
-            LbSpec::Diffusion {
-                tolerance: 1.0,
-                max_rounds: 8,
-                mu: 0.0,
-            },
-        ),
-        (
-            "greedy-steal",
-            LbSpec::GreedySteal {
-                threshold: 1,
-                mu: 0.0,
-            },
-        ),
-        (
-            "adaptive-λ",
-            LbSpec::AdaptiveLambda {
-                inner: Box::new(LbSpec::Tree {
-                    lambda: 0.0,
-                    mu: 0.0,
-                }),
-                target_stall_frac: 0.05,
-            },
-        ),
+        ("tree λ=1", LbSpec::tree(1.0)),
+        ("diffusion", LbSpec::diffusion(1.0, 8)),
+        ("greedy-steal", LbSpec::greedy_steal(1)),
+        ("adaptive-λ", LbSpec::adaptive(LbSpec::tree(0.0), 0.05)),
+        ("adaptive-μ", LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.3)),
     ]
 }
 
@@ -358,22 +319,26 @@ pub fn a8_policy_comparison(quick: bool) -> FigData {
     let steps = if quick { 16 } else { 48 };
     let mut fig = FigData::new(
         "A8 — LB policies on 2 racks x 2 nodes (speeds 2:1:2:1; x: 0=tree λ=1, \
-         1=diffusion, 2=greedy-steal, 3=adaptive-λ)",
+         1=diffusion, 2=greedy-steal, 3=adaptive-λ, 4=adaptive-μ)",
         "policy",
         "sim time (ms) / sim migration KB / sim inter-rack KB / real migrations",
     );
-    let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
-        .iter()
-        .map(|&speed| VirtualNode { cores: 1, speed })
-        .collect();
-    let base = {
-        let mut cfg = SimConfig::paper(400, 25, steps, nodes.clone());
-        cfg.partition = SimPartition::Strip;
-        cfg.net = two_rack_net();
-        cfg
-    };
+    // One scenario per substrate leg: the simulator sweeps the paper
+    // scale, the real runtime a smoke scale — same network, same policy.
+    let sim_base = Scenario::square(400, 8.0, 25, steps)
+        .on(ClusterSpec::speeds(&[2.0, 1.0, 2.0, 1.0]))
+        .with_partition(PartitionSpec::Strip)
+        .with_net(two_rack_net());
+    // Real-runtime leg at smoke scale: 16x16 mesh, 4 localities on the
+    // same 2-rack NetSpec, node 0 holding everything except the three far
+    // corners (a Fig. 14-style lopsided start that leaves every territory
+    // non-empty, so all policies can find frontiers).
+    let real_base = Scenario::square(16, 2.0, 4, 6)
+        .on(ClusterSpec::uniform(4, 1))
+        .with_net(two_rack_net());
+    let real_owners = lopsided_owners(&real_base.sd_grid(), 4);
     let mut baseline = Series::new("time-ms-no-LB");
-    let no_lb = simulate(&base).total_time * 1e3;
+    let no_lb = sim_base.clone().run_sim().makespan * 1e3;
     let mut time = Series::new("time-ms");
     let mut total = Series::new("migration-KB");
     let mut inter = Series::new("inter-rack-KB");
@@ -382,26 +347,18 @@ pub fn a8_policy_comparison(quick: bool) -> FigData {
         let x = i as f64;
         baseline.push(x, no_lb);
         // simulator leg at paper scale
-        let mut cfg = base.clone();
-        cfg.lb = Some(SimLbConfig::every(4).with_spec(spec.clone()));
-        let run = simulate(&cfg);
-        time.push(x, run.total_time * 1e3);
+        let run = sim_base
+            .clone()
+            .with_lb(LbSchedule::every(4).with_spec(spec.clone()))
+            .run_sim();
+        time.push(x, run.makespan * 1e3);
         total.push(x, run.migration_bytes as f64 / 1e3);
         inter.push(x, run.inter_rack_migration_bytes as f64 / 1e3);
-        // real-runtime leg at smoke scale: 16x16 mesh, 4 localities on
-        // the same 2-rack NetSpec, node 0 holding everything except the
-        // three far corners (a Fig. 14-style lopsided start that leaves
-        // every territory non-empty, so all policies can find frontiers)
-        let mut dcfg = DistConfig::new(16, 2.0, 4, 6);
-        dcfg.net = two_rack_net();
-        let mut owners = vec![0u32; 16];
-        owners[3] = 1;
-        owners[12] = 2;
-        owners[15] = 3;
-        dcfg.partition = PartitionMethod::Explicit(owners);
-        dcfg.lb = Some(LbConfig::every(2).with_spec(spec));
-        let cluster = dcfg.cluster().uniform(4, 1).build();
-        let report = run_distributed(&cluster, &dcfg);
+        let report = real_base
+            .clone()
+            .with_partition(PartitionSpec::Explicit(real_owners.clone()))
+            .with_lb(LbSchedule::every(2).with_spec(spec))
+            .run_dist();
         real.push(x, report.migrations as f64);
     }
     fig.series = vec![time, total, inter, real, baseline];
@@ -436,12 +393,18 @@ pub fn a9_ghost_aware_mu(quick: bool) -> FigData {
         "mu",
         "sim inter-rack ghost KB/step / sim time (ms) / sim migrations / real inter-rack ghost KB/step",
     );
-    let nodes: Vec<VirtualNode> = (0..4).map(|_| VirtualNode::with_cores(1)).collect();
-    let sim_sds = SdGrid::tile_mesh(400, 400, 25);
-    let mut sim_owners = vec![0u32; sim_sds.count()];
-    sim_owners[sim_sds.id(15, 0) as usize] = 1;
-    sim_owners[sim_sds.id(0, 15) as usize] = 2;
-    sim_owners[sim_sds.id(15, 15) as usize] = 3;
+    // Both substrate legs share the library's lopsided start and two-rack
+    // interconnect; only the scale differs.
+    let sim_base = Scenario::square(400, 8.0, 25, steps)
+        .on(ClusterSpec::uniform(4, 1))
+        .with_net(two_rack_net());
+    let real_base = Scenario::square(16, 2.0, 4, 6)
+        .on(ClusterSpec::uniform(4, 1))
+        .with_net(two_rack_net());
+    let sim_sds = sim_base.sd_grid();
+    let real_sds = real_base.sd_grid();
+    let sim_owners = lopsided_owners(&sim_sds, 4);
+    let real_owners = lopsided_owners(&real_sds, 4);
     // initial cuts for the gated-everything fallback, from the same
     // SdGraph the substrates plan with
     let comm = two_rack_net().comm_cost();
@@ -449,38 +412,32 @@ pub fn a9_ghost_aware_mu(quick: bool) -> FigData {
         graph.cut_bytes_where(owners, |a, b| comm.link_class(a, b) == LinkClass::InterRack)
     };
     let sim_graph = SdGraph::build(&sim_sds, Grid::square(400, 8.0).halo);
-    let real_sds = SdGrid::tile_mesh(16, 16, 4);
     let real_graph = SdGraph::build(&real_sds, Grid::square(16, 2.0).halo);
-    let mut real_owners = vec![0u32; 16];
-    real_owners[3] = 1;
-    real_owners[12] = 2;
-    real_owners[15] = 3;
 
     let mut sim_inter = Series::new("sim-inter-rack-ghost-KB");
     let mut sim_time = Series::new("sim-time-ms");
     let mut sim_migr = Series::new("sim-migrations");
     let mut real_inter = Series::new("real-inter-rack-ghost-KB");
     for &mu in &[0.0, 0.05, 0.1, 0.25, 0.5, 1.0] {
-        let mut cfg = SimConfig::paper(400, 25, steps, nodes.clone());
-        cfg.partition = SimPartition::Explicit(sim_owners.clone());
-        cfg.net = two_rack_net();
-        cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(0.0).with_mu(mu)));
-        let run = simulate(&cfg);
+        let run = sim_base
+            .clone()
+            .with_partition(PartitionSpec::Explicit(sim_owners.clone()))
+            .with_lb(LbSchedule::every(4).with_spec(LbSpec::tree(0.0).with_mu(mu)))
+            .run_sim();
         let cut = run
             .epoch_traces
             .last()
             .map(|t| t.inter_rack_ghost_bytes_after)
             .unwrap_or_else(|| inter_cut(&sim_graph, &sim_owners));
         sim_inter.push(mu, cut as f64 / 1e3);
-        sim_time.push(mu, run.total_time * 1e3);
+        sim_time.push(mu, run.makespan * 1e3);
         sim_migr.push(mu, run.migrations as f64);
 
-        let mut dcfg = DistConfig::new(16, 2.0, 4, 6);
-        dcfg.net = two_rack_net();
-        dcfg.partition = PartitionMethod::Explicit(real_owners.clone());
-        dcfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::tree(0.0).with_mu(mu)));
-        let cluster = dcfg.cluster().uniform(4, 1).build();
-        let report = run_distributed(&cluster, &dcfg);
+        let report = real_base
+            .clone()
+            .with_partition(PartitionSpec::Explicit(real_owners.clone()))
+            .with_lb(LbSchedule::every(2).with_spec(LbSpec::tree(0.0).with_mu(mu)))
+            .run_dist();
         let rcut = report
             .epoch_traces
             .last()
@@ -622,13 +579,13 @@ mod tests {
             let time = &fig.series[0].points;
             let real = &fig.series[3].points;
             let no_lb = fig.series[4].points[0].1;
-            assert_eq!(time.len(), 4, "all four policy variants must run");
+            assert_eq!(time.len(), 5, "all five policy variants must run");
             for (i, &(x, t)) in time.iter().enumerate() {
                 assert!(t.is_finite() && t > 0.0, "policy {x} produced time {t}");
                 // The strip start on 2:1:2:1 speeds is badly imbalanced,
                 // so every policy must recover most of the static
-                // penalty. The adaptive decorator may briefly gate while
-                // λ settles, hence the small allowance.
+                // penalty. The adaptive decorators may briefly gate while
+                // their weights settle, hence the small allowance.
                 assert!(
                     t <= no_lb * 1.05,
                     "policy {x} (series idx {i}) lost to no-LB: {t} vs {no_lb}"
@@ -641,12 +598,14 @@ mod tests {
                 "inter-rack bytes must be recorded: {inter:?}"
             );
             // Migration counts must be positive for the ungated policies
-            // (indices 1..: diffusion, greedy-steal, adaptive-λ at its
+            // (indices 1–3: diffusion, greedy-steal, adaptive-λ at its
             // initial λ=0); tree λ=1 legitimately gates everything at
             // smoke scale (wall-clock busy relief is microseconds, the
-            // intra-rack link estimate is 100 µs).
+            // intra-rack link estimate is 100 µs), and adaptive-μ may
+            // learn a gating μ from the smoke-scale ghost stalls for the
+            // same reason (the A9 caveat).
             last_real = real.clone();
-            if real[1..].iter().all(|p| p.1 > 0.0) {
+            if real[1..=3].iter().all(|p| p.1 > 0.0) {
                 return;
             }
         }

@@ -1,0 +1,32 @@
+//! Scenario-library smoke runner: execute every named library scenario on
+//! **both** substrates and assert the unified `RunReport` invariants
+//! (non-empty busy vector, planner-grade migration/ghost bytes bounded by
+//! the cross traffic, traces covering every migration, …).
+//!
+//! ```text
+//! scenarios [--quick]      # quick = toy sizes (the CI smoke contract)
+//! ```
+
+use nlheat_core::scenarios;
+use nlheat_sim::RunSim;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("| scenario | substrate | makespan | migrations | ghost KB | migration KB | epochs |");
+    println!("|---|---|---|---|---|---|---|");
+    for (name, sc) in scenarios::all(quick) {
+        for report in [sc.run_sim(), sc.run_dist()] {
+            report.check_invariants();
+            println!(
+                "| {name} | {} | {:.3} ms | {} | {:.1} | {:.1} | {} |",
+                report.substrate,
+                report.makespan * 1e3,
+                report.migrations,
+                report.ghost_bytes as f64 / 1e3,
+                report.migration_bytes as f64 / 1e3,
+                report.epoch_traces.len(),
+            );
+        }
+    }
+    println!("\nall library scenarios passed the RunReport invariants on both substrates");
+}

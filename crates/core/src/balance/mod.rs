@@ -56,8 +56,8 @@ pub use algorithm::{
 };
 pub use nlheat_partition::SdGraph;
 pub use policy::{
-    AdaptiveLambdaPolicy, DiffusionPolicy, GreedyStealPolicy, LbNetwork, LbPolicy, LbSchedule,
-    LbSpec, TreePolicy,
+    AdaptiveLambdaPolicy, AdaptiveMuPolicy, DiffusionPolicy, GreedyStealPolicy, LbNetwork,
+    LbPolicy, LbSchedule, LbSpec, TreePolicy,
 };
 pub use power::{compute_metrics, LoadMetrics};
 pub use trace::EpochTrace;

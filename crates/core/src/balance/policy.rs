@@ -35,6 +35,10 @@
 //! * [`LbSpec::AdaptiveLambda`] — a decorator closing the "λ adapts
 //!   online" loop: wraps any inner policy and nudges its cost weight from
 //!   the measured migration-stall fraction of previous epochs.
+//! * [`LbSpec::AdaptiveMu`] — the μ analogue: nudges the inner policy's
+//!   ghost weight from the measured ghost-stall fraction
+//!   ([`LbPolicy::observe_ghost_stall`]), so the recurring-traffic gate is
+//!   steered online instead of hand-picked.
 
 use crate::balance::algorithm::{
     finish_plan, ghost_delta_seconds, mu_active, plan_rebalance_ghost_aware, realize_ghost_aware,
@@ -206,6 +210,15 @@ pub trait LbPolicy: Send {
         let _ = stall_frac;
     }
 
+    /// Pre-plan feedback: the fraction of the last balancing window the
+    /// substrate spent stalled waiting for ghost-zone arrivals (the
+    /// recurring cost an ownership's edge cut causes, as actually
+    /// experienced by the runtime). Default: ignored — the adaptive-μ
+    /// decorator is the consumer.
+    fn observe_ghost_stall(&mut self, ghost_frac: f64) {
+        let _ = ghost_frac;
+    }
+
     /// Override the policy's communication-cost weight λ (used by the
     /// adaptive-λ decorator to steer its inner policy). Default: ignored —
     /// a policy without a cost gate has nothing to set.
@@ -263,6 +276,16 @@ pub enum LbSpec {
     AdaptiveLambda {
         inner: Box<LbSpec>,
         target_stall_frac: f64,
+    },
+    /// Decorator: run `inner`, and before each epoch nudge its ghost
+    /// weight μ so the measured ghost-stall fraction approaches
+    /// `target_ghost_frac` — the μ analogue of [`LbSpec::AdaptiveLambda`],
+    /// driving the [`LbPolicy::set_ghost_weight`] hook from the substrate's
+    /// [`LbPolicy::observe_ghost_stall`] feedback instead of hand-picking
+    /// a constant.
+    AdaptiveMu {
+        inner: Box<LbSpec>,
+        target_ghost_frac: f64,
     },
 }
 
@@ -326,7 +349,7 @@ impl LbSpec {
             LbSpec::Tree { mu: m, .. }
             | LbSpec::Diffusion { mu: m, .. }
             | LbSpec::GreedySteal { mu: m, .. } => *m = mu,
-            LbSpec::AdaptiveLambda { inner, .. } => {
+            LbSpec::AdaptiveLambda { inner, .. } | LbSpec::AdaptiveMu { inner, .. } => {
                 let updated = std::mem::take(inner.as_mut()).with_mu(mu);
                 **inner = updated;
             }
@@ -347,6 +370,39 @@ impl LbSpec {
         spec
     }
 
+    /// Wrap `inner` in the adaptive-μ decorator.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters — see [`LbSpec::validate`].
+    pub fn adaptive_mu(inner: LbSpec, target_ghost_frac: f64) -> Self {
+        let spec = LbSpec::AdaptiveMu {
+            inner: Box::new(inner),
+            target_ghost_frac,
+        };
+        spec.validate();
+        spec
+    }
+
+    /// True when the spec's decorator chain contains an adaptive-λ
+    /// decorator (used to reject silently-inert nesting).
+    fn chain_has_adaptive_lambda(&self) -> bool {
+        match self {
+            LbSpec::AdaptiveLambda { .. } => true,
+            LbSpec::AdaptiveMu { inner, .. } => inner.chain_has_adaptive_lambda(),
+            _ => false,
+        }
+    }
+
+    /// True when the spec's decorator chain contains an adaptive-μ
+    /// decorator.
+    fn chain_has_adaptive_mu(&self) -> bool {
+        match self {
+            LbSpec::AdaptiveMu { .. } => true,
+            LbSpec::AdaptiveLambda { inner, .. } => inner.chain_has_adaptive_mu(),
+            _ => false,
+        }
+    }
+
     /// The policy's ablation label.
     pub fn name(&self) -> &'static str {
         match self {
@@ -354,6 +410,7 @@ impl LbSpec {
             LbSpec::Diffusion { .. } => "diffusion",
             LbSpec::GreedySteal { .. } => "greedy-steal",
             LbSpec::AdaptiveLambda { .. } => "adaptive-lambda",
+            LbSpec::AdaptiveMu { .. } => "adaptive-mu",
         }
     }
 
@@ -402,12 +459,29 @@ impl LbSpec {
                         && target_stall_frac.is_finite(),
                     "target_stall_frac must be in (0, 1), got {target_stall_frac}"
                 );
-                // A nested decorator would be silently inert: the outer
-                // one keeps the stall feedback to itself and clobbers the
-                // inner's λ every epoch. Reject rather than surprise.
+                // A nested same-kind decorator would be silently inert:
+                // the outer one keeps the feedback to itself and clobbers
+                // the inner's weight every epoch — anywhere in the chain,
+                // including through an adaptive-μ layer in between.
                 assert!(
-                    !matches!(**inner, LbSpec::AdaptiveLambda { .. }),
+                    !inner.chain_has_adaptive_lambda(),
                     "AdaptiveLambda cannot wrap another AdaptiveLambda"
+                );
+                inner.validate();
+            }
+            LbSpec::AdaptiveMu {
+                inner,
+                target_ghost_frac,
+            } => {
+                assert!(
+                    *target_ghost_frac > 0.0
+                        && *target_ghost_frac < 1.0
+                        && target_ghost_frac.is_finite(),
+                    "target_ghost_frac must be in (0, 1), got {target_ghost_frac}"
+                );
+                assert!(
+                    !inner.chain_has_adaptive_mu(),
+                    "AdaptiveMu cannot wrap another AdaptiveMu"
                 );
                 inner.validate();
             }
@@ -454,13 +528,25 @@ impl LbSpec {
                     lambda,
                 })
             }
+            LbSpec::AdaptiveMu {
+                inner,
+                target_ghost_frac,
+            } => {
+                let inner = inner.build();
+                let mu = inner.ghost_weight();
+                Box::new(AdaptiveMuPolicy {
+                    inner,
+                    target_ghost_frac: *target_ghost_frac,
+                    mu,
+                })
+            }
         }
     }
 }
 
 /// When to balance and how — the one load-balancing configuration shared
-/// by `DistConfig` (as `LbConfig`) and `SimConfig` (as `SimLbConfig`),
-/// replacing the duplicated per-substrate structs.
+/// by `Scenario`, `DistConfig` and `SimConfig` alike, replacing the
+/// duplicated per-substrate structs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LbSchedule {
     /// Run the policy every `period` (simulated or real) timesteps.
@@ -490,15 +576,6 @@ impl LbSchedule {
         spec.validate();
         self.spec = spec;
         self
-    }
-
-    /// Weigh migration traffic with `lambda` in the tree planner.
-    ///
-    /// # Panics
-    /// Panics on negative or non-finite `lambda`.
-    #[deprecated(note = "use with_spec(LbSpec::tree(lambda)) instead")]
-    pub fn with_lambda(self, lambda: f64) -> Self {
-        self.with_spec(LbSpec::Tree { lambda, mu: 0.0 })
     }
 
     /// Validate the whole schedule (covers direct field assignment that
@@ -812,6 +889,88 @@ impl LbPolicy for AdaptiveLambdaPolicy {
     fn ghost_weight(&self) -> f64 {
         self.inner.ghost_weight()
     }
+
+    /// Ghost-stall feedback is the μ decorator's signal: forward it so an
+    /// inner adaptive-μ layer keeps learning through this decorator.
+    fn observe_ghost_stall(&mut self, ghost_frac: f64) {
+        self.inner.observe_ghost_stall(ghost_frac);
+    }
+}
+
+/// [`LbSpec::AdaptiveMu`]: closes the μ feedback loop. Doubles the inner
+/// policy's ghost weight when the measured ghost-stall fraction of the
+/// last window exceeded the target, halves it when it stayed under half
+/// the target (the dead band in between holds μ steady). The engaged
+/// weight starts at the bottom of the shaping band (≈ 0.05 with
+/// seconds-scaled busy times) so the first correction shapes plans
+/// instead of freezing them.
+pub struct AdaptiveMuPolicy {
+    inner: Box<dyn LbPolicy>,
+    target_ghost_frac: f64,
+    mu: f64,
+}
+
+impl AdaptiveMuPolicy {
+    /// μ is clamped so `CostParams` can never see a non-finite weight.
+    const MU_MAX: f64 = 1e9;
+    /// Below this, μ snaps to exactly 0 so the inner policy degenerates to
+    /// its ghost-blind behaviour instead of carrying float dust.
+    const MU_MIN: f64 = 1e-6;
+    /// The weight the first engagement starts from — the bottom of the
+    /// A9 shaping band.
+    const MU_ENGAGE: f64 = 0.05;
+}
+
+impl LbPolicy for AdaptiveMuPolicy {
+    fn name(&self) -> &'static str {
+        "adaptive-mu"
+    }
+
+    fn plan(&mut self, own: &Ownership, metrics: &LoadMetrics, net: &LbNetwork) -> MigrationPlan {
+        self.inner.set_ghost_weight(self.mu);
+        self.inner.plan(own, metrics, net)
+    }
+
+    fn observe_ghost_stall(&mut self, ghost_frac: f64) {
+        if !ghost_frac.is_finite() || ghost_frac < 0.0 {
+            return;
+        }
+        if ghost_frac > self.target_ghost_frac {
+            self.mu = if self.mu <= 0.0 {
+                Self::MU_ENGAGE
+            } else {
+                (self.mu * 2.0).min(Self::MU_MAX)
+            };
+        } else if ghost_frac < self.target_ghost_frac * 0.5 {
+            self.mu *= 0.5;
+            if self.mu < Self::MU_MIN {
+                self.mu = 0.0;
+            }
+        }
+    }
+
+    /// The migration-stall signal belongs to an inner λ decorator (if
+    /// any): forward it untouched.
+    fn observe_stall(&mut self, stall_frac: f64) {
+        self.inner.observe_stall(stall_frac);
+    }
+
+    /// The cost gate is orthogonal to the adapted μ: forward it.
+    fn set_cost_weight(&mut self, lambda: f64) {
+        self.inner.set_cost_weight(lambda);
+    }
+
+    fn cost_weight(&self) -> f64 {
+        self.inner.cost_weight()
+    }
+
+    fn set_ghost_weight(&mut self, mu: f64) {
+        self.mu = mu;
+    }
+
+    fn ghost_weight(&self) -> f64 {
+        self.mu
+    }
 }
 
 #[cfg(test)]
@@ -881,6 +1040,8 @@ mod tests {
             LbSpec::greedy_steal(1),
             LbSpec::adaptive(LbSpec::tree(0.5), 0.1),
             LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1),
+            LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2),
+            LbSpec::adaptive_mu(LbSpec::diffusion(1.0, 8), 0.2),
         ]
     }
 
@@ -1078,7 +1239,7 @@ mod tests {
     }
 
     #[test]
-    fn schedule_builders_and_shim() {
+    fn schedule_builders() {
         let sched = LbSchedule::every(4).with_spec(LbSpec::greedy_steal(2));
         assert_eq!(sched.period, 4);
         assert_eq!(
@@ -1092,16 +1253,6 @@ mod tests {
             LbSchedule::every(3).spec,
             LbSpec::Tree {
                 lambda: 0.0,
-                mu: 0.0
-            }
-        );
-        // the deprecated λ shim maps onto Tree { lambda, mu: 0 }
-        #[allow(deprecated)]
-        let shim = LbSchedule::every(2).with_lambda(1.5);
-        assert_eq!(
-            shim.spec,
-            LbSpec::Tree {
-                lambda: 1.5,
                 mu: 0.0
             }
         );
@@ -1135,6 +1286,99 @@ mod tests {
         let spec = LbSpec::adaptive(LbSpec::diffusion(1.0, 4), 0.2);
         assert_eq!(spec.name(), "adaptive-lambda");
         assert_eq!(spec.build().name(), "adaptive-lambda");
+        let spec = LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2);
+        assert_eq!(spec.name(), "adaptive-mu");
+        assert_eq!(spec.build().name(), "adaptive-mu");
+    }
+
+    #[test]
+    fn adaptive_mu_tracks_ghost_stall_feedback() {
+        let mut policy = LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2).build();
+        assert_eq!(policy.ghost_weight(), 0.0, "starts from the inner μ");
+        policy.observe_ghost_stall(0.5); // well above target: engage gate
+        assert_eq!(policy.ghost_weight(), 0.05, "engages at the shaping band");
+        policy.observe_ghost_stall(0.5);
+        assert_eq!(policy.ghost_weight(), 0.1, "doubles while stalling");
+        policy.observe_ghost_stall(0.15); // inside the dead band: hold
+        assert_eq!(policy.ghost_weight(), 0.1);
+        policy.observe_ghost_stall(0.05); // below half target: relax
+        assert_eq!(policy.ghost_weight(), 0.05);
+        for _ in 0..40 {
+            policy.observe_ghost_stall(0.0);
+        }
+        assert_eq!(policy.ghost_weight(), 0.0, "μ decays to exactly 0");
+        // garbage feedback is ignored
+        policy.observe_ghost_stall(f64::NAN);
+        policy.observe_ghost_stall(-1.0);
+        assert_eq!(policy.ghost_weight(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_mu_steers_its_inner_tree() {
+        // The huge-μ gating fixture, but with μ learned from feedback
+        // instead of configured: after enough ghost-stalled windows the
+        // decorator's μ must gate the cut-worsening plan.
+        let sds = SdGrid::new(6, 6, 4);
+        let owners: Vec<u32> = (0..36).map(|sd| u32::from(sds.coords(sd).0 >= 3)).collect();
+        let own = Ownership::new(sds, owners, 2);
+        let busy = vec![9.0, 1.0];
+        let graph = std::sync::Arc::new(nlheat_partition::SdGraph::build(&sds, 1));
+        let net = LbNetwork::from_spec(&NetSpec::cluster(), 1000).with_sd_graph(graph);
+        let mut policy = LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.05).build();
+        assert!(
+            !policy.plan(&own, &metrics_for(&own, &busy), &net).is_noop(),
+            "μ=0 must balance the skew"
+        );
+        for _ in 0..60 {
+            policy.observe_ghost_stall(1.0); // every window fully stalled
+        }
+        assert!(
+            policy.plan(&own, &metrics_for(&own, &busy), &net).is_noop(),
+            "learned μ={} must refuse cut-worsening moves",
+            policy.ghost_weight()
+        );
+    }
+
+    #[test]
+    fn adaptive_decorators_compose_both_ways() {
+        // λ(μ(tree)) and μ(λ(tree)) both validate, build, and route each
+        // feedback signal to its owning layer.
+        let both = LbSpec::adaptive(LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2), 0.1);
+        both.validate();
+        let mut policy = both.build();
+        policy.observe_stall(0.9);
+        policy.observe_ghost_stall(0.9);
+        assert_eq!(policy.cost_weight(), 1.0, "outer λ engaged");
+        assert_eq!(policy.ghost_weight(), 0.05, "inner μ engaged through λ");
+        let other = LbSpec::adaptive_mu(LbSpec::adaptive(LbSpec::tree(0.0), 0.1), 0.2);
+        other.validate();
+        let mut policy = other.build();
+        policy.observe_stall(0.9);
+        policy.observe_ghost_stall(0.9);
+        assert_eq!(policy.cost_weight(), 1.0, "inner λ engaged through μ");
+        assert_eq!(policy.ghost_weight(), 0.05, "outer μ engaged");
+    }
+
+    #[test]
+    #[should_panic(expected = "AdaptiveMu cannot wrap another AdaptiveMu")]
+    fn nested_adaptive_mu_rejected() {
+        let _ = LbSpec::adaptive_mu(LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.1), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "AdaptiveLambda cannot wrap another AdaptiveLambda")]
+    fn nested_adaptive_lambda_through_mu_rejected() {
+        // the inert nesting must be caught through an interposed μ layer
+        let _ = LbSpec::adaptive(
+            LbSpec::adaptive_mu(LbSpec::adaptive(LbSpec::tree(0.0), 0.1), 0.2),
+            0.1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "target_ghost_frac must be in (0, 1)")]
+    fn adaptive_mu_rejects_bad_target() {
+        let _ = LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.0);
     }
 
     #[test]
@@ -1230,6 +1474,7 @@ mod tests {
             LbSpec::diffusion(1.0, 8),
             LbSpec::greedy_steal(1),
             LbSpec::adaptive(LbSpec::tree(0.0), 0.1),
+            LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.1),
         ] {
             let mut policy = spec.with_mu(0.75).build();
             assert_eq!(policy.ghost_weight(), 0.75, "{}: spec μ", policy.name());

@@ -5,7 +5,7 @@
 //! case-2 (foreign-independent) computation launched immediately while
 //! case-1 computation is a dataflow continuation on the ghost futures
 //! (§6.3, Fig. 5) — so communication hides behind computation — and, every
-//! `LbConfig::period` steps, a full load-balancing epoch: busy-time
+//! [`LbSchedule::period`] steps, a full load-balancing epoch: busy-time
 //! gather, plan on locality 0 via the configured [`LbSpec`] policy
 //! (Algorithm 1 by default), broadcast, SD migration, counter reset (§7).
 //!
@@ -15,8 +15,9 @@
 //! asynchronous pipelining an AMT runtime buys.
 
 pub use crate::balance::LbSpec;
-use crate::balance::{compute_metrics, EpochTrace, LbNetwork, LbSchedule, SdGraph};
+use crate::balance::{compute_metrics, EpochTrace, LbNetwork, LbSchedule, Move, SdGraph};
 use crate::ownership::Ownership;
+use crate::scenario::{modeled_busy, nominal_sec_per_dp, LbInput, PartitionSpec};
 use crate::workload::WorkModel;
 use bytes::{Bytes, BytesMut};
 use nlheat_amt::cluster::{Cluster, ClusterBuilder};
@@ -25,13 +26,15 @@ use nlheat_amt::future::{when_all, Future};
 use nlheat_amt::locality::Locality;
 use nlheat_amt::parcel::tag;
 use nlheat_mesh::{
-    build_halo_plan, split_cases, CaseSplit, HaloPlan, PatchSource, Rect, SdGrid, SdId, Tile,
+    build_halo_plan, split_cases, CaseSplit, HaloPlan, PatchSource, Rect, SdGrid, SdId, Stencil,
+    Tile,
 };
 use nlheat_model::{ErrorAccumulator, ProblemParts, ProblemSpec};
-use nlheat_netmodel::NetSpec;
-use nlheat_partition::{part_mesh_dual, strip_partition};
+use nlheat_netmodel::{LinkClass, NetSpec};
+use nlheat_partition::patch_wire_bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,26 +44,11 @@ const CLASS_LBSTAT: u8 = 2;
 const CLASS_LBPLAN: u8 = 3;
 const CLASS_MIGRATE: u8 = 4;
 
-/// How the initial SD→node distribution is produced.
-#[derive(Debug, Clone, PartialEq)]
-pub enum PartitionMethod {
-    /// The multilevel dual-mesh partitioner (the paper's METIS path).
-    Metis { seed: u64 },
-    /// Row-major strips (naive baseline, ablation A1).
-    Strip,
-    /// An explicit assignment (used by the Fig. 14 experiment to start
-    /// from a deliberately imbalanced state).
-    Explicit(Vec<u32>),
-}
-
-/// Load-balancing epoch configuration of the real runtime — the shared
-/// [`LbSchedule`] (period + [`LbSpec`] policy), the same type the
-/// simulator consumes as `SimLbConfig`. Build with
-/// `LbConfig::every(period).with_spec(spec)`; the policy defaults to the
-/// paper's count-based Algorithm 1 (`LbSpec::Tree { lambda: 0.0 }`).
-pub type LbConfig = LbSchedule;
-
-/// Configuration of a distributed run.
+/// Configuration of a distributed run — the low-level execution config of
+/// the real runtime. Prefer describing experiments with
+/// [`crate::scenario::Scenario`] (which compiles into this via
+/// [`crate::scenario::Scenario::dist_config`]); `DistConfig` remains the
+/// compatibility layer for code that drives the runtime directly.
 #[derive(Debug, Clone)]
 pub struct DistConfig {
     /// The physical problem (manufactured source and initial condition).
@@ -69,22 +57,32 @@ pub struct DistConfig {
     pub sd_size: usize,
     /// Timesteps.
     pub n_steps: usize,
-    /// Initial distribution method.
-    pub partition: PartitionMethod,
+    /// Initial distribution method (shared with the simulator).
+    pub partition: PartitionSpec,
     /// Case-1/case-2 overlap (§6.3); `false` waits for all ghosts before
     /// computing anything (ablation A2).
     pub overlap: bool,
     /// Optional load balancing.
-    pub lb: Option<LbConfig>,
+    pub lb: Option<LbSchedule>,
     /// Record the eq.-7 error every step.
     pub record_error: bool,
     /// Per-SD work factors (crack scenario etc.).
     pub work: WorkModel,
+    /// Time-varying workload: `(from_step, model)` switch points, sorted
+    /// by step; the last entry with `from_step ≤ s` overrides `work` at
+    /// step `s`. The same propagating-crack schedule the simulator
+    /// executes — the work factor is emulated by kernel repetition, so
+    /// the numerics stay bit-exact while the busy times shift.
+    pub work_schedule: Vec<(usize, WorkModel)>,
     /// Network cost model for the cluster fabric — the same [`NetSpec`]
     /// the simulator consumes, so one configuration describes both
     /// substrates. Applied by [`DistConfig::cluster`]; a cluster built
     /// directly via `ClusterBuilder` keeps whatever model it was given.
     pub net: NetSpec,
+    /// What the balancing policies plan from: measured wall-clock busy
+    /// times (the paper's mode) or deterministic modeled busy times
+    /// ([`LbInput::Modeled`], the cross-substrate parity mode).
+    pub lb_input: LbInput,
 }
 
 impl DistConfig {
@@ -94,13 +92,20 @@ impl DistConfig {
             spec: ProblemSpec::square(n, eps_mult),
             sd_size,
             n_steps,
-            partition: PartitionMethod::Metis { seed: 1 },
+            partition: PartitionSpec::Metis { seed: 1 },
             overlap: true,
             lb: None,
             record_error: false,
             work: WorkModel::Uniform,
+            work_schedule: Vec::new(),
             net: NetSpec::Instant,
+            lb_input: LbInput::Measured,
         }
+    }
+
+    /// The workload in effect at `step`.
+    pub fn work_at(&self, step: usize) -> &WorkModel {
+        crate::scenario::work_at(&self.work, &self.work_schedule, step)
     }
 
     /// A [`ClusterBuilder`] pre-configured with this config's network
@@ -135,8 +140,26 @@ pub struct DistReport {
     pub busy_ns: Vec<u64>,
     /// Total SDs migrated by load balancing.
     pub migrations: usize,
+    /// Planner-grade migration payload bytes (sum of the realized plans'
+    /// [`EpochTrace::migration_bytes`] — the same `patch_wire_bytes`
+    /// accounting the simulator charges, so identical plans produce
+    /// identical counters on both substrates).
+    pub migration_bytes: u64,
+    /// The inter-rack share of `migration_bytes` (per the configured
+    /// [`NetSpec`]'s link classes; 0 for rack-less models).
+    pub inter_rack_migration_bytes: u64,
+    /// Planner-grade ghost-exchange bytes between localities over the
+    /// whole run, counted per foreign halo patch with the same
+    /// `patch_wire_bytes` formula the simulator charges (the wire
+    /// additionally carries an 8-byte codec length per parcel).
+    pub ghost_bytes: u64,
+    /// The inter-rack share of `ghost_bytes`.
+    pub inter_rack_ghost_bytes: u64,
     /// Per-node SD counts after each balancing epoch.
     pub lb_history: Vec<Vec<usize>>,
+    /// The realized migration plan of each epoch, in epoch order (empty
+    /// plans are skipped, matching `lb_history`).
+    pub lb_plans: Vec<Vec<Move>>,
     /// One [`EpochTrace`] per realized balancing epoch (recorded on
     /// locality 0, in epoch order): plan size, migration bytes, and the
     /// recurring ghost-traffic cut before/after — the per-epoch data
@@ -160,13 +183,26 @@ struct Setup {
     sd_graph: Arc<SdGraph>,
     initial_owners: Vec<u32>,
     n_nodes: u32,
+    /// Per-locality speed factors (from the cluster), for modeled busy.
+    speeds: Vec<f64>,
+    /// Nominal per-DP seconds of this problem's stencil — the scale the
+    /// modeled planning inputs share with the simulator's calibrated cost
+    /// model.
+    sec_per_dp: f64,
 }
 
 impl Setup {
-    fn build(cfg: DistConfig, n_nodes: u32) -> Self {
+    fn build(cfg: DistConfig, n_nodes: u32, speeds: Vec<f64>) -> Self {
         let parts = cfg.spec.build();
         let grid = parts.grid;
         let sds = SdGrid::tile_mesh(grid.nx as usize, grid.ny as usize, cfg.sd_size);
+        // Reject an unpriceable work model on the caller's thread, not on
+        // a driver thread mid-run (where the panic would deadlock the
+        // other localities).
+        cfg.work.validate(&sds);
+        for (_, model) in &cfg.work_schedule {
+            model.validate(&sds);
+        }
         let plans: Vec<HaloPlan> = sds
             .ids()
             .map(|id| build_halo_plan(&sds, grid.halo, id))
@@ -179,15 +215,9 @@ impl Setup {
                 }
             }
         }
-        let initial_owners = match &cfg.partition {
-            PartitionMethod::Metis { seed } => part_mesh_dual(&sds, n_nodes, *seed).parts,
-            PartitionMethod::Strip => strip_partition(&sds, n_nodes),
-            PartitionMethod::Explicit(owners) => {
-                assert_eq!(owners.len(), sds.count(), "explicit ownership length");
-                owners.clone()
-            }
-        };
+        let initial_owners = cfg.partition.initial_owners(&sds, n_nodes);
         let sd_graph = Arc::new(SdGraph::from_plans(&sds, &plans));
+        let sec_per_dp = nominal_sec_per_dp(Stencil::build(grid.h, grid.eps).len());
         Setup {
             cfg,
             parts,
@@ -197,6 +227,8 @@ impl Setup {
             sd_graph,
             initial_owners,
             n_nodes,
+            speeds,
+            sec_per_dp,
         }
     }
 }
@@ -211,7 +243,6 @@ struct SdCell {
 struct NodeSd {
     origin: (i64, i64),
     cell: Arc<SdCell>,
-    repeats: u32,
 }
 
 /// Ownership-dependent per-SD communication info (rebuilt after LB).
@@ -227,7 +258,11 @@ struct NodeReport {
     error_partials: Vec<f64>,
     busy_ns: u64,
     in_migrations: usize,
+    /// Planner-grade ghost bytes this locality *sent* to other localities.
+    ghost_bytes: u64,
+    inter_rack_ghost_bytes: u64,
     lb_counts: Vec<Vec<usize>>,
+    lb_plans: Vec<Vec<Move>>,
     lb_traces: Vec<EpochTrace>,
 }
 
@@ -256,7 +291,8 @@ pub fn run_distributed(cluster: &Cluster, cfg: &DistConfig) -> DistReport {
         lb.validate();
     }
     let n_nodes = cluster.len() as u32;
-    let setup = Arc::new(Setup::build(cfg.clone(), n_nodes));
+    let speeds: Vec<f64> = cluster.localities().iter().map(|l| l.speed()).collect();
+    let setup = Arc::new(Setup::build(cfg.clone(), n_nodes, speeds));
     let t0 = Instant::now();
     let reports = cluster.run(|loc| driver(loc, setup.clone()));
     let elapsed = t0.elapsed();
@@ -297,6 +333,11 @@ pub fn run_distributed(cluster: &Cluster, cfg: &DistConfig) -> DistReport {
         .map(|r| r.lb_traces.clone())
         .find(|t| !t.is_empty())
         .unwrap_or_default();
+    let lb_plans = reports
+        .iter()
+        .map(|r| r.lb_plans.clone())
+        .find(|p| !p.is_empty())
+        .unwrap_or_default();
     DistReport {
         elapsed,
         error,
@@ -304,7 +345,15 @@ pub fn run_distributed(cluster: &Cluster, cfg: &DistConfig) -> DistReport {
         final_ownership: Ownership::new(setup.sds, final_owners, n_nodes),
         busy_ns: reports.iter().map(|r| r.busy_ns).collect(),
         migrations,
+        migration_bytes: epoch_traces.iter().map(|t| t.migration_bytes).sum(),
+        inter_rack_migration_bytes: epoch_traces
+            .iter()
+            .map(|t| t.inter_rack_migration_bytes)
+            .sum(),
+        ghost_bytes: reports.iter().map(|r| r.ghost_bytes).sum(),
+        inter_rack_ghost_bytes: reports.iter().map(|r| r.inter_rack_ghost_bytes).sum(),
         lb_history,
+        lb_plans,
         epoch_traces,
     }
 }
@@ -349,7 +398,6 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                     curr: RwLock::new(curr),
                     next: Mutex::new(Tile::new(sds.sd, halo)),
                 }),
-                repeats: cfg.work.repeats(&sds, sd, loc.speed()),
             },
         );
     }
@@ -359,7 +407,19 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
     let mut error_partials = Vec::with_capacity(cfg.n_steps);
     let mut in_migrations = 0usize;
     let mut lb_counts: Vec<Vec<usize>> = Vec::new();
+    let mut lb_plans: Vec<Vec<Move>> = Vec::new();
     let mut lb_traces: Vec<EpochTrace> = Vec::new();
+    // Planner-grade ghost-traffic counters (what this locality sends):
+    // per foreign patch the same `patch_wire_bytes` the simulator charges
+    // and the SdGraph weighs, so both substrates' counters agree under
+    // identical ownership sequences.
+    let mut ghost_bytes = 0u64;
+    let mut inter_rack_ghost_bytes = 0u64;
+    // Ghost-stall accounting: each step's worst ghost-arrival delay
+    // (wall time from task spawn to the case-1 continuation firing),
+    // accumulated per balancing window — the adaptive-μ feedback signal.
+    let step_ghost_wait = Arc::new(AtomicU64::new(0));
+    let mut window_ghost_ns = 0u64;
     let spawner = loc.spawner();
 
     // Locality 0 plans every epoch through one policy instance, kept
@@ -434,6 +494,11 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                     continue;
                 }
                 let patch = &setup.plans[dst_sd as usize].patches[pidx as usize];
+                let wire = patch_wire_bytes(patch.dst_rect.area());
+                ghost_bytes += wire;
+                if lb_net.comm.link_class(me, dst_owner) == LinkClass::InterRack {
+                    inter_rack_ghost_bytes += wire;
+                }
                 let payload = pack_tile_rect(&src_tile, &patch.src_rect);
                 loc.send(
                     dst_owner,
@@ -445,6 +510,8 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
 
         // --- 3. spawn compute tasks (case 2 immediately, case 1 gated) ---
         let t = step as f64 * dt;
+        let ghost_t0 = Instant::now();
+        let work_now = cfg.work_at(step);
         let mut step_futures: Vec<Future<()>> = Vec::new();
         for &sd in &owned {
             let unit = &states[&sd];
@@ -454,13 +521,16 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 .iter()
                 .map(|&(pidx, _)| loc.expect(tag(CLASS_GHOST, step as u64, sd as u64, pidx as u64)))
                 .collect();
+            // The work factor in effect *now* (the schedule may have
+            // switched models): emulated by kernel repetition, so the
+            // numerics stay bit-exact while the busy time shifts.
+            let repeats = work_now.repeats(&sds, sd, loc.speed());
             let make_task = |rects: Vec<Rect>| {
                 let cell = unit.cell.clone();
                 let kernel = kernel.clone();
                 let offsets = offsets.clone();
                 let source = source.clone();
                 let origin = unit.origin;
-                let repeats = unit.repeats;
                 move || {
                     let curr = cell.curr.read();
                     let mut next = cell.next.lock();
@@ -486,6 +556,9 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                     curr.unpack(&rect, &values);
                 }
             };
+            // Record the worst ghost-arrival delay of the step (wall time
+            // until the gated continuation fires) — the μ feedback signal.
+            let ghost_wait = step_ghost_wait.clone();
             if cfg.overlap {
                 // case 2 now, case 1 when the ghosts are in
                 if !info.split.case2.is_empty() {
@@ -494,6 +567,7 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 }
                 let case1_task = make_task(info.split.case1.clone());
                 step_futures.push(when_all(ghost_futs).then(&spawner, move |payloads| {
+                    ghost_wait.fetch_max(ghost_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     unpack(payloads);
                     case1_task();
                 }));
@@ -501,12 +575,14 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 // ablation: everything waits for the ghosts
                 let task = make_task(vec![Rect::new(0, 0, sds.sd, sds.sd)]);
                 step_futures.push(when_all(ghost_futs).then(&spawner, move |payloads| {
+                    ghost_wait.fetch_max(ghost_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     unpack(payloads);
                     task();
                 }));
             }
         }
         when_all(step_futures).get();
+        window_ghost_ns += step_ghost_wait.swap(0, Ordering::Relaxed);
 
         // --- 4. swap buffers ---
         for &sd in &owned {
@@ -554,30 +630,53 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
             loc.send(
                 0,
                 tag(CLASS_LBSTAT, epoch, me as u64, 0),
-                (busy, states.len() as u64, prev_stall_ns).to_bytes(),
+                (busy, states.len() as u64, prev_stall_ns, window_ghost_ns).to_bytes(),
             );
             let plan_fut = loc.expect(tag(CLASS_LBPLAN, epoch, me as u64, 0));
             if me == 0 {
                 let stat_futs: Vec<Future<Bytes>> = (0..setup.n_nodes)
                     .map(|n| loc.expect(tag(CLASS_LBSTAT, epoch, n as u64, 0)))
                     .collect();
-                let mut busy_vec = Vec::with_capacity(setup.n_nodes as usize);
+                let mut measured_busy = Vec::with_capacity(setup.n_nodes as usize);
                 let mut max_stall_ns = 0u64;
+                let mut max_ghost_ns = 0u64;
                 for fut in stat_futs {
-                    let (busy_ns, _count, stall_ns) =
-                        <(u64, u64, u64)>::from_bytes(fut.get()).expect("corrupt LB stat");
+                    let (busy_ns, _count, stall_ns, ghost_ns) =
+                        <(u64, u64, u64, u64)>::from_bytes(fut.get()).expect("corrupt LB stat");
                     // seconds, so relief is commensurable with the
                     // CommCost transfer estimates the planner weighs in
-                    busy_vec.push((busy_ns as f64 * 1e-9).max(1e-12));
+                    measured_busy.push((busy_ns as f64 * 1e-9).max(1e-12));
                     max_stall_ns = max_stall_ns.max(stall_ns);
+                    max_ghost_ns = max_ghost_ns.max(ghost_ns);
                 }
                 let policy = policy.as_mut().expect("locality 0 holds the policy");
-                // Controller update before planning: the previous epoch's
-                // measured stall (worst locality) over the previous
-                // window, so the nudged λ steers *this* epoch's plan.
-                if let Some(window) = prev_window_secs {
-                    policy.observe_stall((max_stall_ns as f64 * 1e-9) / window.max(1e-9));
+                if cfg.lb_input == LbInput::Measured {
+                    // Controller updates before planning: the previous
+                    // epoch's measured migration stall (worst locality)
+                    // over the previous window, and this window's worst
+                    // ghost stall, so the nudged λ/μ steer *this* epoch's
+                    // plan. Modeled planning disables runtime feedback —
+                    // determinism is the point of that mode.
+                    if let Some(window) = prev_window_secs {
+                        policy.observe_stall((max_stall_ns as f64 * 1e-9) / window.max(1e-9));
+                    }
+                    let window_now = window_t0.elapsed().as_secs_f64().max(1e-9);
+                    policy.observe_ghost_stall((max_ghost_ns as f64 * 1e-9) / window_now);
                 }
+                let busy_vec = match cfg.lb_input {
+                    LbInput::Measured => measured_busy,
+                    // Deterministic planner input derived from the
+                    // declared work model — byte-identical to what the
+                    // simulator computes for the same scenario.
+                    LbInput::Modeled => modeled_busy(
+                        &sds,
+                        &owners,
+                        setup.n_nodes,
+                        cfg.work_at(step),
+                        &setup.speeds,
+                        setup.sec_per_dp,
+                    ),
+                };
                 let ownership = Ownership::new(sds, owners.clone(), setup.n_nodes);
                 // The policy sees the same network the fabric was built
                 // with: locality 0 derives the LbNetwork cost estimate
@@ -592,6 +691,7 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                         &ownership,
                         &lb_net,
                     ));
+                    lb_plans.push(plan.moves.clone());
                 }
                 let wire: Vec<(u64, u32, u32)> = plan
                     .moves
@@ -635,7 +735,6 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                             curr: RwLock::new(curr),
                             next: Mutex::new(Tile::new(sds.sd, halo)),
                         }),
-                        repeats: cfg.work.repeats(&sds, sd, loc.speed()),
                     },
                 );
                 in_migrations += 1;
@@ -649,6 +748,8 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
             } else {
                 migrate_t0.elapsed().as_nanos() as u64
             };
+            // The ghost-stall window restarts with the busy window.
+            window_ghost_ns = 0;
             // Algorithm 1 line 35: reset the busy-time counters so the next
             // epoch measures a fresh interval.
             loc.busy_counter().reset();
@@ -682,7 +783,10 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
         error_partials,
         busy_ns: loc.busy_time_ns(),
         in_migrations,
+        ghost_bytes,
+        inter_rack_ghost_bytes,
         lb_counts,
+        lb_plans,
         lb_traces,
     }
 }
@@ -729,7 +833,7 @@ mod tests {
     fn strip_partition_same_numerics() {
         let cluster = ClusterBuilder::new().uniform(2, 1).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 4);
-        cfg.partition = PartitionMethod::Strip;
+        cfg.partition = PartitionSpec::Strip;
         let report = run_distributed(&cluster, &cfg);
         assert_eq!(report.field, serial_field(16, 2.0, 4));
     }
@@ -757,12 +861,12 @@ mod tests {
     fn load_balancing_epoch_preserves_numerics() {
         let cluster = ClusterBuilder::new().uniform(2, 1).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.lb = Some(LbConfig::every(2));
+        cfg.lb = Some(LbSchedule::every(2));
         // start from a deliberately imbalanced explicit assignment:
         // node 0 owns everything except one SD
         let mut owners = vec![0u32; 16];
         owners[15] = 1;
-        cfg.partition = PartitionMethod::Explicit(owners);
+        cfg.partition = PartitionSpec::Explicit(owners);
         let report = run_distributed(&cluster, &cfg);
         assert_eq!(report.field, serial_field(16, 2.0, 6));
         assert!(report.migrations > 0, "imbalanced start must migrate");
@@ -786,7 +890,7 @@ mod tests {
         for _ in 0..3 {
             let cluster = ClusterBuilder::new().node(1, 1.0).node(1, 0.25).build();
             let mut cfg = DistConfig::new(16, 2.0, 4, 8);
-            cfg.lb = Some(LbConfig::every(2));
+            cfg.lb = Some(LbSchedule::every(2));
             let report = run_distributed(&cluster, &cfg);
             assert_eq!(report.field, serial_field(16, 2.0, 8));
             counts = report.final_ownership.counts();
@@ -806,7 +910,7 @@ mod tests {
         // epoch would deadlock the other localities.
         let cluster = ClusterBuilder::new().uniform(2, 1).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 4);
-        cfg.lb = Some(LbConfig {
+        cfg.lb = Some(LbSchedule {
             period: 2,
             spec: LbSpec::Tree {
                 lambda: -1.0,
@@ -818,30 +922,37 @@ mod tests {
 
     #[test]
     fn diffusion_policy_preserves_numerics_and_migrates() {
-        let cluster = ClusterBuilder::new().uniform(2, 1).build();
-        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::diffusion(1.0, 8)));
-        let mut owners = vec![0u32; 16];
-        owners[15] = 1;
-        cfg.partition = PartitionMethod::Explicit(owners);
-        let report = run_distributed(&cluster, &cfg);
-        assert_eq!(report.field, serial_field(16, 2.0, 6));
-        assert!(report.migrations > 0, "15/1 start must diffuse");
-        let counts = report.final_ownership.counts();
-        assert!(
-            counts.iter().all(|&c| (4..=12).contains(&c)),
-            "final counts {counts:?}"
-        );
+        // Numerics and migration must hold every time; the final-counts
+        // range rests on *measured* busy times, which scheduling noise on
+        // an oversubscribed test runner can skew (same caveat and retry
+        // pattern as `heterogeneous_cluster_balances_toward_fast_node`).
+        let mut counts = Vec::new();
+        for _ in 0..3 {
+            let cluster = ClusterBuilder::new().uniform(2, 1).build();
+            let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+            cfg.lb = Some(LbSchedule::every(2).with_spec(LbSpec::diffusion(1.0, 8)));
+            let mut owners = vec![0u32; 16];
+            owners[15] = 1;
+            cfg.partition = PartitionSpec::Explicit(owners);
+            let report = run_distributed(&cluster, &cfg);
+            assert_eq!(report.field, serial_field(16, 2.0, 6));
+            assert!(report.migrations > 0, "15/1 start must diffuse");
+            counts = report.final_ownership.counts();
+            if counts.iter().all(|&c| (4..=12).contains(&c)) {
+                return;
+            }
+        }
+        panic!("diffusion should settle the 15/1 split in at least one of 3 runs: {counts:?}");
     }
 
     #[test]
     fn greedy_steal_policy_preserves_numerics_and_migrates() {
         let cluster = ClusterBuilder::new().uniform(2, 1).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::greedy_steal(1)));
+        cfg.lb = Some(LbSchedule::every(2).with_spec(LbSpec::greedy_steal(1)));
         let mut owners = vec![0u32; 16];
         owners[15] = 1;
-        cfg.partition = PartitionMethod::Explicit(owners);
+        cfg.partition = PartitionSpec::Explicit(owners);
         let report = run_distributed(&cluster, &cfg);
         assert_eq!(report.field, serial_field(16, 2.0, 6));
         assert!(report.migrations > 0, "15/1 start must shed work");
@@ -851,10 +962,10 @@ mod tests {
     fn adaptive_policy_preserves_numerics() {
         let cluster = ClusterBuilder::new().uniform(2, 1).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::adaptive(LbSpec::tree(0.0), 0.2)));
+        cfg.lb = Some(LbSchedule::every(2).with_spec(LbSpec::adaptive(LbSpec::tree(0.0), 0.2)));
         let mut owners = vec![0u32; 16];
         owners[15] = 1;
-        cfg.partition = PartitionMethod::Explicit(owners);
+        cfg.partition = PartitionSpec::Explicit(owners);
         let report = run_distributed(&cluster, &cfg);
         assert_eq!(report.field, serial_field(16, 2.0, 6));
     }
@@ -865,7 +976,7 @@ mod tests {
         // must stay empty instead of recording unchanged counts.
         let cluster = ClusterBuilder::new().uniform(1, 2).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.lb = Some(LbConfig::every(2));
+        cfg.lb = Some(LbSchedule::every(2));
         let report = run_distributed(&cluster, &cfg);
         assert_eq!(report.field, serial_field(16, 2.0, 6));
         assert_eq!(report.migrations, 0);
@@ -885,10 +996,10 @@ mod tests {
     fn epoch_traces_record_realized_epochs() {
         let cluster = ClusterBuilder::new().uniform(2, 1).build();
         let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.lb = Some(LbConfig::every(2));
+        cfg.lb = Some(LbSchedule::every(2));
         let mut owners = vec![0u32; 16];
         owners[15] = 1;
-        cfg.partition = PartitionMethod::Explicit(owners);
+        cfg.partition = PartitionSpec::Explicit(owners);
         let report = run_distributed(&cluster, &cfg);
         assert!(report.migrations > 0);
         // one trace per realized epoch, aligned with lb_history
@@ -932,5 +1043,95 @@ mod tests {
         let cfg = DistConfig::new(16, 2.0, 4, 4);
         let report = run_distributed(&cluster, &cfg);
         assert_eq!(report.field, serial_field(16, 2.0, 4));
+    }
+
+    #[test]
+    fn work_schedule_runs_on_the_real_runtime_bit_exact() {
+        // The propagating crack on real hardware: the schedule switches
+        // the work model mid-run (kernel repetition emulates the factor),
+        // so the numerics must stay bit-exact while only timing shifts.
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+        cfg.work_schedule = vec![
+            (
+                0,
+                WorkModel::Crack {
+                    y_cell: 4,
+                    half_width: 2,
+                    factor: 2.0,
+                },
+            ),
+            (
+                3,
+                WorkModel::Crack {
+                    y_cell: 12,
+                    half_width: 2,
+                    factor: 2.0,
+                },
+            ),
+        ];
+        cfg.lb = Some(LbSchedule::every(2));
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, serial_field(16, 2.0, 6));
+        assert_eq!(cfg.work_at(0), &cfg.work_schedule[0].1);
+        assert_eq!(cfg.work_at(4), &cfg.work_schedule[1].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "PerSd work model has 3 factors")]
+    fn per_sd_length_mismatch_fails_before_the_run() {
+        // Satellite contract: the bad factor vector must fail on the
+        // caller's thread at configuration time, not by out-of-bounds
+        // indexing inside a driver mid-run.
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 4);
+        cfg.work = WorkModel::PerSd(vec![1.0, 1.0, 1.0]); // grid has 16 SDs
+        let _ = run_distributed(&cluster, &cfg);
+    }
+
+    #[test]
+    fn ghost_byte_counters_match_the_planner_grade_formula() {
+        // LB-free run on 2 nodes: every cross parcel is a ghost patch, so
+        // the planner-grade counter must equal patches x patch_wire_bytes,
+        // which is also what the simulator charges for this scenario.
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 3);
+        cfg.partition = PartitionSpec::Strip;
+        let report = run_distributed(&cluster, &cfg);
+        assert!(report.ghost_bytes > 0);
+        assert_eq!(report.migration_bytes, 0);
+        // rack-less model: no inter-rack share
+        assert_eq!(report.inter_rack_ghost_bytes, 0);
+        // the wire carries the same parcels plus an 8-byte codec length
+        // word each: planner-grade + 8 * messages == wire bytes
+        let msgs = cluster.net_stats().messages();
+        assert_eq!(
+            report.ghost_bytes + 8 * msgs,
+            cluster.net_stats().cross_bytes()
+        );
+    }
+
+    #[test]
+    fn modeled_lb_input_is_deterministic_and_preserves_numerics() {
+        // Parity mode: plans derive from the declared work model, so two
+        // runs produce identical plan sequences (wall clock never enters)
+        // and the numerics stay bit-exact.
+        let run = || {
+            let cluster = ClusterBuilder::new().uniform(2, 1).build();
+            let mut cfg = DistConfig::new(16, 2.0, 4, 6);
+            cfg.lb = Some(LbSchedule::every(2));
+            cfg.lb_input = LbInput::Modeled;
+            let mut owners = vec![0u32; 16];
+            owners[15] = 1;
+            cfg.partition = PartitionSpec::Explicit(owners);
+            run_distributed(&cluster, &cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.field, serial_field(16, 2.0, 6));
+        assert!(a.migrations > 0, "lopsided start must migrate");
+        assert_eq!(a.lb_plans, b.lb_plans, "modeled plans are deterministic");
+        assert_eq!(a.lb_history, b.lb_history);
+        assert_eq!(a.ghost_bytes, b.ghost_bytes);
     }
 }

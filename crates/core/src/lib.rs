@@ -21,13 +21,23 @@
 pub mod balance;
 pub mod dist;
 pub mod ownership;
+pub mod scenario;
 pub mod shared;
 pub mod workload;
+
+/// The named library scenarios (`scenario::library` under its working
+/// name): paper baseline, lopsided two-rack redistribution, propagating
+/// crack, heterogeneous cluster, incast duplex.
+pub use scenario::library as scenarios;
 
 pub use balance::{
     plan_rebalance, LbNetwork, LbPolicy, LbSchedule, LbSpec, LoadMetrics, MigrationPlan, Move,
 };
-pub use dist::{DistConfig, DistReport, LbConfig, PartitionMethod};
+pub use dist::{run_distributed, DistConfig, DistReport};
 pub use ownership::Ownership;
+pub use scenario::{
+    ClusterSpec, DistSubstrate, LbInput, PartitionSpec, RunExtras, RunReport, Scenario, Substrate,
+    VirtualNode,
+};
 pub use shared::{SharedConfig, SharedReport, SharedSolver};
 pub use workload::WorkModel;

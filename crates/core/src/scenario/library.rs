@@ -1,0 +1,228 @@
+//! Named, parameterized library scenarios — the workloads the ablations,
+//! examples and CI smoke runs share instead of hand-building configs.
+//!
+//! Every entry comes in two sizes: `quick = true` is a toy size that runs
+//! on *both* substrates in well under a second (the CI smoke contract);
+//! `quick = false` is the paper-scale simulator workload the ablation
+//! figures sweep.
+
+use super::{ClusterSpec, PartitionSpec, Scenario};
+use crate::balance::{LbSchedule, LbSpec};
+use crate::workload::WorkModel;
+use nlheat_mesh::SdGrid;
+use nlheat_netmodel::{LinkSpec, NetSpec, TopologySpec};
+
+/// The canonical two-rack interconnect of ablations A6–A9: 100 µs /
+/// 100 MB/s inside a rack, 4× the latency and a quarter of the bandwidth
+/// across racks, near-free intra-node links.
+pub fn two_rack_net() -> NetSpec {
+    NetSpec::Topology(TopologySpec {
+        nodes_per_rack: 2,
+        intra_node: LinkSpec::new(1e-7, 5e9),
+        intra_rack: LinkSpec::new(1e-4, 1e8),
+        inter_rack: LinkSpec::new(4e-4, 2.5e7),
+    })
+}
+
+/// A Fig.-14-style lopsided explicit start over `n_nodes`: node 0 owns
+/// everything except one far-corner seed SD per other node, so every
+/// territory is non-empty (all policies can find frontiers) and the
+/// balancer must redistribute most of the mesh.
+///
+/// # Panics
+/// Panics when `n_nodes` exceeds the five supported seeds (node 0 plus
+/// four corners) or the grid is too small for the seeds to be distinct —
+/// a silent collision would leave a territory empty, breaking the
+/// non-empty guarantee above.
+pub fn lopsided_owners(sds: &SdGrid, n_nodes: u32) -> Vec<u32> {
+    let mut owners = vec![0u32; sds.count()];
+    let (nsx, nsy) = (sds.nsx, sds.nsy);
+    let corners = [
+        (nsx - 1, 0),
+        (0, nsy - 1),
+        (nsx - 1, nsy - 1),
+        (nsx / 2, nsy - 1),
+    ];
+    assert!(
+        (n_nodes as usize) <= corners.len() + 1,
+        "lopsided_owners seeds at most {} nodes, got {n_nodes}",
+        corners.len() + 1
+    );
+    let mut seeded = std::collections::HashSet::new();
+    for node in 1..n_nodes {
+        let (x, y) = corners[node as usize - 1];
+        let id = sds.id(x, y) as usize;
+        assert!(
+            id != 0 && seeded.insert(id),
+            "grid of {nsx}x{nsy} SDs is too small for {n_nodes} distinct corner seeds"
+        );
+        owners[id] = node;
+    }
+    owners
+}
+
+/// The paper's baseline distributed experiment: uniform 4-node cluster,
+/// METIS-style initial partition, Algorithm-1 balancing.
+pub fn paper_baseline(quick: bool) -> Scenario {
+    let base = if quick {
+        Scenario::square(16, 2.0, 4, 6)
+    } else {
+        Scenario::square(400, 8.0, 25, 40)
+    };
+    base.on(ClusterSpec::uniform(4, 1))
+        .with_lb(LbSchedule::every(if quick { 2 } else { 4 }))
+}
+
+/// The 2-rack lopsided redistribution of ablation A9: a Fig.-14 start on
+/// equal-speed nodes over the two-rack interconnect, balanced by the
+/// ghost-aware tree planner (μ in the shaping band), so *where* the
+/// cross-rack territories grow is the experiment.
+pub fn lopsided_two_rack(quick: bool) -> Scenario {
+    let base = if quick {
+        Scenario::square(16, 2.0, 4, 6)
+    } else {
+        Scenario::square(400, 8.0, 25, 48)
+    };
+    let sds = base.sd_grid();
+    // μ shapes plans at paper scale; at toy scale every busy relief is
+    // microseconds against ~100 µs link estimates, so any practical μ
+    // would gate the whole redistribution (the A9 smoke-scale caveat) —
+    // the quick variant plans ghost-blind so the redistribution happens.
+    let mu = if quick { 0.0 } else { 0.25 };
+    base.on(ClusterSpec::uniform(4, 1))
+        .with_net(two_rack_net())
+        .with_partition(PartitionSpec::Explicit(lopsided_owners(&sds, 4)))
+        .with_lb(
+            LbSchedule::every(if quick { 2 } else { 4 }).with_spec(LbSpec::tree(0.0).with_mu(mu)),
+        )
+}
+
+/// A *propagating* crack (the paper's §9 outlook toward fracture): the
+/// quarter-work band jumps mid-run, so the balancer must keep chasing the
+/// cheap region. Runs on both substrates — the real runtime executes the
+/// same `work_schedule` the simulator models.
+pub fn propagating_crack(quick: bool) -> Scenario {
+    let (base, y0, dy, half_width, jump_step) = if quick {
+        (Scenario::square(16, 2.0, 4, 8), 4i64, 8i64, 2i64, 4usize)
+    } else {
+        (Scenario::square(400, 8.0, 25, 32), 200, 100, 30, 16)
+    };
+    base.on(ClusterSpec::uniform(4, 1))
+        .with_partition(PartitionSpec::Strip)
+        .with_work_schedule(vec![
+            (
+                0,
+                WorkModel::Crack {
+                    y_cell: y0,
+                    half_width,
+                    factor: 0.25,
+                },
+            ),
+            (
+                jump_step,
+                WorkModel::Crack {
+                    y_cell: y0 + dy,
+                    half_width,
+                    factor: 0.25,
+                },
+            ),
+        ])
+        .with_lb(LbSchedule::every(if quick { 2 } else { 4 }))
+}
+
+/// The heterogeneous cluster of ablation A4 / the example: speeds
+/// 2 : 1 : 1 : 0.5, so without balancing the slow node drags every step.
+pub fn heterogeneous_cluster(quick: bool) -> Scenario {
+    // The quick size keeps 8-cell SDs and a wider stencil so per-SD
+    // compute dominates the (speed-independent) spawn overhead in the
+    // simulator's cost model — otherwise the virtual busy times barely
+    // differentiate and the toy run never migrates.
+    let base = if quick {
+        Scenario::square(32, 4.0, 8, 8)
+    } else {
+        Scenario::square(400, 8.0, 25, 40)
+    };
+    base.on(ClusterSpec::speeds(&[2.0, 1.0, 1.0, 0.5]))
+        .with_lb(LbSchedule::every(if quick { 2 } else { 4 }))
+}
+
+/// Incast over the duplex model: a strip distribution on a
+/// receiver-ingress-serialized network ([`NetSpec::duplex`]), the only
+/// model where many senders converging on one receiver queue at its NIC.
+pub fn incast_duplex(quick: bool) -> Scenario {
+    let base = if quick {
+        Scenario::square(16, 2.0, 4, 4)
+    } else {
+        Scenario::square(400, 8.0, 25, 20)
+    };
+    base.on(ClusterSpec::uniform(4, 1))
+        .with_partition(PartitionSpec::Strip)
+        .with_net(NetSpec::duplex(1e-4, 1e8))
+}
+
+/// Every named library scenario at the chosen scale, in a stable order.
+pub fn all(quick: bool) -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("paper-baseline", paper_baseline(quick)),
+        ("lopsided-two-rack", lopsided_two_rack(quick)),
+        ("propagating-crack", propagating_crack(quick)),
+        ("heterogeneous-cluster", heterogeneous_cluster(quick)),
+        ("incast-duplex", incast_duplex(quick)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_library_scenario_validates_at_both_scales() {
+        for quick in [true, false] {
+            for (name, sc) in all(quick) {
+                sc.validate();
+                assert!(sc.cluster.len() >= 2, "{name}: multi-node by design");
+            }
+        }
+    }
+
+    #[test]
+    fn quick_scenarios_run_on_the_real_runtime() {
+        // the CI smoke contract at unit scope: the real-runtime leg of
+        // every library scenario completes at toy size with a sane report
+        for (name, sc) in all(true) {
+            let report = sc.run_dist();
+            report.check_invariants();
+            assert!(report.field.is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn lopsided_owners_leave_no_empty_territory() {
+        let sds = SdGrid::new(4, 4, 4);
+        for n_nodes in 2..=5u32 {
+            let owners = lopsided_owners(&sds, n_nodes);
+            for node in 0..n_nodes {
+                assert!(owners.contains(&node), "node {node} must own a seed");
+            }
+            assert_eq!(
+                owners.iter().filter(|&&o| o == 0).count(),
+                16 - (n_nodes as usize - 1)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seeds at most 5 nodes")]
+    fn lopsided_owners_reject_too_many_nodes() {
+        let sds = SdGrid::new(4, 4, 4);
+        let _ = lopsided_owners(&sds, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn lopsided_owners_reject_colliding_seeds() {
+        // a 2x1 grid cannot host four distinct corner seeds
+        let sds = SdGrid::new(2, 1, 4);
+        let _ = lopsided_owners(&sds, 4);
+    }
+}

@@ -1,0 +1,847 @@
+//! The declarative experiment surface: one [`Scenario`] drives both
+//! execution substrates.
+//!
+//! The paper's whole argument rests on running the *same* experiment on
+//! the real AMT runtime and on the discrete-event simulator. Before this
+//! module the two substrates were configured through diverging structs
+//! (`DistConfig` vs `SimConfig`, two partition enums, simulator-only
+//! `work_schedule`) and compared through two report shapes, so every
+//! ablation and test hand-built two configs. A [`Scenario`] declares the
+//! experiment once — problem, decomposition, cluster shape, network,
+//! initial partition, workload (possibly time-varying), overlap mode and
+//! load-balancing schedule — and is *executed* through the [`Substrate`]
+//! abstraction: [`Scenario::run_dist`] on the real runtime, and
+//! `Scenario::run_sim` (provided by `nlheat-sim`) on the simulator. Both
+//! return the same [`RunReport`], with substrate-specific measurements
+//! nested in [`RunExtras`] instead of forked into parallel types.
+//!
+//! `DistConfig` and `SimConfig` remain as the low-level per-substrate
+//! execution configs a scenario compiles into (`Scenario::dist_config`,
+//! `SimConfig::from(&scenario)`) — the compatibility layer — but
+//! everything above them (ablations, examples, integration tests, the
+//! scenario [`library`]) describes experiments declaratively.
+//!
+//! Declarative scenario/phase descriptions are what let one harness sweep
+//! many workloads across heterogeneous backends (cf. Lifflander et al.,
+//! arXiv:2404.16793, and the adaptive work-stealing evaluation of
+//! arXiv:2401.04494).
+
+pub mod library;
+
+use crate::balance::{EpochTrace, LbSchedule, Move};
+use crate::dist::{run_distributed, DistConfig, DistReport};
+use crate::ownership::Ownership;
+use crate::workload::WorkModel;
+use nlheat_amt::cluster::{Cluster, ClusterBuilder};
+use nlheat_mesh::{Grid, SdGrid, Stencil};
+use nlheat_model::{ErrorAccumulator, ProblemSpec};
+use nlheat_netmodel::NetSpec;
+use nlheat_partition::{part_mesh_dual, strip_partition};
+use std::time::Duration;
+
+/// The declared shape of one cluster node: `cores` workers at relative
+/// `speed`. The simulator realizes it as a virtual node; the real runtime
+/// as a locality with `cores` worker threads and the same speed factor —
+/// [`ClusterSpec`] is the one source of truth both substrates consume.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualNode {
+    /// Worker cores.
+    pub cores: usize,
+    /// Relative speed (1.0 = nominal).
+    pub speed: f64,
+}
+
+impl VirtualNode {
+    /// `n` nominal-speed cores.
+    pub fn with_cores(cores: usize) -> Self {
+        VirtualNode { cores, speed: 1.0 }
+    }
+}
+
+/// The declared cluster: how many nodes, how many cores each, and their
+/// relative speed factors. Rack structure is declared by the scenario's
+/// [`NetSpec`] (a `Topology` spec assigns nodes to racks), so one
+/// `ClusterSpec` + `NetSpec` pair fully describes the machine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterSpec {
+    /// Per-node shapes, in node-id order.
+    pub nodes: Vec<VirtualNode>,
+}
+
+impl ClusterSpec {
+    /// An empty spec to chain [`ClusterSpec::node`] onto.
+    pub fn new() -> Self {
+        ClusterSpec::default()
+    }
+
+    /// `n` identical nominal-speed nodes of `cores` cores each.
+    pub fn uniform(n: usize, cores: usize) -> Self {
+        ClusterSpec {
+            nodes: vec![VirtualNode::with_cores(cores); n],
+        }
+    }
+
+    /// Single-core nodes with the given relative speeds.
+    pub fn speeds(speeds: &[f64]) -> Self {
+        ClusterSpec {
+            nodes: speeds
+                .iter()
+                .map(|&speed| VirtualNode { cores: 1, speed })
+                .collect(),
+        }
+    }
+
+    /// Append one node (chainable).
+    pub fn node(mut self, cores: usize, speed: f64) -> Self {
+        self.nodes.push(VirtualNode { cores, speed });
+        self
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes are declared.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The per-node speed factors, in node-id order.
+    pub fn speed_factors(&self) -> Vec<f64> {
+        self.nodes.iter().map(|n| n.speed).collect()
+    }
+
+    /// A [`ClusterBuilder`] realizing this spec over the given network
+    /// model — the real-runtime leg of the cluster seam.
+    pub fn builder(&self, net: NetSpec) -> ClusterBuilder {
+        let mut b = ClusterBuilder::new().net(net);
+        for n in &self.nodes {
+            b = b.node(n.cores, n.speed);
+        }
+        b
+    }
+
+    /// Reject a degenerate cluster at configuration time.
+    ///
+    /// # Panics
+    /// Panics on an empty spec, a zero-core node, or a non-finite or
+    /// non-positive speed factor.
+    pub fn validate(&self) {
+        assert!(!self.nodes.is_empty(), "cluster needs at least one node");
+        for (i, n) in self.nodes.iter().enumerate() {
+            assert!(n.cores >= 1, "node {i} needs at least one core");
+            assert!(
+                n.speed.is_finite() && n.speed > 0.0,
+                "node {i} speed must be finite and positive, got {}",
+                n.speed
+            );
+        }
+    }
+}
+
+/// How the initial SD → node distribution is produced — the one partition
+/// selection both substrates consume (it merges the former
+/// `PartitionMethod` and `SimPartition` enums).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionSpec {
+    /// The multilevel dual-mesh partitioner (the paper's METIS path).
+    Metis { seed: u64 },
+    /// Row-major strips (naive baseline, ablation A1).
+    Strip,
+    /// An explicit assignment (used by Fig.-14-style experiments to start
+    /// from a deliberately imbalanced state).
+    Explicit(Vec<u32>),
+}
+
+impl PartitionSpec {
+    /// Realize the initial owners over `sds` for `n_nodes` — the single
+    /// implementation both substrates call, so they can never diverge on
+    /// what an initial distribution means.
+    ///
+    /// # Panics
+    /// Panics when an explicit assignment's length does not match the SD
+    /// grid or names a node outside the cluster.
+    pub fn initial_owners(&self, sds: &SdGrid, n_nodes: u32) -> Vec<u32> {
+        match self {
+            PartitionSpec::Metis { seed } => part_mesh_dual(sds, n_nodes, *seed).parts,
+            PartitionSpec::Strip => strip_partition(sds, n_nodes),
+            PartitionSpec::Explicit(owners) => {
+                assert_eq!(owners.len(), sds.count(), "explicit ownership length");
+                assert!(
+                    owners.iter().all(|&o| o < n_nodes),
+                    "explicit ownership names a node outside the cluster"
+                );
+                owners.clone()
+            }
+        }
+    }
+}
+
+/// What the load-balancing policies plan from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LbInput {
+    /// Measured busy times — wall-clock counters on the real runtime,
+    /// virtual-time windows in the simulator — plus the substrate's
+    /// stall/ghost-stall feedback to adaptive policies. The paper's mode.
+    #[default]
+    Measured,
+    /// Deterministic busy times derived from the declared [`WorkModel`]
+    /// and speed factors ([`modeled_busy`]), with runtime feedback
+    /// disabled. Both substrates then see byte-identical planner inputs,
+    /// so one scenario yields *identical* migration-plan sequences on the
+    /// simulator and the real runtime — the cross-substrate parity mode.
+    Modeled,
+}
+
+/// The nominal per-DP compute cost used by modeled planning inputs and by
+/// the simulator's calibrated [`CostModel`](../../nlheat_sim/struct.CostModel.html):
+/// roughly 2 ns per neighbour interaction.
+pub fn nominal_sec_per_dp(stencil_points: usize) -> f64 {
+    stencil_points.max(1) as f64 * 2e-9
+}
+
+/// Deterministic per-node busy seconds derived from the declared work
+/// model: each owned SD contributes `cells · factor / speed · sec_per_dp`.
+/// Shared by both substrates under [`LbInput::Modeled`], so their planner
+/// inputs are byte-identical by construction.
+pub fn modeled_busy(
+    sds: &SdGrid,
+    owners: &[u32],
+    n_nodes: u32,
+    work: &WorkModel,
+    speeds: &[f64],
+    sec_per_dp: f64,
+) -> Vec<f64> {
+    let mut busy = vec![0.0f64; n_nodes as usize];
+    let cells = sds.cells_per_sd() as f64;
+    for sd in sds.ids() {
+        let node = owners[sd as usize] as usize;
+        busy[node] += cells * work.factor(sds, sd) * sec_per_dp / speeds[node];
+    }
+    for b in &mut busy {
+        *b = b.max(1e-12);
+    }
+    busy
+}
+
+/// One declarative experiment, runnable on either substrate.
+///
+/// Build with [`Scenario::square`] and the chainable `with_*` methods;
+/// execute with [`Scenario::run_dist`] (real runtime) or `run_sim`
+/// (simulator, provided by `nlheat-sim`); compare the unified
+/// [`RunReport`]s.
+///
+/// ```
+/// use nlheat_core::scenario::{ClusterSpec, Scenario};
+/// use nlheat_core::balance::LbSchedule;
+///
+/// let report = Scenario::square(16, 2.0, 4, 5)
+///     .on(ClusterSpec::uniform(2, 1))
+///     .with_lb(LbSchedule::every(2))
+///     .run_dist();
+/// assert!(!report.busy.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The physical problem (manufactured source and initial condition).
+    pub problem: ProblemSpec,
+    /// Decomposition: SD side length in cells.
+    pub sd_size: usize,
+    /// Timesteps.
+    pub steps: usize,
+    /// The declared cluster (node count, cores, speed factors).
+    pub cluster: ClusterSpec,
+    /// Network cost model — drives the real fabric's delivery delays and
+    /// the simulator's virtual time identically, and declares the rack
+    /// structure cost-aware balancing prices.
+    pub net: NetSpec,
+    /// Initial SD distribution.
+    pub partition: PartitionSpec,
+    /// Per-SD work factors (crack scenario etc.).
+    pub work: WorkModel,
+    /// Time-varying workload: `(from_step, model)` switch points, sorted
+    /// by step. At step `s` the last entry with `from_step ≤ s` overrides
+    /// `work` — a *propagating* crack. Runs on both substrates.
+    pub work_schedule: Vec<(usize, WorkModel)>,
+    /// Case-1/case-2 overlap (§6.3); `false` waits for all ghosts before
+    /// computing anything (ablation A2).
+    pub overlap: bool,
+    /// Optional load balancing (one schedule, both substrates).
+    pub lb: Option<LbSchedule>,
+    /// Record the eq.-7 error every step (real runtime only; the
+    /// simulator carries no field).
+    pub record_error: bool,
+    /// What the balancing policies plan from (measured or modeled busy).
+    pub lb_input: LbInput,
+}
+
+impl Scenario {
+    /// A square `n`×`n` mesh with horizon `eps_mult`·h, `sd_size`-cell
+    /// SDs, `steps` timesteps, on one nominal single-core node over the
+    /// default cluster interconnect ([`NetSpec::cluster`]). Chain `with_*`
+    /// builders to declare the rest.
+    pub fn square(n: usize, eps_mult: f64, sd_size: usize, steps: usize) -> Self {
+        Scenario {
+            problem: ProblemSpec::square(n, eps_mult),
+            sd_size,
+            steps,
+            cluster: ClusterSpec::uniform(1, 1),
+            net: NetSpec::cluster(),
+            partition: PartitionSpec::Metis { seed: 1 },
+            work: WorkModel::Uniform,
+            work_schedule: Vec::new(),
+            overlap: true,
+            lb: None,
+            record_error: false,
+            lb_input: LbInput::Measured,
+        }
+    }
+
+    /// Declare the cluster.
+    pub fn on(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Declare the network model.
+    pub fn with_net(mut self, net: NetSpec) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Declare the initial partition.
+    pub fn with_partition(mut self, partition: PartitionSpec) -> Self {
+        self.partition = partition;
+        self
+    }
+
+    /// Declare the (static) workload.
+    pub fn with_work(mut self, work: WorkModel) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Declare a time-varying workload (switch points sorted by step).
+    pub fn with_work_schedule(mut self, schedule: Vec<(usize, WorkModel)>) -> Self {
+        self.work_schedule = schedule;
+        self
+    }
+
+    /// Toggle case-1/case-2 overlap.
+    pub fn with_overlap(mut self, overlap: bool) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Schedule load balancing.
+    pub fn with_lb(mut self, lb: LbSchedule) -> Self {
+        self.lb = Some(lb);
+        self
+    }
+
+    /// Disable load balancing (the off leg of an LB on/off comparison —
+    /// library scenarios ship with their schedule set).
+    pub fn without_lb(mut self) -> Self {
+        self.lb = None;
+        self
+    }
+
+    /// Record the eq.-7 error every step (real runtime).
+    pub fn with_record_error(mut self, record: bool) -> Self {
+        self.record_error = record;
+        self
+    }
+
+    /// Select what the balancer plans from.
+    pub fn with_lb_input(mut self, input: LbInput) -> Self {
+        self.lb_input = input;
+        self
+    }
+
+    /// The workload in effect at `step`.
+    pub fn work_at(&self, step: usize) -> &WorkModel {
+        work_at(&self.work, &self.work_schedule, step)
+    }
+
+    /// The SD grid this scenario decomposes into.
+    pub fn sd_grid(&self) -> SdGrid {
+        SdGrid::tile_mesh(self.problem.n, self.problem.n, self.sd_size)
+    }
+
+    /// The nominal per-DP seconds of this scenario's stencil — the scale
+    /// [`modeled_busy`] and the simulator's calibrated cost model share.
+    pub fn sec_per_dp(&self) -> f64 {
+        let grid = Grid::square(self.problem.n, self.problem.eps_mult);
+        nominal_sec_per_dp(Stencil::build(grid.h, grid.eps).len())
+    }
+
+    /// Reject an internally inconsistent scenario at configuration time,
+    /// on the caller's thread — before any driver thread could panic
+    /// mid-run and deadlock a cluster.
+    ///
+    /// # Panics
+    /// Panics on: a mesh that does not tile into `sd_size` SDs; zero
+    /// steps; a degenerate cluster ([`ClusterSpec::validate`]); an invalid
+    /// network spec; an explicit partition of the wrong length; an invalid
+    /// work model ([`WorkModel::validate`]) in `work` or any schedule
+    /// entry; an unsorted `work_schedule`; or an invalid LB schedule.
+    pub fn validate(&self) {
+        assert!(self.steps >= 1, "scenario needs at least one timestep");
+        assert!(
+            self.sd_size >= 1 && self.problem.n.is_multiple_of(self.sd_size),
+            "mesh of {} cells does not tile into {}-cell SDs",
+            self.problem.n,
+            self.sd_size
+        );
+        self.cluster.validate();
+        self.net.validate();
+        let sds = self.sd_grid();
+        if let PartitionSpec::Explicit(owners) = &self.partition {
+            assert_eq!(owners.len(), sds.count(), "explicit ownership length");
+            assert!(
+                owners.iter().all(|&o| (o as usize) < self.cluster.len()),
+                "explicit ownership names a node outside the cluster"
+            );
+        }
+        self.work.validate(&sds);
+        let mut prev = 0usize;
+        for (i, (from, model)) in self.work_schedule.iter().enumerate() {
+            assert!(
+                i == 0 || *from >= prev,
+                "work_schedule must be sorted by step"
+            );
+            prev = *from;
+            model.validate(&sds);
+        }
+        if let Some(lb) = &self.lb {
+            lb.validate();
+        }
+    }
+
+    /// Compile into the real runtime's low-level execution config (the
+    /// compatibility layer).
+    pub fn dist_config(&self) -> DistConfig {
+        DistConfig {
+            spec: self.problem,
+            sd_size: self.sd_size,
+            n_steps: self.steps,
+            partition: self.partition.clone(),
+            overlap: self.overlap,
+            lb: self.lb.clone(),
+            record_error: self.record_error,
+            work: self.work.clone(),
+            work_schedule: self.work_schedule.clone(),
+            net: self.net,
+            lb_input: self.lb_input,
+        }
+    }
+
+    /// Build the real cluster this scenario declares (localities with the
+    /// declared cores and speed factors over the declared network model).
+    pub fn build_cluster(&self) -> Cluster {
+        self.cluster.builder(self.net).build()
+    }
+
+    /// Execute on the real AMT runtime.
+    ///
+    /// # Panics
+    /// Panics on an invalid scenario — see [`Scenario::validate`].
+    pub fn run_dist(&self) -> RunReport {
+        DistSubstrate.run(self)
+    }
+
+    /// Execute on a substrate chosen at runtime.
+    pub fn run_on(&self, substrate: &dyn Substrate) -> RunReport {
+        substrate.run(self)
+    }
+}
+
+/// The workload in effect at `step` under a base model + switch schedule —
+/// shared by [`Scenario`], `DistConfig` and `SimConfig` so the substrates
+/// cannot disagree on what a schedule means.
+pub fn work_at<'a>(
+    base: &'a WorkModel,
+    schedule: &'a [(usize, WorkModel)],
+    step: usize,
+) -> &'a WorkModel {
+    schedule
+        .iter()
+        .rev()
+        .find(|&&(from, _)| from <= step)
+        .map(|(_, m)| m)
+        .unwrap_or(base)
+}
+
+/// An execution substrate: anything that can realize a [`Scenario`] and
+/// measure it into a [`RunReport`]. `nlheat-core` ships the real runtime
+/// ([`DistSubstrate`]); `nlheat-sim` ships the discrete-event simulator.
+pub trait Substrate {
+    /// Short label for tables and report tagging.
+    fn name(&self) -> &'static str;
+
+    /// Execute the scenario.
+    fn run(&self, scenario: &Scenario) -> RunReport;
+}
+
+/// The real AMT runtime as a [`Substrate`].
+pub struct DistSubstrate;
+
+impl Substrate for DistSubstrate {
+    fn name(&self) -> &'static str {
+        "dist"
+    }
+
+    fn run(&self, scenario: &Scenario) -> RunReport {
+        scenario.validate();
+        let cluster = scenario.build_cluster();
+        let cfg = scenario.dist_config();
+        let report = run_distributed(&cluster, &cfg);
+        let stats = cluster.net_stats();
+        RunReport::from_dist(report, stats.messages(), stats.cross_bytes())
+    }
+}
+
+/// Substrate-specific measurements of a run — nested in the unified
+/// [`RunReport`] instead of forked into parallel report types.
+#[derive(Debug, Clone)]
+pub enum RunExtras {
+    /// Real-runtime extras.
+    Dist(DistExtras),
+    /// Simulator extras.
+    Sim(SimExtras),
+}
+
+/// What only the real runtime can measure.
+#[derive(Debug, Clone)]
+pub struct DistExtras {
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Per-locality busy nanoseconds (raw counter values).
+    pub busy_ns: Vec<u64>,
+    /// Messages the fabric actually carried (ghosts + LB protocol +
+    /// migrations).
+    pub wire_messages: u64,
+    /// Bytes that actually crossed localities on the wire (includes codec
+    /// framing and the LB protocol, unlike the planner-grade counters).
+    pub wire_cross_bytes: u64,
+}
+
+/// What only the simulator can measure.
+#[derive(Debug, Clone)]
+pub struct SimExtras {
+    /// Per-node busy fraction: busy / (cores · makespan).
+    pub busy_fraction: Vec<f64>,
+    /// Bytes crossing node boundaries in virtual time (ghosts +
+    /// migrations).
+    pub cross_bytes: u64,
+    /// Messages crossing node boundaries.
+    pub messages: u64,
+}
+
+/// The unified outcome of running one [`Scenario`] on either substrate.
+///
+/// The shared fields mean the same thing on both sides: `makespan` and
+/// `busy` are seconds (wall-clock on the real runtime, virtual time in
+/// the simulator); the ghost/migration byte counters are planner-grade
+/// wire estimates (`patch_wire_bytes`: payload + framing word) counted by
+/// the same formula on both substrates, so identical plans produce
+/// identical counters; `lb_history`/`lb_plans`/`epoch_traces` record one
+/// entry per *realized* balancing epoch.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Which substrate produced this report (`"dist"` or `"sim"`).
+    pub substrate: &'static str,
+    /// Seconds from step 0 to the last node finishing.
+    pub makespan: f64,
+    /// Per-node busy seconds.
+    pub busy: Vec<f64>,
+    /// Total SDs migrated by load balancing.
+    pub migrations: usize,
+    /// Planner-grade migration payload bytes (sum over realized epochs).
+    pub migration_bytes: u64,
+    /// The inter-rack share of `migration_bytes`.
+    pub inter_rack_migration_bytes: u64,
+    /// Planner-grade ghost-exchange bytes between nodes over the whole
+    /// run.
+    pub ghost_bytes: u64,
+    /// The inter-rack share of `ghost_bytes`.
+    pub inter_rack_ghost_bytes: u64,
+    /// Per-node SD counts after each realized balancing epoch.
+    pub lb_history: Vec<Vec<usize>>,
+    /// The realized migration plan of each epoch, in epoch order.
+    pub lb_plans: Vec<Vec<Move>>,
+    /// One [`EpochTrace`] per realized balancing epoch.
+    pub epoch_traces: Vec<EpochTrace>,
+    /// Final SD ownership.
+    pub final_ownership: Ownership,
+    /// Final interior field, row-major over the global mesh (real runtime
+    /// only; the simulator carries no numerics).
+    pub field: Option<Vec<f64>>,
+    /// Summed per-step errors when requested (real runtime only).
+    pub error: Option<ErrorAccumulator>,
+    /// Substrate-specific measurements.
+    pub extras: RunExtras,
+}
+
+impl RunReport {
+    /// Wrap a real-runtime report (with the fabric's wire statistics).
+    pub fn from_dist(report: DistReport, wire_messages: u64, wire_cross_bytes: u64) -> Self {
+        RunReport {
+            substrate: "dist",
+            makespan: report.elapsed.as_secs_f64(),
+            busy: report.busy_ns.iter().map(|&ns| ns as f64 * 1e-9).collect(),
+            migrations: report.migrations,
+            migration_bytes: report.migration_bytes,
+            inter_rack_migration_bytes: report.inter_rack_migration_bytes,
+            ghost_bytes: report.ghost_bytes,
+            inter_rack_ghost_bytes: report.inter_rack_ghost_bytes,
+            lb_history: report.lb_history,
+            lb_plans: report.lb_plans,
+            epoch_traces: report.epoch_traces,
+            final_ownership: report.final_ownership,
+            field: Some(report.field),
+            error: report.error,
+            extras: RunExtras::Dist(DistExtras {
+                elapsed: report.elapsed,
+                busy_ns: report.busy_ns,
+                wire_messages,
+                wire_cross_bytes,
+            }),
+        }
+    }
+
+    /// The real-runtime extras, if this report came from the real runtime.
+    pub fn dist_extras(&self) -> Option<&DistExtras> {
+        match &self.extras {
+            RunExtras::Dist(d) => Some(d),
+            RunExtras::Sim(_) => None,
+        }
+    }
+
+    /// The simulator extras, if this report came from the simulator.
+    pub fn sim_extras(&self) -> Option<&SimExtras> {
+        match &self.extras {
+            RunExtras::Sim(s) => Some(s),
+            RunExtras::Dist(_) => None,
+        }
+    }
+
+    /// Assert the cross-substrate report invariants — what the scenario
+    /// smoke suite checks for every library scenario on both substrates.
+    ///
+    /// # Panics
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        assert!(
+            !self.busy.is_empty(),
+            "{}: empty busy vector",
+            self.substrate
+        );
+        assert!(
+            self.busy.iter().all(|b| b.is_finite() && *b >= 0.0),
+            "{}: busy vector must be finite and non-negative: {:?}",
+            self.substrate,
+            self.busy
+        );
+        assert!(
+            self.makespan.is_finite() && self.makespan >= 0.0,
+            "{}: makespan {} must be finite",
+            self.substrate,
+            self.makespan
+        );
+        assert_eq!(
+            self.lb_history.len(),
+            self.epoch_traces.len(),
+            "{}: one history entry per realized epoch",
+            self.substrate
+        );
+        assert_eq!(
+            self.lb_history.len(),
+            self.lb_plans.len(),
+            "{}: one recorded plan per realized epoch",
+            self.substrate
+        );
+        assert_eq!(
+            self.migrations,
+            self.epoch_traces.iter().map(|t| t.moves).sum::<usize>(),
+            "{}: traces must cover every migration",
+            self.substrate
+        );
+        assert_eq!(
+            self.migrations,
+            self.lb_plans.iter().map(Vec::len).sum::<usize>(),
+            "{}: recorded plans must cover every migration",
+            self.substrate
+        );
+        assert_eq!(
+            self.migration_bytes,
+            self.epoch_traces
+                .iter()
+                .map(|t| t.migration_bytes)
+                .sum::<u64>(),
+            "{}: migration bytes must equal the trace sum",
+            self.substrate
+        );
+        assert!(
+            self.inter_rack_migration_bytes <= self.migration_bytes,
+            "{}: inter-rack migration share exceeds the total",
+            self.substrate
+        );
+        assert!(
+            self.inter_rack_ghost_bytes <= self.ghost_bytes,
+            "{}: inter-rack ghost share exceeds the total",
+            self.substrate
+        );
+        match &self.extras {
+            RunExtras::Sim(s) => {
+                assert_eq!(
+                    self.ghost_bytes + self.migration_bytes,
+                    s.cross_bytes,
+                    "sim: ghost + migration bytes must partition the cross traffic"
+                );
+            }
+            RunExtras::Dist(d) => {
+                // wire bytes carry codec framing and the LB protocol on
+                // top of the planner-grade counters
+                assert!(
+                    self.ghost_bytes + self.migration_bytes <= d.wire_cross_bytes,
+                    "dist: planner-grade bytes ({} + {}) exceed the wire ({})",
+                    self.ghost_bytes,
+                    self.migration_bytes,
+                    d.wire_cross_bytes
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::LbSpec;
+
+    #[test]
+    fn cluster_spec_builders() {
+        let u = ClusterSpec::uniform(3, 2);
+        assert_eq!(u.len(), 3);
+        assert!(u.nodes.iter().all(|n| n.cores == 2 && n.speed == 1.0));
+        let s = ClusterSpec::speeds(&[2.0, 1.0, 0.5]);
+        assert_eq!(s.speed_factors(), vec![2.0, 1.0, 0.5]);
+        let chained = ClusterSpec::new().node(1, 2.0).node(4, 1.0);
+        assert_eq!(chained.len(), 2);
+        assert_eq!(chained.nodes[1].cores, 4);
+        let cluster = chained.builder(NetSpec::Instant).build();
+        assert_eq!(cluster.len(), 2);
+        assert_eq!(cluster.locality(0).speed(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        ClusterSpec::new().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "speed must be finite and positive")]
+    fn bad_speed_rejected() {
+        ClusterSpec::new().node(1, 0.0).validate();
+    }
+
+    #[test]
+    fn partition_spec_realizes_all_variants() {
+        let sds = SdGrid::new(4, 4, 4);
+        let metis = PartitionSpec::Metis { seed: 1 }.initial_owners(&sds, 2);
+        let strip = PartitionSpec::Strip.initial_owners(&sds, 2);
+        assert_eq!(metis.len(), 16);
+        assert_eq!(strip.len(), 16);
+        let explicit = PartitionSpec::Explicit(vec![0; 16]).initial_owners(&sds, 2);
+        assert_eq!(explicit, vec![0; 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the cluster")]
+    fn explicit_partition_checks_node_range() {
+        let sds = SdGrid::new(2, 2, 4);
+        let _ = PartitionSpec::Explicit(vec![0, 0, 0, 7]).initial_owners(&sds, 2);
+    }
+
+    #[test]
+    fn scenario_defaults_and_builders() {
+        let sc = Scenario::square(16, 2.0, 4, 5)
+            .on(ClusterSpec::uniform(2, 1))
+            .with_net(NetSpec::Instant)
+            .with_partition(PartitionSpec::Strip)
+            .with_lb(LbSchedule::every(2).with_spec(LbSpec::greedy_steal(1)))
+            .with_overlap(false)
+            .with_record_error(true)
+            .with_lb_input(LbInput::Modeled);
+        sc.validate();
+        assert_eq!(sc.cluster.len(), 2);
+        assert!(!sc.overlap);
+        assert!(sc.record_error);
+        assert_eq!(sc.lb_input, LbInput::Modeled);
+        let cfg = sc.dist_config();
+        assert_eq!(cfg.n_steps, 5);
+        assert_eq!(cfg.partition, PartitionSpec::Strip);
+        assert_eq!(cfg.lb_input, LbInput::Modeled);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not tile")]
+    fn untileable_scenario_rejected() {
+        Scenario::square(16, 2.0, 5, 4).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "work_schedule must be sorted")]
+    fn unsorted_schedule_rejected() {
+        Scenario::square(16, 2.0, 4, 4)
+            .with_work_schedule(vec![(4, WorkModel::Uniform), (2, WorkModel::Uniform)])
+            .validate();
+    }
+
+    #[test]
+    fn work_at_follows_the_schedule() {
+        let sc = Scenario::square(16, 2.0, 4, 8).with_work_schedule(vec![
+            (
+                2,
+                WorkModel::Crack {
+                    y_cell: 8,
+                    half_width: 2,
+                    factor: 0.5,
+                },
+            ),
+            (5, WorkModel::Uniform),
+        ]);
+        assert_eq!(sc.work_at(0), &WorkModel::Uniform);
+        assert!(matches!(sc.work_at(3), WorkModel::Crack { .. }));
+        assert_eq!(sc.work_at(6), &WorkModel::Uniform);
+    }
+
+    #[test]
+    fn modeled_busy_is_deterministic_and_speed_scaled() {
+        let sds = SdGrid::new(4, 1, 4);
+        let owners = vec![0u32, 0, 1, 1];
+        let busy = modeled_busy(&sds, &owners, 2, &WorkModel::Uniform, &[2.0, 1.0], 1e-9);
+        // node 0 is twice as fast over the same two SDs
+        assert!((busy[1] / busy[0] - 2.0).abs() < 1e-12);
+        let again = modeled_busy(&sds, &owners, 2, &WorkModel::Uniform, &[2.0, 1.0], 1e-9);
+        assert_eq!(busy, again);
+    }
+
+    #[test]
+    fn scenario_runs_on_the_real_substrate() {
+        let report = Scenario::square(16, 2.0, 4, 3)
+            .on(ClusterSpec::uniform(2, 1))
+            .with_net(NetSpec::Instant)
+            .run_dist();
+        report.check_invariants();
+        assert_eq!(report.substrate, "dist");
+        assert_eq!(report.busy.len(), 2);
+        assert!(report.field.is_some());
+        assert!(report.ghost_bytes > 0, "two nodes must exchange ghosts");
+        let extras = report.dist_extras().expect("dist extras");
+        assert!(extras.wire_messages > 0);
+    }
+}

@@ -31,6 +31,41 @@ pub enum WorkModel {
 }
 
 impl WorkModel {
+    /// Reject a model that cannot price every SD of `sds` — at
+    /// configuration time, on the caller's thread, instead of panicking on
+    /// out-of-bounds indexing inside a driver mid-run (where it would
+    /// deadlock the rest of the cluster).
+    ///
+    /// # Panics
+    /// Panics when a [`WorkModel::PerSd`] factor vector does not match the
+    /// SD grid, or any factor is non-finite or negative.
+    pub fn validate(&self, sds: &SdGrid) {
+        match self {
+            WorkModel::Uniform => {}
+            WorkModel::Crack { factor, .. } => {
+                assert!(
+                    factor.is_finite() && *factor >= 0.0,
+                    "crack work factor must be finite and non-negative, got {factor}"
+                );
+            }
+            WorkModel::PerSd(factors) => {
+                assert_eq!(
+                    factors.len(),
+                    sds.count(),
+                    "PerSd work model has {} factors but the grid has {} SDs",
+                    factors.len(),
+                    sds.count()
+                );
+                for (sd, f) in factors.iter().enumerate() {
+                    assert!(
+                        f.is_finite() && *f >= 0.0,
+                        "PerSd factor for SD {sd} must be finite and non-negative, got {f}"
+                    );
+                }
+            }
+        }
+    }
+
     /// The work factor of `sd`.
     pub fn factor(&self, sds: &SdGrid, sd: SdId) -> f64 {
         match self {
@@ -103,6 +138,33 @@ mod tests {
         };
         assert_eq!(crack.factor(&sds, sds.id(0, 0)), 0.5);
         assert_eq!(crack.factor(&sds, sds.id(0, 1)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "PerSd work model has 3 factors but the grid has 2 SDs")]
+    fn per_sd_length_mismatch_rejected_at_configuration() {
+        let sds = SdGrid::new(2, 1, 4);
+        WorkModel::PerSd(vec![1.0, 2.0, 3.0]).validate(&sds);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and non-negative")]
+    fn per_sd_nan_factor_rejected() {
+        let sds = SdGrid::new(2, 1, 4);
+        WorkModel::PerSd(vec![1.0, f64::NAN]).validate(&sds);
+    }
+
+    #[test]
+    fn valid_models_pass_validation() {
+        let sds = SdGrid::new(2, 2, 4);
+        WorkModel::Uniform.validate(&sds);
+        WorkModel::PerSd(vec![1.0; 4]).validate(&sds);
+        WorkModel::Crack {
+            y_cell: 4,
+            half_width: 1,
+            factor: 0.25,
+        }
+        .validate(&sds);
     }
 
     #[test]

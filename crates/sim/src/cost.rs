@@ -16,10 +16,12 @@ pub struct CostModel {
 impl CostModel {
     /// A model calibrated to the stencil size: roughly 2 ns per
     /// neighbour interaction (one fused multiply-add plus a load on a
-    /// ~GHz-scale core), plus conservative runtime overheads.
+    /// ~GHz-scale core), plus conservative runtime overheads. The per-DP
+    /// scale is [`nlheat_core::scenario::nominal_sec_per_dp`] — the same
+    /// number the modeled planning inputs use on both substrates.
     pub fn calibrated(stencil_points: usize) -> Self {
         CostModel {
-            sec_per_dp: stencil_points.max(1) as f64 * 2e-9,
+            sec_per_dp: nlheat_core::scenario::nominal_sec_per_dp(stencil_points),
             copy_sec_per_cell: 1e-9,
             spawn_sec: 2e-6,
             lb_plan_sec: 100e-6,

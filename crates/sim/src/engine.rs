@@ -4,50 +4,27 @@
 
 use crate::cost::CostModel;
 pub use nlheat_core::balance::LbSpec;
-use nlheat_core::balance::{compute_metrics, EpochTrace, LbNetwork, LbPolicy, LbSchedule};
+use nlheat_core::balance::{compute_metrics, EpochTrace, LbNetwork, LbPolicy, LbSchedule, Move};
 use nlheat_core::ownership::Ownership;
+use nlheat_core::scenario::{modeled_busy, LbInput, PartitionSpec};
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{build_halo_plan, split_cases, Grid, HaloPlan, PatchSource, SdGrid, Stencil};
 use nlheat_netmodel::{LinkClass, Msg, NetSpec};
-use nlheat_partition::{part_mesh_dual, strip_partition, SdGraph};
+use nlheat_partition::SdGraph;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-/// One node of the virtual cluster.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct VirtualNode {
-    /// Worker cores.
-    pub cores: usize,
-    /// Relative speed (1.0 = nominal).
-    pub speed: f64,
-}
+// The declared node shape lives with `ClusterSpec` in `nlheat-core`: one
+// source of truth both the virtual cluster and the real localities are
+// built from.
+pub use nlheat_core::scenario::VirtualNode;
 
-impl VirtualNode {
-    /// `n` nominal-speed cores.
-    pub fn with_cores(cores: usize) -> Self {
-        VirtualNode { cores, speed: 1.0 }
-    }
-}
-
-/// Initial SD distribution.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SimPartition {
-    /// Multilevel dual-mesh partitioner (the METIS path).
-    Metis { seed: u64 },
-    /// Row-major strips (ablation baseline).
-    Strip,
-    /// Explicit assignment.
-    Explicit(Vec<u32>),
-}
-
-/// Load-balancing epochs in the simulation — the same shared
-/// [`LbSchedule`] (period + `LbSpec` policy) the real runtime consumes as
-/// `LbConfig`, so one configuration describes both substrates. Build with
-/// `SimLbConfig::every(period).with_spec(spec)`.
-pub type SimLbConfig = LbSchedule;
-
-/// Full simulation configuration.
+/// Full simulation configuration — the low-level execution config of the
+/// discrete-event simulator. Prefer describing experiments with
+/// [`nlheat_core::scenario::Scenario`] (which compiles into this via
+/// `SimConfig::from(&scenario)`); `SimConfig` remains the compatibility
+/// layer for code that drives the engine directly.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Mesh cells per side.
@@ -64,8 +41,8 @@ pub struct SimConfig {
     pub net: NetSpec,
     /// Compute-cost model.
     pub cost: CostModel,
-    /// Initial distribution.
-    pub partition: SimPartition,
+    /// Initial distribution (shared with the real runtime).
+    pub partition: PartitionSpec,
     /// Case-1/case-2 overlap on/off (ablation A2).
     pub overlap: bool,
     /// Per-SD work factors.
@@ -74,21 +51,21 @@ pub struct SimConfig {
     /// step. At step `s` the last entry with `from_step ≤ s` overrides
     /// `work` — this models a *propagating* crack (the paper's §9 outlook
     /// toward nonlocal fracture), where the cheap band migrates through the
-    /// domain and the balancer must keep chasing it.
+    /// domain and the balancer must keep chasing it. The real runtime
+    /// executes the same schedule.
     pub work_schedule: Vec<(usize, WorkModel)>,
     /// Optional load balancing.
-    pub lb: Option<SimLbConfig>,
+    pub lb: Option<LbSchedule>,
+    /// What the balancing policies plan from: simulated busy windows (the
+    /// default) or deterministic modeled busy times ([`LbInput::Modeled`],
+    /// the cross-substrate parity mode).
+    pub lb_input: LbInput,
 }
 
 impl SimConfig {
     /// The workload in effect at `step`.
     fn work_at(&self, step: usize) -> &WorkModel {
-        self.work_schedule
-            .iter()
-            .rev()
-            .find(|&&(from, _)| from <= step)
-            .map(|(_, m)| m)
-            .unwrap_or(&self.work)
+        nlheat_core::scenario::work_at(&self.work, &self.work_schedule, step)
     }
 }
 
@@ -105,11 +82,12 @@ impl SimConfig {
             nodes,
             net: NetSpec::cluster(),
             cost: CostModel::calibrated(stencil.len()),
-            partition: SimPartition::Metis { seed: 1 },
+            partition: PartitionSpec::Metis { seed: 1 },
             overlap: true,
             work: WorkModel::Uniform,
             work_schedule: Vec::new(),
             lb: None,
+            lb_input: LbInput::Measured,
         }
     }
 }
@@ -145,6 +123,9 @@ pub struct SimRun {
     /// One [`EpochTrace`] per realized balancing epoch: plan size,
     /// migration bytes, and the ghost-traffic cut before/after.
     pub epoch_traces: Vec<EpochTrace>,
+    /// The realized migration plan of each epoch, in epoch order (empty
+    /// plans are skipped, matching `lb_history`).
+    pub lb_plans: Vec<Vec<Move>>,
     /// Final ownership.
     pub final_ownership: Ownership,
 }
@@ -214,14 +195,13 @@ impl Ord for Ordered {
 pub fn simulate(cfg: &SimConfig) -> SimRun {
     let geo = Geometry::build(cfg);
     let n_nodes = cfg.nodes.len() as u32;
-    let owners0 = match &cfg.partition {
-        SimPartition::Metis { seed } => part_mesh_dual(&geo.sds, n_nodes, *seed).parts,
-        SimPartition::Strip => strip_partition(&geo.sds, n_nodes),
-        SimPartition::Explicit(o) => {
-            assert_eq!(o.len(), geo.sds.count());
-            o.clone()
-        }
-    };
+    // Reject unpriceable work models at configuration time, mirroring the
+    // real runtime's up-front validation.
+    cfg.work.validate(&geo.sds);
+    for (_, model) in &cfg.work_schedule {
+        model.validate(&geo.sds);
+    }
+    let owners0 = cfg.partition.initial_owners(&geo.sds, n_nodes);
     let mut ownership = Ownership::new(geo.sds, owners0, n_nodes);
 
     let nn = cfg.nodes.len();
@@ -238,6 +218,12 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
     let mut ghost_bytes = 0u64;
     let mut inter_rack_ghost_bytes = 0u64;
     let mut epoch_traces: Vec<EpochTrace> = Vec::new();
+    let mut lb_plans: Vec<Vec<Move>> = Vec::new();
+    // Worst ghost-arrival delay per node per step, accumulated per
+    // balancing window — the adaptive-μ feedback signal (virtual-time
+    // analogue of the real driver's wall-clock measurement).
+    let mut ghost_wait_window = vec![0.0f64; nn];
+    let speeds: Vec<f64> = cfg.nodes.iter().map(|n| n.speed).collect();
     // Planner-facing cost estimate of the same network the event loop
     // simulates — the simulator mirrors `core::dist`'s wiring exactly:
     // one policy instance lives across epochs (stateful policies learn
@@ -314,6 +300,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
             let t0 = node_time[node] + serial;
 
             let mut tasks: Vec<(f64, f64)> = Vec::new();
+            let mut step_ghost_delay = 0.0f64;
             for &sd in &owned {
                 let factor = cfg.work_at(step).factor(&geo.sds, sd);
                 let split = split_cases(geo.sds.sd, geo.halo, &geo.plans[sd as usize], |n| {
@@ -324,7 +311,9 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 } else {
                     let unpack = cfg.cost.copy_sec_per_cell
                         * (geo.plans[sd as usize].ghost_cells_from_sds() as f64);
-                    arrivals[sd as usize].iter().fold(t0, |m, &a| m.max(a)) + unpack
+                    let ready = arrivals[sd as usize].iter().fold(t0, |m, &a| m.max(a)) + unpack;
+                    step_ghost_delay = step_ghost_delay.max(ready - t0);
+                    ready
                 };
                 if cfg.overlap {
                     if split.case2_area() > 0 {
@@ -351,6 +340,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
             node_time[node] = finish;
             busy_total[node] += busy;
             busy_window[node] += busy;
+            ghost_wait_window[node] += step_ghost_delay;
         }
 
         // --- load-balancing epoch (the configured LbSpec policy) ---
@@ -364,9 +354,30 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
             for t in node_time.iter_mut() {
                 *t = barrier;
             }
-            let busy_vec: Vec<f64> = busy_window.iter().map(|&b| b.max(1e-12)).collect();
-            let metrics = compute_metrics(&ownership.counts(), &busy_vec);
+            let window = (barrier - last_barrier).max(1e-12);
             let policy = policy.as_mut().expect("lb configured");
+            if cfg.lb_input == LbInput::Measured {
+                // Pre-plan feedback: this window's worst ghost stall, so
+                // an adaptive-μ decorator steers *this* epoch's plan
+                // (modeled planning disables runtime feedback).
+                let worst_ghost = ghost_wait_window.iter().cloned().fold(0.0, f64::max);
+                policy.observe_ghost_stall(worst_ghost / window);
+            }
+            let busy_vec: Vec<f64> = match cfg.lb_input {
+                LbInput::Measured => busy_window.iter().map(|&b| b.max(1e-12)).collect(),
+                // Deterministic planner input derived from the declared
+                // work model — byte-identical to what the real runtime
+                // computes for the same scenario.
+                LbInput::Modeled => modeled_busy(
+                    &geo.sds,
+                    ownership.owners(),
+                    n_nodes,
+                    cfg.work_at(step),
+                    &speeds,
+                    cfg.cost.sec_per_dp,
+                ),
+            };
+            let metrics = compute_metrics(&ownership.counts(), &busy_vec);
             let plan = policy.plan(&ownership, &metrics, &lb_net);
             // An empty plan pays the planning barrier but emits no
             // metrics: idle epochs must not skew migration accounting or
@@ -379,6 +390,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                     &ownership,
                     &lb_net,
                 ));
+                lb_plans.push(plan.moves.clone());
                 // migration costs: tile payloads over the network
                 net.reset(barrier);
                 for mv in &plan.moves {
@@ -404,13 +416,17 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
             }
             // Feedback for adaptive policies: how much of the balancing
             // window the epoch's migrations stalled the cluster.
-            let after = node_time.iter().cloned().fold(0.0, f64::max);
-            let window = (barrier - last_barrier).max(1e-12);
-            policy.observe_stall((after - barrier) / window);
+            if cfg.lb_input == LbInput::Measured {
+                let after = node_time.iter().cloned().fold(0.0, f64::max);
+                policy.observe_stall((after - barrier) / window);
+            }
             last_barrier = barrier;
-            // Algorithm 1 line 35: reset the busy window
+            // Algorithm 1 line 35: reset the busy and ghost-stall windows
             for b in busy_window.iter_mut() {
                 *b = 0.0;
+            }
+            for g in ghost_wait_window.iter_mut() {
+                *g = 0.0;
             }
         }
     }
@@ -440,6 +456,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
         ghost_bytes,
         inter_rack_ghost_bytes,
         epoch_traces,
+        lb_plans,
         final_ownership: ownership,
     }
 }
@@ -525,9 +542,9 @@ mod tests {
             3,
             (0..4).map(|_| VirtualNode::with_cores(1)).collect(),
         );
-        metis.partition = SimPartition::Metis { seed: 1 };
+        metis.partition = PartitionSpec::Metis { seed: 1 };
         let mut strip = metis.clone();
-        strip.partition = SimPartition::Strip;
+        strip.partition = PartitionSpec::Strip;
         let mb = simulate(&metis).cross_bytes;
         let sb = simulate(&strip).cross_bytes;
         assert!(mb < sb, "metis {mb} bytes should undercut strip {sb} bytes");
@@ -580,7 +597,7 @@ mod tests {
                 },
             ],
         );
-        cfg.lb = Some(SimLbConfig::every(4));
+        cfg.lb = Some(LbSchedule::every(4));
         let run = simulate(&cfg);
         assert!(run.migrations > 0);
         let counts = run.final_ownership.counts();
@@ -616,7 +633,7 @@ mod tests {
         let mut base = SimConfig::paper(400, 25, 24, nodes);
         base.lb = None;
         let without = simulate(&base).total_time;
-        base.lb = Some(SimLbConfig::every(4));
+        base.lb = Some(LbSchedule::every(4));
         let with = simulate(&base).total_time;
         assert!(
             with < without,
@@ -627,7 +644,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "lambda must be finite")]
     fn degenerate_lambda_rejected_at_configuration() {
-        let _ = SimLbConfig::every(4).with_spec(LbSpec::Tree {
+        let _ = LbSchedule::every(4).with_spec(LbSpec::Tree {
             lambda: f64::NAN,
             mu: 0.0,
         });
@@ -639,7 +656,7 @@ mod tests {
         // history entries or migration traffic for idle epochs (it still
         // pays the planning barrier).
         let mut cfg = shared_cfg(4, 2);
-        cfg.lb = Some(SimLbConfig::every(2));
+        cfg.lb = Some(LbSchedule::every(2));
         let run = simulate(&cfg);
         assert_eq!(run.migrations, 0);
         assert_eq!(run.migration_bytes, 0);
@@ -695,7 +712,7 @@ mod tests {
                 },
             ],
         );
-        lb.lb = Some(SimLbConfig::every(4));
+        lb.lb = Some(LbSchedule::every(4));
         let lr = simulate(&lb);
         assert!(lr.migrations > 0);
         assert_eq!(lr.cross_bytes, lr.ghost_bytes + lr.migration_bytes);
@@ -726,7 +743,7 @@ mod tests {
                 },
             ],
         );
-        cfg.lb = Some(SimLbConfig::every(4));
+        cfg.lb = Some(LbSchedule::every(4));
         let run = simulate(&cfg);
         assert!(run.migrations > 0);
         assert_eq!(run.epoch_traces.len(), run.lb_history.len());
@@ -754,16 +771,16 @@ mod tests {
         owners[sds.id(0, 15) as usize] = 2;
         owners[sds.id(15, 15) as usize] = 3;
         let mut cfg = SimConfig::paper(400, 25, 24, nodes);
-        cfg.partition = SimPartition::Explicit(owners);
+        cfg.partition = PartitionSpec::Explicit(owners);
         cfg.net = NetSpec::Topology(nlheat_netmodel::TopologySpec {
             nodes_per_rack: 2,
             intra_node: nlheat_netmodel::LinkSpec::new(1e-7, 5e9),
             intra_rack: nlheat_netmodel::LinkSpec::new(1e-4, 1e8),
             inter_rack: nlheat_netmodel::LinkSpec::new(4e-4, 2.5e7),
         });
-        cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(0.0)));
+        cfg.lb = Some(LbSchedule::every(4).with_spec(LbSpec::tree(0.0)));
         let blind = simulate(&cfg);
-        cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(0.0).with_mu(0.25)));
+        cfg.lb = Some(LbSchedule::every(4).with_spec(LbSpec::tree(0.0).with_mu(0.25)));
         let aware = simulate(&cfg);
         assert!(blind.migrations > 0 && aware.migrations > 0);
         let last_cut = |run: &SimRun| {
@@ -825,7 +842,7 @@ mod tests {
                     },
                 ],
             );
-            cfg.lb = Some(SimLbConfig::every(4).with_spec(spec.clone()));
+            cfg.lb = Some(LbSchedule::every(4).with_spec(spec.clone()));
             let run = simulate(&cfg);
             assert!(run.migrations > 0, "{} must migrate", spec.name());
             let counts = run.final_ownership.counts();
@@ -860,7 +877,7 @@ mod tests {
         // as the cheap region moves, beating the static assignment.
         let nodes: Vec<VirtualNode> = (0..4).map(|_| VirtualNode::with_cores(1)).collect();
         let mut cfg = SimConfig::paper(400, 25, 32, nodes);
-        cfg.partition = SimPartition::Strip;
+        cfg.partition = PartitionSpec::Strip;
         // one jump at mid-run: the dwell time (16 steps) must exceed the
         // balancer's adaptation time (period + one stale window) for LB to
         // amortize the migrations — faster cracks are a genuinely
@@ -882,7 +899,7 @@ mod tests {
             .collect();
         cfg.lb = None;
         let off = simulate(&cfg);
-        cfg.lb = Some(SimLbConfig::every(4));
+        cfg.lb = Some(LbSchedule::every(4));
         let on = simulate(&cfg);
         assert!(
             on.total_time < off.total_time,

@@ -21,8 +21,11 @@
 pub mod cost;
 pub mod engine;
 pub mod net;
+pub mod scenario;
 
 pub use cost::CostModel;
-pub use engine::{simulate, SimConfig, SimLbConfig, SimPartition, SimRun, VirtualNode};
+pub use engine::{simulate, SimConfig, SimRun, VirtualNode};
 pub use net::{NetModel, NetSpec};
 pub use nlheat_core::balance::{LbSchedule, LbSpec};
+pub use nlheat_core::scenario::{PartitionSpec, RunReport, Scenario};
+pub use scenario::{run_report, RunSim, SimSubstrate};

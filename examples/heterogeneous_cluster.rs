@@ -1,10 +1,10 @@
 //! Heterogeneous cluster: four localities with different compute speeds.
 //!
-//! Without load balancing the slow node drags every step; with the
-//! paper's Algorithm 1 the busy-time counters drive SDs toward the fast
-//! nodes until idle time is minimal. The real runtime shows the migration
-//! happening; the discrete-event simulator quantifies the makespan win at
-//! paper scale.
+//! One declarative [`Scenario`] drives **both** substrates: the real AMT
+//! runtime shows Algorithm 1 migrating SDs (bit-exact numerics), and the
+//! discrete-event simulator quantifies the makespan win at paper scale.
+//! Everything below — network models, the λ and μ knobs, the policy
+//! duel — swaps one field of the scenario and reruns.
 //!
 //! ```text
 //! cargo run --release --example heterogeneous_cluster
@@ -13,67 +13,49 @@
 use nonlocalheat::prelude::*;
 
 fn main() {
-    // --- real runtime: watch Algorithm 1 migrate SDs ---
-    let cluster = ClusterBuilder::new()
-        .node(1, 2.0) // twice nominal speed
-        .node(1, 1.0)
-        .node(1, 1.0)
-        .node(1, 0.5) // half speed
-        .build();
-    let mut cfg = DistConfig::new(48, 2.0, 8, 12);
-    cfg.lb = Some(LbConfig::every(3));
-    println!("== real runtime: 48x48 mesh, 6x6 SDs, speeds [2.0, 1.0, 1.0, 0.5] ==");
-    let report = run_distributed(&cluster, &cfg);
+    // --- the scenario library's heterogeneous cluster, both substrates ---
+    // speeds [2.0, 1.0, 1.0, 0.5]: without balancing the half-speed node
+    // drags every step.
+    let quick = scenarios::heterogeneous_cluster(true);
+    println!(
+        "== real runtime: {}x{} mesh, speeds [2.0, 1.0, 1.0, 0.5] ==",
+        quick.problem.n, quick.problem.n
+    );
+    let report = quick.run_dist();
     println!("SD migrations: {}", report.migrations);
     for (epoch, counts) in report.lb_history.iter().enumerate() {
         println!("after LB epoch {}: SD counts {:?}", epoch + 1, counts);
     }
     println!("final ownership:\n{}", report.final_ownership.render());
 
-    // --- simulator: the same scenario at paper scale (400x400) ---
-    let nodes = vec![
-        VirtualNode {
-            cores: 1,
-            speed: 2.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 1.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 1.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 0.5,
-        },
-    ];
-    let mut sim_cfg = SimConfig::paper(400, 25, 40, nodes);
-    sim_cfg.lb = None;
-    let off = simulate(&sim_cfg);
-    sim_cfg.lb = Some(SimLbConfig::every(4));
-    let on = simulate(&sim_cfg);
+    // --- simulator: the same cluster at paper scale (400x400) ---
+    let paper = scenarios::heterogeneous_cluster(false);
+    let off = paper.clone().without_lb().run_sim();
+    let on = paper.run_sim();
+    let fractions = |r: &RunReport| {
+        r.sim_extras()
+            .map(|s| {
+                s.busy_fraction
+                    .iter()
+                    .map(|f| format!("{f:.2}"))
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default()
+    };
     println!("\n== simulator: 400x400 mesh, 16x16 SDs, 40 steps ==");
     println!(
         "makespan without LB: {:.2} ms   busy fractions {:?}",
-        off.total_time * 1e3,
-        off.busy_fraction
-            .iter()
-            .map(|f| format!("{f:.2}"))
-            .collect::<Vec<_>>()
+        off.makespan * 1e3,
+        fractions(&off)
     );
     println!(
         "makespan with LB:    {:.2} ms   busy fractions {:?}",
-        on.total_time * 1e3,
-        on.busy_fraction
-            .iter()
-            .map(|f| format!("{f:.2}"))
-            .collect::<Vec<_>>()
+        on.makespan * 1e3,
+        fractions(&on)
     );
     println!(
         "speedup from load balancing: {:.2}x ({} SDs migrated)",
-        off.total_time / on.total_time,
+        off.makespan / on.makespan,
         on.migrations
     );
 
@@ -87,51 +69,44 @@ fn main() {
         intra_rack: LinkSpec::new(100e-6, 1e8),
         inter_rack: LinkSpec::new(500e-6, 1e7),
     });
-    let mut cfg = DistConfig::new(48, 2.0, 8, 8);
-    cfg.net = topo;
-    cfg.lb = Some(LbConfig::every(3));
-    let cluster = cfg.cluster().uniform(4, 1).build();
+    let racked = Scenario::square(48, 2.0, 8, 8)
+        .on(ClusterSpec::uniform(4, 1))
+        .with_net(topo)
+        .with_lb(LbSchedule::every(3));
     println!("\n== real runtime on 2 racks x 2 nodes (slow inter-rack uplink) ==");
-    let report = run_distributed(&cluster, &cfg);
-    let stats = cluster.net_stats();
+    let report = racked.run_dist();
+    let extras = report.dist_extras().expect("real-runtime extras");
     println!(
-        "wall time {:?}, {} messages, {} cross-rack bytes 0<->2 / {} in-rack bytes 0<->1",
-        report.elapsed,
-        stats.messages(),
-        stats.pair_bytes(0, 2) + stats.pair_bytes(2, 0),
-        stats.pair_bytes(0, 1) + stats.pair_bytes(1, 0),
+        "wall time {:?}, {} messages, {:.1} KB planner-grade ghost traffic \
+         ({:.1} KB of it inter-rack)",
+        extras.elapsed,
+        extras.wire_messages,
+        report.ghost_bytes as f64 / 1e3,
+        report.inter_rack_ghost_bytes as f64 / 1e3,
     );
 
-    let mut sim_cfg = SimConfig::paper(
-        400,
-        25,
-        20,
-        (0..4).map(|_| VirtualNode::with_cores(1)).collect(),
-    );
-    // Harsher uplink than the real-runtime demo above (1 MB/s): at paper
-    // scale the cross-rack ghost volume then rivals the compute time, so
-    // the topology becomes visible in the makespan — and case-1/case-2
-    // overlap wins back most of it.
+    // Harsher uplink at paper scale: the cross-rack ghost volume rivals
+    // the compute time, so the topology becomes visible in the makespan —
+    // and case-1/case-2 overlap wins back most of it.
     let congested = NetSpec::Topology(TopologySpec {
         nodes_per_rack: 2,
         intra_node: LinkSpec::new(0.0, f64::INFINITY),
         intra_rack: LinkSpec::new(100e-6, 1e8),
         inter_rack: LinkSpec::new(500e-6, 1e6),
     });
+    let sim_base = Scenario::square(400, 8.0, 25, 20).on(ClusterSpec::uniform(4, 1));
     for (label, net) in [
         ("in-rack only (shared 10 GB/s)", NetSpec::cluster()),
         ("2 racks, congested 1 MB/s uplink", congested),
     ] {
-        sim_cfg.net = net;
-        sim_cfg.overlap = true;
-        let hidden = simulate(&sim_cfg);
-        sim_cfg.overlap = false;
-        let exposed = simulate(&sim_cfg);
+        let hidden = sim_base.clone().with_net(net).run_sim();
+        let exposed = sim_base.clone().with_net(net).with_overlap(false).run_sim();
+        let cross = hidden.sim_extras().map_or(0, |s| s.cross_bytes);
         println!(
             "sim {label}: makespan {:.2} ms overlapped / {:.2} ms without overlap, {:.1} MB cross-node",
-            hidden.total_time * 1e3,
-            exposed.total_time * 1e3,
-            hidden.cross_bytes as f64 / 1e6
+            hidden.makespan * 1e3,
+            exposed.makespan * 1e3,
+            cross as f64 / 1e6
         );
     }
 
@@ -142,67 +117,60 @@ fn main() {
     // migration unless its busy-time relief covers λ x the estimated
     // transfer seconds — inter-rack migration bytes drop while the
     // makespan holds (ablation A7 sweeps this in full).
-    let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
-        .iter()
-        .map(|&speed| VirtualNode { cores: 1, speed })
-        .collect();
-    let mut lam_cfg = SimConfig::paper(400, 25, 16, nodes);
-    lam_cfg.partition = nonlocalheat::sim::SimPartition::Strip;
-    lam_cfg.net = NetSpec::Topology(TopologySpec {
-        nodes_per_rack: 2,
-        intra_node: LinkSpec::new(1e-7, 5e9),
-        intra_rack: LinkSpec::new(1e-4, 1e8),
-        inter_rack: LinkSpec::new(4e-4, 2.5e7),
-    });
+    let lam_base = Scenario::square(400, 8.0, 25, 16)
+        .on(ClusterSpec::speeds(&[2.0, 1.0, 2.0, 1.0]))
+        .with_partition(PartitionSpec::Strip)
+        .with_net(scenarios::two_rack_net());
     println!("\n== cost-aware balancing on 2 racks (speeds 2:1 in each rack) ==");
     for lambda in [0.0, 1.0, 2.0] {
-        lam_cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::Tree { lambda, mu: 0.0 }));
-        let run = simulate(&lam_cfg);
+        let run = lam_base
+            .clone()
+            .with_lb(LbSchedule::every(4).with_spec(LbSpec::Tree { lambda, mu: 0.0 }))
+            .run_sim();
         println!(
             "lambda {lambda}: {:>6.1} KB inter-rack / {:>6.1} KB total migration traffic, makespan {:.2} ms",
             run.inter_rack_migration_bytes as f64 / 1e3,
             run.migration_bytes as f64 / 1e3,
-            run.total_time * 1e3
+            run.makespan * 1e3
         );
     }
 
     // --- pluggable balancing policies: the LbSpec seam ---
-    // One LbSchedule type drives both substrates; swapping the spec
-    // compares the paper's tree planner against diffusion, greedy
-    // stealing and the adaptive-λ decorator on the identical workload
-    // (ablation A8 sweeps this in full).
+    // The same scenario value drives every policy on both substrates
+    // (ablation A8 sweeps this in full; numerics on the real runtime are
+    // bit-exact under every policy — the test suite pins that).
     println!("\n== LB policy comparison, same 2-rack cluster (simulator) ==");
-    for spec in [
+    let specs = [
         LbSpec::tree(1.0),
         LbSpec::diffusion(1.0, 8),
         LbSpec::greedy_steal(1),
         LbSpec::adaptive(LbSpec::tree(0.0), 0.05),
-    ] {
-        lam_cfg.lb = Some(SimLbConfig::every(4).with_spec(spec.clone()));
-        let run = simulate(&lam_cfg);
+        LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.3),
+    ];
+    for spec in &specs {
+        let run = lam_base
+            .clone()
+            .with_lb(LbSchedule::every(4).with_spec(spec.clone()))
+            .run_sim();
         println!(
             "{:>15}: makespan {:.2} ms, {} SDs migrated, {:>6.1} KB inter-rack",
             spec.name(),
-            run.total_time * 1e3,
+            run.makespan * 1e3,
             run.migrations,
             run.inter_rack_migration_bytes as f64 / 1e3,
         );
     }
 
-    // ... and the identical specs through the real runtime: the numerics
-    // are policy-independent (bit-exact against the serial solver; the
-    // test suite pins that), only where the SDs end up changes.
+    // ... and the identical specs through the real runtime at smoke scale.
     println!("\n== LB policy comparison, real runtime on the 2-rack fabric ==");
-    for spec in [
-        LbSpec::diffusion(1.0, 8),
-        LbSpec::greedy_steal(1),
-        LbSpec::adaptive(LbSpec::tree(0.0), 0.05),
-    ] {
-        let mut cfg = DistConfig::new(48, 2.0, 8, 8);
-        cfg.net = topo;
-        cfg.lb = Some(LbConfig::every(3).with_spec(spec.clone()));
-        let cluster = cfg.cluster().uniform(4, 1).build();
-        let report = run_distributed(&cluster, &cfg);
+    let real_base = Scenario::square(48, 2.0, 8, 8)
+        .on(ClusterSpec::uniform(4, 1))
+        .with_net(scenarios::two_rack_net());
+    for spec in &specs[1..] {
+        let report = real_base
+            .clone()
+            .with_lb(LbSchedule::every(3).with_spec(spec.clone()))
+            .run_dist();
         println!(
             "{:>15}: {} SDs migrated, final counts {:?}",
             spec.name(),
@@ -210,4 +178,20 @@ fn main() {
             report.final_ownership.counts()
         );
     }
+
+    // --- the propagating crack on real hardware ---
+    // The work_schedule used to be simulator-only; the unified Scenario
+    // runs it on the real runtime too (kernel repetition emulates the
+    // factor, so numerics stay bit-exact while the busy times shift).
+    let crack = scenarios::propagating_crack(true);
+    let report = crack.run_dist();
+    println!(
+        "\n== propagating crack on the real runtime ({} steps) ==",
+        crack.steps
+    );
+    println!(
+        "{} migrations over {} epochs as the cheap band moved",
+        report.migrations,
+        report.epoch_traces.len()
+    );
 }

@@ -1,5 +1,5 @@
-//! Quickstart: solve the nonlocal heat equation on a simulated two-node
-//! cluster and validate against the manufactured solution.
+//! Quickstart: describe one scenario, run it on the real runtime, and
+//! validate against the manufactured solution.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,20 +9,21 @@ use nonlocalheat::prelude::*;
 
 fn main() {
     // A 64x64 mesh over [0,1]^2 with horizon eps = 4h, decomposed into
-    // 8x8-cell sub-domains, distributed over two simulated localities with
-    // two worker threads each.
-    let cluster = ClusterBuilder::new().uniform(2, 2).build();
-    let mut cfg = DistConfig::new(64, 4.0, 8, 25);
-    cfg.record_error = true;
+    // 8x8-cell sub-domains, on two declared nodes of two cores each —
+    // one Scenario value describes the whole experiment.
+    let scenario = Scenario::square(64, 4.0, 8, 25)
+        .on(ClusterSpec::uniform(2, 2))
+        .with_record_error(true);
 
     println!(
         "mesh 64x64, eps = 4h, 25 timesteps on {} localities",
-        cluster.len()
+        scenario.cluster.len()
     );
-    let report = run_distributed(&cluster, &cfg);
+    let report = scenario.run_dist();
 
     let error = report.error.as_ref().unwrap();
-    println!("elapsed:          {:?}", report.elapsed);
+    let extras = report.dist_extras().expect("real-runtime extras");
+    println!("elapsed:          {:?}", extras.elapsed);
     println!(
         "total error e:    {:.3e}   (eq. 7 vs manufactured solution)",
         error.total()
@@ -30,23 +31,31 @@ fn main() {
     println!("max step error:   {:.3e}", error.max_step());
     println!(
         "busy time (ms):   {:?}",
-        report
-            .busy_ns
-            .iter()
-            .map(|&ns| ns as f64 / 1e6)
-            .collect::<Vec<_>>()
+        report.busy.iter().map(|&s| s * 1e3).collect::<Vec<_>>()
     );
     println!(
         "ghost traffic:    {} messages, {} bytes crossed the wire",
-        cluster.net_stats().messages(),
-        cluster.net_stats().cross_bytes()
+        extras.wire_messages, extras.wire_cross_bytes
     );
 
     // Cross-check against the single-threaded reference solver: the
     // distributed result is bit-for-bit identical.
-    let parts = cfg.spec.build();
+    let parts = scenario.problem.build();
     let mut serial = SerialSolver::manufactured(&parts);
-    serial.run(cfg.n_steps);
-    assert_eq!(report.field, serial.field(), "distributed == serial");
+    serial.run(scenario.steps);
+    assert_eq!(
+        report.field.as_deref(),
+        Some(serial.field().as_slice()),
+        "distributed == serial"
+    );
     println!("distributed field matches the serial solver bit-for-bit ✓");
+
+    // The same scenario through the discrete-event simulator: no field,
+    // but the timing shape of the run in virtual seconds.
+    let sim = scenario.run_sim();
+    println!(
+        "simulator makespan: {:.3} ms over {} nodes",
+        sim.makespan * 1e3,
+        sim.busy.len()
+    );
 }

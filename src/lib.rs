@@ -17,21 +17,25 @@
 //! * [`partition`] — multilevel k-way partitioner (METIS substitute).
 //! * [`model`] — the nonlocal diffusion model, manufactured solution and
 //!   serial reference solver.
-//! * [`core`] — shared-memory and distributed solvers + **Algorithm 1**.
+//! * [`core`] — shared-memory and distributed solvers + **Algorithm 1**,
+//!   and the declarative **`Scenario` API** (one experiment description,
+//!   both substrates, one unified `RunReport`).
 //! * [`sim`] — the deterministic discrete-event cluster simulator used for
-//!   the scaling figures.
+//!   the scaling figures (`scenario.run_sim()`).
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use nonlocalheat::prelude::*;
 //!
-//! // a 16x16 mesh with eps = 2h, solved on 2 simulated nodes
-//! let cluster = ClusterBuilder::new().uniform(2, 1).build();
-//! let mut cfg = DistConfig::new(16, 2.0, 4, 5);
-//! cfg.record_error = true;
-//! let report = run_distributed(&cluster, &cfg);
-//! assert!(report.error.unwrap().total() < 1e-4);
+//! // a 16x16 mesh with eps = 2h: one scenario, both substrates
+//! let scenario = Scenario::square(16, 2.0, 4, 5)
+//!     .on(ClusterSpec::uniform(2, 1))
+//!     .with_record_error(true);
+//! let real = scenario.run_dist(); // real AMT runtime (bit-exact numerics)
+//! let sim = scenario.run_sim(); // discrete-event timing model
+//! assert!(real.error.unwrap().total() < 1e-4);
+//! assert!(sim.makespan > 0.0);
 //! ```
 
 pub use nlheat_amt as amt;
@@ -49,12 +53,17 @@ pub mod prelude {
         iterate_rebalance, plan_rebalance, plan_rebalance_ghost_aware, plan_rebalance_with_cost,
         CostParams, EpochTrace, LbNetwork, LbPolicy, LbSchedule, LbSpec,
     };
-    pub use nlheat_core::dist::{run_distributed, DistConfig, LbConfig, PartitionMethod};
+    pub use nlheat_core::dist::{run_distributed, DistConfig};
     pub use nlheat_core::ownership::Ownership;
+    pub use nlheat_core::scenario::{
+        ClusterSpec, DistSubstrate, LbInput, PartitionSpec, RunExtras, RunReport, Scenario,
+        Substrate,
+    };
+    pub use nlheat_core::scenarios;
     pub use nlheat_core::shared::{SharedConfig, SharedSolver};
     pub use nlheat_core::workload::WorkModel;
     pub use nlheat_mesh::{Grid, SdGrid};
     pub use nlheat_model::prelude::*;
     pub use nlheat_partition::{part_mesh_dual, PartitionConfig, SdGraph};
-    pub use nlheat_sim::{simulate, SimConfig, SimLbConfig, SimPartition, VirtualNode};
+    pub use nlheat_sim::{simulate, RunSim, SimConfig, SimSubstrate, VirtualNode};
 }

@@ -1,6 +1,7 @@
 //! Cross-crate integration: the distributed solver must produce exactly
 //! the serial solver's numbers under every decomposition, distribution,
-//! overlap mode and cluster shape.
+//! overlap mode and cluster shape — every run described through the
+//! declarative `Scenario` API.
 
 use nonlocalheat::prelude::*;
 
@@ -15,13 +16,14 @@ fn serial_field(n: usize, eps_mult: f64, steps: usize) -> Vec<f64> {
 fn matrix_of_cluster_shapes() {
     let reference = serial_field(24, 2.0, 5);
     for nodes in [1usize, 2, 3, 4] {
-        for workers in [1usize, 2] {
-            let cluster = ClusterBuilder::new().uniform(nodes, workers).build();
-            let cfg = DistConfig::new(24, 2.0, 6, 5);
-            let report = run_distributed(&cluster, &cfg);
+        for cores in [1usize, 2] {
+            let report = Scenario::square(24, 2.0, 6, 5)
+                .on(ClusterSpec::uniform(nodes, cores))
+                .run_dist();
             assert_eq!(
-                report.field, reference,
-                "mismatch for {nodes} nodes x {workers} workers"
+                report.field.as_ref(),
+                Some(&reference),
+                "mismatch for {nodes} nodes x {cores} cores"
             );
         }
     }
@@ -31,10 +33,14 @@ fn matrix_of_cluster_shapes() {
 fn matrix_of_sd_sizes() {
     let reference = serial_field(24, 3.0, 4);
     for sd in [4usize, 6, 8, 12, 24] {
-        let cluster = ClusterBuilder::new().uniform(2, 1).build();
-        let cfg = DistConfig::new(24, 3.0, sd, 4);
-        let report = run_distributed(&cluster, &cfg);
-        assert_eq!(report.field, reference, "mismatch for sd={sd}");
+        let report = Scenario::square(24, 3.0, sd, 4)
+            .on(ClusterSpec::uniform(2, 1))
+            .run_dist();
+        assert_eq!(
+            report.field.as_ref(),
+            Some(&reference),
+            "mismatch for sd={sd}"
+        );
     }
 }
 
@@ -42,14 +48,15 @@ fn matrix_of_sd_sizes() {
 fn overlap_and_partition_modes() {
     let reference = serial_field(20, 2.0, 4);
     for overlap in [true, false] {
-        for partition in [PartitionMethod::Metis { seed: 7 }, PartitionMethod::Strip] {
-            let cluster = ClusterBuilder::new().uniform(3, 1).build();
-            let mut cfg = DistConfig::new(20, 2.0, 4, 4);
-            cfg.overlap = overlap;
-            cfg.partition = partition.clone();
-            let report = run_distributed(&cluster, &cfg);
+        for partition in [PartitionSpec::Metis { seed: 7 }, PartitionSpec::Strip] {
+            let report = Scenario::square(20, 2.0, 4, 4)
+                .on(ClusterSpec::uniform(3, 1))
+                .with_overlap(overlap)
+                .with_partition(partition.clone())
+                .run_dist();
             assert_eq!(
-                report.field, reference,
+                report.field.as_ref(),
+                Some(&reference),
                 "mismatch overlap={overlap} partition={partition:?}"
             );
         }
@@ -60,29 +67,29 @@ fn overlap_and_partition_modes() {
 fn horizon_larger_than_sd() {
     // eps = 6h with 4-cell SDs: ghosts span two SD rings across nodes.
     let reference = serial_field(16, 6.0, 3);
-    let cluster = ClusterBuilder::new().uniform(4, 1).build();
-    let cfg = DistConfig::new(16, 6.0, 4, 3);
-    let report = run_distributed(&cluster, &cfg);
-    assert_eq!(report.field, reference);
+    let report = Scenario::square(16, 6.0, 4, 3)
+        .on(ClusterSpec::uniform(4, 1))
+        .run_dist();
+    assert_eq!(report.field.as_ref(), Some(&reference));
 }
 
 #[test]
 fn shared_solver_agrees_with_distributed() {
-    let cluster = ClusterBuilder::new().uniform(2, 2).build();
-    let cfg = DistConfig::new(16, 2.0, 4, 5);
-    let dist = run_distributed(&cluster, &cfg);
+    let dist = Scenario::square(16, 2.0, 4, 5)
+        .on(ClusterSpec::uniform(2, 2))
+        .run_dist();
     let shared = SharedSolver::new(SharedConfig::new(16, 2.0, 4, 5, 3)).run();
-    assert_eq!(dist.field, shared.field);
+    assert_eq!(dist.field.as_ref(), Some(&shared.field));
 }
 
 #[test]
 fn more_nodes_than_sds_leaves_idle_nodes_consistent() {
     // 4 SDs over 6 localities: two localities never own anything.
     let reference = serial_field(16, 2.0, 3);
-    let cluster = ClusterBuilder::new().uniform(6, 1).build();
-    let cfg = DistConfig::new(16, 2.0, 8, 3);
-    let report = run_distributed(&cluster, &cfg);
-    assert_eq!(report.field, reference);
+    let report = Scenario::square(16, 2.0, 8, 3)
+        .on(ClusterSpec::uniform(6, 1))
+        .run_dist();
+    assert_eq!(report.field.as_ref(), Some(&reference));
 }
 
 #[test]
@@ -90,10 +97,10 @@ fn error_decreases_with_resolution_distributed() {
     // the Fig. 8 property measured through the distributed stack
     let mut totals = Vec::new();
     for n in [8usize, 16, 32] {
-        let cluster = ClusterBuilder::new().uniform(2, 1).build();
-        let mut cfg = DistConfig::new(n, 2.0, n / 4, 6);
-        cfg.record_error = true;
-        let report = run_distributed(&cluster, &cfg);
+        let report = Scenario::square(n, 2.0, n / 4, 6)
+            .on(ClusterSpec::uniform(2, 1))
+            .with_record_error(true)
+            .run_dist();
         totals.push(report.error.unwrap().total());
     }
     assert!(totals[0] > totals[1] && totals[1] > totals[2], "{totals:?}");
@@ -102,9 +109,10 @@ fn error_decreases_with_resolution_distributed() {
 #[test]
 fn repeated_runs_are_deterministic() {
     let run = || {
-        let cluster = ClusterBuilder::new().uniform(3, 2).build();
-        let cfg = DistConfig::new(20, 2.0, 5, 5);
-        run_distributed(&cluster, &cfg).field
+        Scenario::square(20, 2.0, 5, 5)
+            .on(ClusterSpec::uniform(3, 2))
+            .run_dist()
+            .field
     };
     assert_eq!(run(), run());
 }

@@ -1,6 +1,9 @@
 //! Integration tests of Algorithm 1 across the stack: pure planning,
 //! virtual iteration, the DES, and the real distributed runtime —
-//! including the communication-aware (λ > 0) planning path.
+//! including the communication-aware (λ > 0) and ghost-aware (μ > 0)
+//! planning paths. Run-level experiments are described through the
+//! declarative `Scenario` API; planner-level tests drive the policy layer
+//! directly.
 
 use nonlocalheat::core::balance::{
     compute_metrics, iterate_rebalance, plan_rebalance, plan_rebalance_with_cost,
@@ -12,14 +15,18 @@ fn symmetric_busy(own: &Ownership) -> Vec<f64> {
     own.counts().iter().map(|&c| c.max(1) as f64).collect()
 }
 
-/// A 2-rack interconnect with a meaningfully slower uplink.
+/// The shared 2-rack interconnect of the scenario library (a meaningfully
+/// slower uplink); using the library definition keeps this file pinned to
+/// the exact topology the ablations and library scenarios sweep.
 fn two_rack_spec() -> NetSpec {
-    NetSpec::Topology(TopologySpec {
-        nodes_per_rack: 2,
-        intra_node: LinkSpec::new(0.0, f64::INFINITY),
-        intra_rack: LinkSpec::new(1e-4, 1e8),
-        inter_rack: LinkSpec::new(4e-4, 2.5e7),
-    })
+    scenarios::two_rack_net()
+}
+
+/// The 15/1 lopsided start on a 4x4 SD grid.
+fn lopsided16() -> PartitionSpec {
+    let mut owners = vec![0u32; 16];
+    owners[15] = 1;
+    PartitionSpec::Explicit(owners)
 }
 
 #[test]
@@ -66,27 +73,10 @@ fn planning_is_idempotent_when_balanced() {
 #[test]
 fn power_proportional_distribution_in_sim() {
     // speeds 3:1:1:1 -> fast node should converge to ~3/6 of the SDs
-    let nodes = vec![
-        VirtualNode {
-            cores: 1,
-            speed: 3.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 1.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 1.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 1.0,
-        },
-    ];
-    let mut cfg = SimConfig::paper(400, 25, 30, nodes);
-    cfg.lb = Some(SimLbConfig::every(3));
-    let run = simulate(&cfg);
+    let run = Scenario::square(400, 8.0, 25, 30)
+        .on(ClusterSpec::speeds(&[3.0, 1.0, 1.0, 1.0]))
+        .with_lb(LbSchedule::every(3))
+        .run_sim();
     let counts = run.final_ownership.counts();
     let total: usize = counts.iter().sum();
     assert_eq!(total, 256);
@@ -99,55 +89,38 @@ fn power_proportional_distribution_in_sim() {
 
 #[test]
 fn sim_busy_fractions_equalize_with_lb() {
-    let nodes = vec![
-        VirtualNode {
-            cores: 1,
-            speed: 2.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 1.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 1.0,
-        },
-        VirtualNode {
-            cores: 1,
-            speed: 1.0,
-        },
-    ];
-    let mut cfg = SimConfig::paper(400, 25, 40, nodes);
-    cfg.lb = None;
-    let off = simulate(&cfg);
-    cfg.lb = Some(SimLbConfig::every(4));
-    let on = simulate(&cfg);
-    let spread = |fractions: &[f64]| {
+    let base = Scenario::square(400, 8.0, 25, 40).on(ClusterSpec::speeds(&[2.0, 1.0, 1.0, 1.0]));
+    let off = base.clone().run_sim();
+    let on = base.with_lb(LbSchedule::every(4)).run_sim();
+    let spread = |r: &RunReport| {
+        let fractions = &r.sim_extras().expect("sim extras").busy_fraction;
         fractions.iter().cloned().fold(0.0, f64::max)
             - fractions.iter().cloned().fold(1.0, f64::min)
     };
     assert!(
-        spread(&on.busy_fraction) < spread(&off.busy_fraction),
+        spread(&on) < spread(&off),
         "LB must equalize busy fractions: off {:?} on {:?}",
-        off.busy_fraction,
-        on.busy_fraction
+        off.sim_extras().unwrap().busy_fraction,
+        on.sim_extras().unwrap().busy_fraction
     );
 }
 
 #[test]
 fn real_runtime_migrations_match_plans() {
-    let cluster = ClusterBuilder::new().uniform(2, 1).build();
-    let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-    cfg.lb = Some(LbConfig::every(2));
-    let mut owners = vec![0u32; 16];
-    owners[15] = 1;
-    cfg.partition = PartitionMethod::Explicit(owners);
-    let report = run_distributed(&cluster, &cfg);
+    let report = Scenario::square(16, 2.0, 4, 6)
+        .on(ClusterSpec::uniform(2, 1))
+        .with_partition(lopsided16())
+        .with_lb(LbSchedule::every(2))
+        .run_dist();
     // lb_history records the post-epoch counts; the last entry must match
-    // the final ownership
+    // the final ownership, and the recorded plans must cover every move
     let last = report.lb_history.last().expect("at least one epoch");
     assert_eq!(*last, report.final_ownership.counts());
     assert!(report.migrations > 0);
+    assert_eq!(
+        report.lb_plans.iter().map(Vec::len).sum::<usize>(),
+        report.migrations
+    );
 }
 
 #[test]
@@ -186,17 +159,14 @@ fn sim_lambda_reduces_inter_rack_migration_traffic() {
     // End-to-end through the simulator: same 2-rack workload, λ on vs
     // off. λ must cut inter-rack migration bytes without freezing the
     // balancer.
-    let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
-        .iter()
-        .map(|&speed| VirtualNode { cores: 1, speed })
-        .collect();
-    let mut cfg = SimConfig::paper(400, 25, 16, nodes);
-    cfg.partition = nonlocalheat::sim::SimPartition::Strip;
-    cfg.net = two_rack_spec();
-    cfg.lb = Some(SimLbConfig::every(4));
-    let count_based = simulate(&cfg);
-    cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(2.0)));
-    let cost_aware = simulate(&cfg);
+    let base = Scenario::square(400, 8.0, 25, 16)
+        .on(ClusterSpec::speeds(&[2.0, 1.0, 2.0, 1.0]))
+        .with_partition(PartitionSpec::Strip)
+        .with_net(two_rack_spec());
+    let count_based = base.clone().with_lb(LbSchedule::every(4)).run_sim();
+    let cost_aware = base
+        .with_lb(LbSchedule::every(4).with_spec(LbSpec::tree(2.0)))
+        .run_sim();
     assert!(
         count_based.inter_rack_migration_bytes > 0,
         "baseline must cross racks for the comparison to mean anything"
@@ -209,13 +179,14 @@ fn sim_lambda_reduces_inter_rack_migration_traffic() {
     );
     assert!(cost_aware.migrations > 0, "balancer must keep working");
     assert!(
-        cost_aware.total_time <= count_based.total_time * 1.10,
+        cost_aware.makespan <= count_based.makespan * 1.10,
         "makespan must stay within noise: {} vs {}",
-        cost_aware.total_time,
-        count_based.total_time
+        cost_aware.makespan,
+        count_based.makespan
     );
     // bookkeeping sanity: migration bytes are a subset of cross traffic
-    assert!(cost_aware.migration_bytes <= cost_aware.cross_bytes);
+    let cross = cost_aware.sim_extras().expect("sim extras").cross_bytes;
+    assert!(cost_aware.migration_bytes <= cross);
     assert!(cost_aware.inter_rack_migration_bytes <= cost_aware.migration_bytes);
 }
 
@@ -231,15 +202,13 @@ fn real_runtime_cost_aware_lb_preserves_numerics() {
     serial.run(6);
     let reference = serial.field();
     for (lambda, expect_migrations) in [(1e-4, true), (1e6, false)] {
-        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.net = two_rack_spec();
-        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::Tree { lambda, mu: 0.0 }));
-        let mut owners = vec![0u32; 16];
-        owners[15] = 1;
-        cfg.partition = PartitionMethod::Explicit(owners);
-        let cluster = cfg.cluster().uniform(2, 1).build();
-        let report = run_distributed(&cluster, &cfg);
-        assert_eq!(report.field, reference, "λ={lambda}");
+        let report = Scenario::square(16, 2.0, 4, 6)
+            .on(ClusterSpec::uniform(2, 1))
+            .with_net(two_rack_spec())
+            .with_partition(lopsided16())
+            .with_lb(LbSchedule::every(2).with_spec(LbSpec::Tree { lambda, mu: 0.0 }))
+            .run_dist();
+        assert_eq!(report.field.as_ref(), Some(&reference), "λ={lambda}");
         if expect_migrations {
             assert!(report.migrations > 0, "λ={lambda} gate must pass");
         } else {
@@ -289,10 +258,11 @@ fn tree_spec_pinned_byte_identical_to_pre_policy_planner() {
 
 #[test]
 fn every_lb_spec_runs_both_substrates_on_two_racks() {
-    // The A8 acceptance shape at test scale: all four policy variants
-    // drive a 2-rack run through the simulator AND the real runtime. The
-    // real runtime must stay bit-exact against the serial solver under
-    // every policy (migration plans may differ; numerics may not).
+    // The A8 acceptance shape at test scale: every policy variant drives
+    // a 2-rack run through the simulator AND the real runtime — the same
+    // Scenario value, two substrates. The real runtime must stay
+    // bit-exact against the serial solver under every policy (migration
+    // plans may differ; numerics may not).
     let parts = ProblemSpec::square(16, 2.0).build();
     let mut serial = SerialSolver::manufactured(&parts);
     serial.run(6);
@@ -302,41 +272,37 @@ fn every_lb_spec_runs_both_substrates_on_two_racks() {
         LbSpec::diffusion(1.0, 8),
         LbSpec::greedy_steal(1),
         LbSpec::adaptive(LbSpec::tree(0.0), 0.1),
+        LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2),
     ];
     for spec in specs {
-        // simulator leg
-        let nodes: Vec<VirtualNode> = [2.0, 1.0, 2.0, 1.0]
-            .iter()
-            .map(|&speed| VirtualNode { cores: 1, speed })
-            .collect();
-        let mut sim_cfg = SimConfig::paper(100, 25, 8, nodes);
-        sim_cfg.net = two_rack_spec();
-        sim_cfg.lb = Some(SimLbConfig::every(2).with_spec(spec.clone()));
-        let run = simulate(&sim_cfg);
+        // simulator leg (paper horizon eps = 8h, so the 2-rack duel runs
+        // under the full cross-rack ghost volume)
+        let sim = Scenario::square(100, 8.0, 25, 8)
+            .on(ClusterSpec::speeds(&[2.0, 1.0, 2.0, 1.0]))
+            .with_net(two_rack_spec())
+            .with_lb(LbSchedule::every(2).with_spec(spec.clone()))
+            .run_sim();
         assert!(
-            run.total_time.is_finite() && run.total_time > 0.0,
+            sim.makespan.is_finite() && sim.makespan > 0.0,
             "{}",
             spec.name()
         );
         assert_eq!(
-            run.final_ownership.counts().iter().sum::<usize>(),
+            sim.final_ownership.counts().iter().sum::<usize>(),
             16,
             "{}: SDs conserved",
             spec.name()
         );
         // real-runtime leg: 4 localities over 2 racks, node 0 holding
         // everything but the far corners
-        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.net = two_rack_spec();
-        cfg.lb = Some(LbConfig::every(2).with_spec(spec.clone()));
-        let mut owners = vec![0u32; 16];
-        owners[3] = 1;
-        owners[12] = 2;
-        owners[15] = 3;
-        cfg.partition = PartitionMethod::Explicit(owners);
-        let cluster = cfg.cluster().uniform(4, 1).build();
-        let report = run_distributed(&cluster, &cfg);
-        assert_eq!(report.field, reference, "{}", spec.name());
+        let sds = SdGrid::tile_mesh(16, 16, 4);
+        let report = Scenario::square(16, 2.0, 4, 6)
+            .on(ClusterSpec::uniform(4, 1))
+            .with_net(two_rack_spec())
+            .with_partition(PartitionSpec::Explicit(scenarios::lopsided_owners(&sds, 4)))
+            .with_lb(LbSchedule::every(2).with_spec(spec.clone()))
+            .run_dist();
+        assert_eq!(report.field.as_ref(), Some(&reference), "{}", spec.name());
     }
 }
 
@@ -352,15 +318,13 @@ fn ghost_aware_lb_preserves_numerics_and_gates() {
     serial.run(6);
     let reference = serial.field();
     for (mu, expect_migrations) in [(1e-9, true), (1e9, false)] {
-        let mut cfg = DistConfig::new(16, 2.0, 4, 6);
-        cfg.net = two_rack_spec();
-        cfg.lb = Some(LbConfig::every(2).with_spec(LbSpec::tree(0.0).with_mu(mu)));
-        let mut owners = vec![0u32; 16];
-        owners[15] = 1;
-        cfg.partition = PartitionMethod::Explicit(owners);
-        let cluster = cfg.cluster().uniform(2, 1).build();
-        let report = run_distributed(&cluster, &cfg);
-        assert_eq!(report.field, reference, "μ={mu}");
+        let report = Scenario::square(16, 2.0, 4, 6)
+            .on(ClusterSpec::uniform(2, 1))
+            .with_net(two_rack_spec())
+            .with_partition(lopsided16())
+            .with_lb(LbSchedule::every(2).with_spec(LbSpec::tree(0.0).with_mu(mu)))
+            .run_dist();
+        assert_eq!(report.field.as_ref(), Some(&reference), "μ={mu}");
         if expect_migrations {
             assert!(report.migrations > 0, "μ={mu} gate must pass");
             assert!(
@@ -380,22 +344,19 @@ fn ghost_aware_lb_preserves_numerics_and_gates() {
 fn sim_epoch_traces_align_with_aggregates_under_mu() {
     // Trace/aggregate consistency through the facade on a ghost-aware
     // run (the μ-lowers-the-cut claim itself is pinned by the engine's
-    // own `mu_reduces_steady_state_ghost_cut` test; duplicating its two
-    // simulations here would buy nothing). One lopsided 2-rack run with
-    // μ active: the recorded per-epoch traces must sum to exactly the
-    // run-level counters and carry the ghost columns.
-    let sds = SdGrid::tile_mesh(400, 400, 25);
-    let mut owners = vec![0u32; sds.count()];
-    owners[sds.id(15, 0) as usize] = 1;
-    owners[sds.id(0, 15) as usize] = 2;
-    owners[sds.id(15, 15) as usize] = 3;
-    let nodes: Vec<VirtualNode> = (0..4).map(|_| VirtualNode::with_cores(1)).collect();
-    let mut cfg = SimConfig::paper(400, 25, 24, nodes);
-    cfg.partition = nonlocalheat::sim::SimPartition::Explicit(owners);
-    cfg.net = two_rack_spec();
-    cfg.lb = Some(SimLbConfig::every(4).with_spec(LbSpec::tree(0.0).with_mu(0.25)));
-    let run = simulate(&cfg);
+    // own `mu_reduces_steady_state_ghost_cut` test). One lopsided 2-rack
+    // run with μ active: the recorded per-epoch traces must sum to
+    // exactly the run-level counters and carry the ghost columns.
+    let base = Scenario::square(400, 8.0, 25, 24)
+        .on(ClusterSpec::uniform(4, 1))
+        .with_net(two_rack_spec());
+    let sds = base.sd_grid();
+    let run = base
+        .with_partition(PartitionSpec::Explicit(scenarios::lopsided_owners(&sds, 4)))
+        .with_lb(LbSchedule::every(4).with_spec(LbSpec::tree(0.0).with_mu(0.25)))
+        .run_sim();
     assert!(run.migrations > 0, "the lopsided start must redistribute");
+    run.check_invariants();
     assert_eq!(
         run.epoch_traces.iter().map(|t| t.moves).sum::<usize>(),
         run.migrations
@@ -415,17 +376,16 @@ fn sim_epoch_traces_align_with_aggregates_under_mu() {
 
 #[test]
 fn crack_workload_rebalances_in_sim() {
-    let mut cfg = SimConfig::paper(400, 25, 24, {
-        (0..4).map(|_| VirtualNode::with_cores(1)).collect()
-    });
-    cfg.partition = nonlocalheat::sim::SimPartition::Strip;
-    cfg.work = WorkModel::Crack {
-        y_cell: 200,
-        half_width: 30,
-        factor: 0.25,
-    };
-    cfg.lb = Some(SimLbConfig::every(4));
-    let run = simulate(&cfg);
+    let run = Scenario::square(400, 8.0, 25, 24)
+        .on(ClusterSpec::uniform(4, 1))
+        .with_partition(PartitionSpec::Strip)
+        .with_work(WorkModel::Crack {
+            y_cell: 200,
+            half_width: 30,
+            factor: 0.25,
+        })
+        .with_lb(LbSchedule::every(4))
+        .run_sim();
     assert!(run.migrations > 0, "crack imbalance must trigger migration");
     // nodes hosting the cheap band end with more SDs than the others
     let counts = run.final_ownership.counts();

@@ -289,7 +289,7 @@ proptest! {
         n_nodes in 2u32..6,
         owner_seed in any::<u64>(),
         busy in proptest::collection::vec(0.05f64..10.0, 8),
-        which in 0usize..5,
+        which in 0usize..6,
         mu in 0.0f64..3.0,
         halo in 1i64..6,
     ) {
@@ -318,7 +318,8 @@ proptest! {
             1 => LbSpec::tree(1.5),
             2 => LbSpec::diffusion(1.0, 6),
             3 => LbSpec::greedy_steal(1),
-            _ => LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1),
+            4 => LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1),
+            _ => LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2),
         }
         .with_mu(mu);
         let mut policy = spec.build();
@@ -364,7 +365,7 @@ proptest! {
         n_nodes in 2u32..6,
         owner_seed in any::<u64>(),
         busy in proptest::collection::vec(0.05f64..10.0, 8),
-        which in 0usize..5,
+        which in 0usize..6,
         halo in 1i64..6,
     ) {
         let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
@@ -390,7 +391,8 @@ proptest! {
             1 => LbSpec::tree(1.5),
             2 => LbSpec::diffusion(1.0, 6),
             3 => LbSpec::greedy_steal(1),
-            _ => LbSpec::adaptive(LbSpec::tree(0.5), 0.1),
+            4 => LbSpec::adaptive(LbSpec::tree(0.5), 0.1),
+            _ => LbSpec::adaptive_mu(LbSpec::tree(0.5), 0.2),
         };
         let metrics = compute_metrics(&own.counts(), &busy_vec);
         let blind = spec.build().plan(&own, &metrics, &plain);

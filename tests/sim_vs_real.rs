@@ -1,35 +1,33 @@
 //! Consistency between the discrete-event simulator and the real runtime:
 //! both execute the same decomposition, so their *communication structure*
 //! must agree (message counts exactly, byte volumes up to the small
-//! framing difference documented below).
+//! framing difference documented below). One `Scenario` value drives both
+//! substrates; the unified `RunReport` carries the counters.
 
 use nonlocalheat::prelude::*;
-use nonlocalheat::sim::SimPartition;
 
-/// Run the same configuration through both substrates and return
-/// `(real messages, real bytes, sim messages, sim bytes)` for the
+/// Run the same scenario through both substrates and return
+/// `(real messages, real wire bytes, sim messages, sim bytes)` for the
 /// LB-free ghost traffic.
 fn traffic(n: usize, eps_mult: f64, sd: usize, nodes: usize, steps: usize) -> (u64, u64, u64, u64) {
-    let cluster = ClusterBuilder::new().uniform(nodes, 1).build();
-    let mut cfg = DistConfig::new(n, eps_mult, sd, steps);
-    cfg.partition = PartitionMethod::Strip;
-    let _ = run_distributed(&cluster, &cfg);
-    let real_msgs = cluster.net_stats().messages();
-    let real_bytes = cluster.net_stats().cross_bytes();
-
-    let mut sim_cfg = SimConfig::paper(n, sd, steps, {
-        (0..nodes).map(|_| VirtualNode::with_cores(1)).collect()
-    });
-    sim_cfg.eps_mult = eps_mult;
-    sim_cfg.partition = SimPartition::Strip;
-    let run = simulate(&sim_cfg);
-    (real_msgs, real_bytes, run.messages, run.cross_bytes)
+    let scenario = Scenario::square(n, eps_mult, sd, steps)
+        .on(ClusterSpec::uniform(nodes, 1))
+        .with_partition(PartitionSpec::Strip)
+        .with_net(NetSpec::Instant);
+    let real = scenario.run_dist();
+    let dist = real.dist_extras().expect("real-runtime extras");
+    let sim = scenario.run_sim();
+    let se = sim.sim_extras().expect("sim extras");
+    (
+        dist.wire_messages,
+        dist.wire_cross_bytes,
+        se.messages,
+        se.cross_bytes,
+    )
 }
 
 #[test]
 fn message_counts_agree_exactly() {
-    // NOTE: SimConfig::paper computes its cost model from eps=8h, but the
-    // message *structure* depends only on eps_mult set below.
     let (rm, _, sm, _) = traffic(24, 2.0, 4, 2, 3);
     assert_eq!(rm, sm, "real {rm} vs sim {sm} ghost messages");
     let (rm4, _, sm4, _) = traffic(24, 2.0, 4, 4, 2);
@@ -52,6 +50,22 @@ fn byte_volumes_agree_within_framing() {
 }
 
 #[test]
+fn planner_grade_ghost_counters_agree_exactly() {
+    // The unified RunReport counts ghost bytes with the same
+    // patch_wire_bytes formula on both substrates, so for one scenario
+    // the numbers are *identical* — no framing allowance needed.
+    let scenario = Scenario::square(24, 2.0, 4, 3)
+        .on(ClusterSpec::uniform(2, 1))
+        .with_partition(PartitionSpec::Strip)
+        .with_net(NetSpec::Instant);
+    let real = scenario.run_dist();
+    let sim = scenario.run_sim();
+    assert!(real.ghost_bytes > 0);
+    assert_eq!(real.ghost_bytes, sim.ghost_bytes);
+    assert_eq!(real.inter_rack_ghost_bytes, sim.inter_rack_ghost_bytes);
+}
+
+#[test]
 fn multi_ring_traffic_agrees() {
     // eps spanning two SD rings: the heavier communication pattern must
     // match too.
@@ -65,16 +79,14 @@ fn sim_strong_scaling_shape_matches_theory() {
     // With communication negligible and one core per node, the speedup on
     // k nodes of a perfectly divisible problem approaches k.
     let mk = |k: usize| {
-        SimConfig::paper(
-            400,
-            50,
-            5,
-            (0..k).map(|_| VirtualNode::with_cores(1)).collect(),
-        )
+        Scenario::square(400, 8.0, 50, 5)
+            .on(ClusterSpec::uniform(k, 1))
+            .run_sim()
+            .makespan
     };
-    let t1 = simulate(&mk(1)).total_time;
+    let t1 = mk(1);
     for k in [2usize, 4, 8] {
-        let tk = simulate(&mk(k)).total_time;
+        let tk = mk(k);
         let speedup = t1 / tk;
         assert!(
             speedup > 0.85 * k as f64 && speedup <= 1.02 * k as f64,
