@@ -221,25 +221,156 @@ impl<A: Wire, B: Wire, C: Wire, D: Wire> Wire for (A, B, C, D) {
     }
 }
 
+/// Append `values` as raw little-endian words. On little-endian targets
+/// this is one `memcpy` — `f64` has no padding bytes, so reinterpreting the
+/// slice as bytes is sound and already produces the wire's LE words.
+/// Big-endian targets take the per-element swap path. Either way the bytes
+/// written are identical.
+#[inline]
+fn put_f64_slice_le(values: &[f64], buf: &mut BytesMut) {
+    #[cfg(target_endian = "little")]
+    {
+        let bytes = unsafe {
+            std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), std::mem::size_of_val(values))
+        };
+        buf.put_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for v in values {
+        buf.put_f64_le(*v);
+    }
+}
+
+/// Copy `dst.len()` little-endian words out of `buf` into `dst`. The
+/// caller must have length-checked `buf` (see [`need`]). One `memcpy` on
+/// little-endian targets, per-element swaps otherwise.
+#[inline]
+fn get_f64_slice_le(buf: &mut Bytes, dst: &mut [f64]) {
+    #[cfg(target_endian = "little")]
+    {
+        let n = std::mem::size_of_val(dst);
+        unsafe {
+            std::ptr::copy_nonoverlapping(buf.chunk().as_ptr(), dst.as_mut_ptr().cast::<u8>(), n);
+        }
+        buf.advance(n);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for v in dst.iter_mut() {
+        *v = buf.get_f64_le();
+    }
+}
+
 /// Fast bulk encoding for `f64` fields — the dominant payload (ghost-zone
 /// temperature values). Writes the length then raw little-endian words.
 pub fn encode_f64_slice(values: &[f64], buf: &mut BytesMut) {
     (values.len() as u64).encode(buf);
     buf.reserve(values.len() * 8);
-    for v in values {
-        buf.put_f64_le(*v);
+    put_f64_slice_le(values, buf);
+}
+
+/// Encode a logically contiguous `f64` run supplied as strided `rows`
+/// (e.g. the rows of a tile rectangle) without materializing an
+/// intermediate `Vec<f64>`. Wire-identical to [`encode_f64_slice`] over
+/// the concatenation of `rows`; `total` must equal the summed row lengths
+/// (debug-asserted) because the length prefix is written first.
+pub fn encode_f64_rows<'a>(
+    total: usize,
+    rows: impl Iterator<Item = &'a [f64]>,
+    buf: &mut BytesMut,
+) {
+    (total as u64).encode(buf);
+    let mut written = 0usize;
+    #[cfg(target_endian = "little")]
+    {
+        // One growth for the whole run, then raw row copies into the
+        // already-sized tail — no per-row capacity checks.
+        let start = buf.len();
+        buf.resize(start + total * 8, 0);
+        let dst = buf[start..].as_mut_ptr();
+        for row in rows {
+            debug_assert!(written + row.len() <= total);
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    row.as_ptr().cast::<u8>(),
+                    dst.add(written * 8),
+                    std::mem::size_of_val(row),
+                );
+            }
+            written += row.len();
+        }
     }
+    #[cfg(not(target_endian = "little"))]
+    {
+        buf.reserve(total * 8);
+        for row in rows {
+            put_f64_slice_le(row, buf);
+            written += row.len();
+        }
+    }
+    debug_assert_eq!(written, total, "encode_f64_rows: rows disagree with total");
 }
 
 /// Counterpart to [`encode_f64_slice`].
 pub fn decode_f64_vec(buf: &mut Bytes) -> Result<Vec<f64>, WireError> {
     let len = u64::decode(buf)? as usize;
     need(buf, len.saturating_mul(8))?;
-    let mut out = Vec::with_capacity(len);
-    for _ in 0..len {
-        out.push(buf.get_f64_le());
-    }
+    let mut out = vec![0.0f64; len];
+    get_f64_slice_le(buf, &mut out);
     Ok(out)
+}
+
+/// Decode a length-prefixed `f64` run straight into the strided mutable
+/// `rows` (e.g. a tile rectangle's rows), skipping the intermediate
+/// `Vec<f64>` of [`decode_f64_vec`]. The payload length must match the
+/// summed row lengths exactly: short payloads surface as
+/// [`WireError::Truncated`], long ones as [`WireError::TrailingBytes`]
+/// (mirroring `Tile::unpack`'s size check on the copying path).
+pub fn decode_f64_rows<'a>(
+    buf: &mut Bytes,
+    rows: impl Iterator<Item = &'a mut [f64]>,
+) -> Result<(), WireError> {
+    let len = u64::decode(buf)? as usize;
+    need(buf, len.saturating_mul(8))?;
+    let mut taken = 0usize;
+    #[cfg(target_endian = "little")]
+    {
+        // One cursor advance for the whole run: `need` has verified the
+        // payload is contiguous in `chunk()`, so each row is a raw copy
+        // from a running source offset.
+        let src = buf.chunk().as_ptr();
+        for row in rows {
+            if taken + row.len() > len {
+                return Err(WireError::Truncated {
+                    needed: (taken + row.len()) * 8,
+                    remaining: len * 8,
+                });
+            }
+            unsafe {
+                std::ptr::copy_nonoverlapping(
+                    src.add(taken * 8),
+                    row.as_mut_ptr().cast::<u8>(),
+                    std::mem::size_of_val(row),
+                );
+            }
+            taken += row.len();
+        }
+        buf.advance(taken * 8);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for row in rows {
+        if taken + row.len() > len {
+            return Err(WireError::Truncated {
+                needed: (taken + row.len()) * 8,
+                remaining: len * 8,
+            });
+        }
+        get_f64_slice_le(buf, row);
+        taken += row.len();
+    }
+    if taken != len {
+        return Err(WireError::TrailingBytes((len - taken) * 8));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -322,6 +453,58 @@ mod tests {
         (u64::MAX).encode(&mut buf); // absurd element count
         let res = Vec::<u8>::from_bytes(buf.freeze());
         assert!(matches!(res, Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn f64_rows_wire_identical_to_slice() {
+        // The zero-copy strided encoder must produce byte-identical wire
+        // output to the flat encoder over the concatenated rows.
+        let flat: Vec<f64> = (0..24).map(|i| (i as f64) * 1.5 - 7.0).collect();
+        let mut a = BytesMut::new();
+        encode_f64_slice(&flat, &mut a);
+        let mut b = BytesMut::new();
+        encode_f64_rows(flat.len(), flat.chunks(8), &mut b);
+        assert_eq!(&a[..], &b[..]);
+        // and decode_f64_rows reads it back into strided destinations
+        let mut bytes = b.freeze();
+        let mut out = vec![0.0f64; 24];
+        decode_f64_rows(&mut bytes, out.chunks_mut(6)).unwrap();
+        assert_eq!(out, flat);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn f64_rows_length_mismatches_error() {
+        let flat = [1.0f64, 2.0, 3.0, 4.0];
+        let mut buf = BytesMut::new();
+        encode_f64_slice(&flat, &mut buf);
+        let payload = buf.freeze();
+        // destination larger than the payload: truncated
+        let mut dst = [0.0f64; 6];
+        let mut b = payload.clone();
+        assert!(matches!(
+            decode_f64_rows(&mut b, dst.chunks_mut(3)),
+            Err(WireError::Truncated { .. })
+        ));
+        // destination smaller than the payload: trailing bytes
+        let mut small = [0.0f64; 2];
+        let mut b = payload.clone();
+        assert!(matches!(
+            decode_f64_rows(&mut b, small.chunks_mut(2)),
+            Err(WireError::TrailingBytes(16))
+        ));
+    }
+
+    #[test]
+    fn f64_slice_nan_and_negzero_bit_exact() {
+        let values = [f64::NAN, -0.0, f64::NEG_INFINITY, 1.0e-308];
+        let mut buf = BytesMut::new();
+        encode_f64_slice(&values, &mut buf);
+        let mut bytes = buf.freeze();
+        let back = decode_f64_vec(&mut bytes).unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! The hot-path regression suite: sim event-core throughput, halo codec
+//! pack/unpack, the nonlocal kernel, and end-to-end quick scenarios on both
+//! substrates.
+//!
+//! Run `cargo bench -p nlheat-bench --bench hotpath` (add `-- --quick` for
+//! the CI smoke budget). With `NLHEAT_BENCH_JSON=<path>` the criterion shim
+//! writes machine-readable results that `bench_gate` diffs against the
+//! committed `BENCH_hotpath.json` snapshot — a regression beyond the
+//! tolerance band fails the build.
+//!
+//! Workload shapes are identical in quick and full mode (only the
+//! measurement budget shrinks), so quick-mode numbers are comparable with
+//! the snapshot.
+
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nlheat_core::scenarios;
+use nlheat_mesh::{Grid, Rect, Tile};
+use nlheat_model::{zero_source, Influence, NonlocalKernel};
+use nlheat_sim::engine::{simulate, SimConfig, VirtualNode};
+use nlheat_sim::scenario::RunSim;
+use nlheat_sim::LbSchedule;
+use std::sync::Once;
+
+fn init() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var_os("NLHEAT_BENCH_QUICK").is_some();
+        if quick && std::env::var_os("NLHEAT_BENCH_TARGET_MS").is_none() {
+            // Same workloads, smaller measurement budget: numbers stay
+            // comparable with full runs, the suite finishes in seconds.
+            std::env::set_var("NLHEAT_BENCH_TARGET_MS", "80");
+        }
+    });
+}
+
+/// A heterogeneous 4-node cluster (one 2x-fast node) so the balancer
+/// actually plans and realizes migrations inside the event loop.
+fn het4() -> Vec<VirtualNode> {
+    vec![
+        VirtualNode {
+            cores: 1,
+            speed: 2.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+        VirtualNode {
+            cores: 1,
+            speed: 1.0,
+        },
+    ]
+}
+
+fn event_core_bench(c: &mut Criterion) {
+    init();
+    let mut g = c.benchmark_group("event_core");
+    // 256 SDs, 12 steps, LB every 4 — arrivals, per-node scheduling and
+    // realized migration epochs all on the measured path.
+    let mut lb_cfg = SimConfig::paper(400, 25, 12, het4());
+    lb_cfg.lb = Some(LbSchedule::every(4));
+    g.bench_function("sim_lb_256sd_4n_12st", |b| {
+        b.iter(|| black_box(simulate(&lb_cfg)))
+    });
+    // 1024 SDs over 8 nodes without LB: pure ghost-arrival + scheduling
+    // throughput at 4x the SD count.
+    let nolb_cfg = SimConfig::paper(
+        800,
+        25,
+        6,
+        (0..8).map(|_| VirtualNode::with_cores(2)).collect(),
+    );
+    g.bench_function("sim_nolb_1024sd_8n_6st", |b| {
+        b.iter(|| black_box(simulate(&nolb_cfg)))
+    });
+    g.finish();
+}
+
+fn halo_codec_bench(c: &mut Criterion) {
+    init();
+    // One paper-scale side patch: 8x50 cells at eps = 8h.
+    let mut tile = Tile::new(50, 8);
+    for (i, (x, y)) in tile.interior_rect().cells().enumerate() {
+        tile.set(x, y, (i % 13) as f64 * 0.1);
+    }
+    let edge = Rect::new(0, 0, 8, 50);
+    let halo_rect = Rect::new(-8, 0, 8, 50);
+    let wire_cap = edge.area() as usize * 8 + 8;
+
+    let mut g = c.benchmark_group("halo");
+    // The copying path the seed runtime used: pack to an intermediate
+    // Vec<f64>, then encode element-wise.
+    g.bench_function("pack_legacy_8x50", |b| {
+        b.iter(|| {
+            let values = tile.pack(&edge);
+            let mut buf = BytesMut::with_capacity(wire_cap);
+            nlheat_amt::codec::encode_f64_slice(&values, &mut buf);
+            black_box(buf.freeze())
+        })
+    });
+    let legacy_payload = {
+        let values = tile.pack(&edge);
+        let mut buf = BytesMut::with_capacity(wire_cap);
+        nlheat_amt::codec::encode_f64_slice(&values, &mut buf);
+        buf.freeze()
+    };
+    g.bench_function("unpack_legacy_8x50", |b| {
+        b.iter(|| {
+            let mut payload = legacy_payload.clone();
+            let values = nlheat_amt::codec::decode_f64_vec(&mut payload).unwrap();
+            tile.unpack(&halo_rect, &values);
+        })
+    });
+    // The zero-copy path the runtime now uses: stream the strided rows
+    // straight onto / off the wire, no intermediate Vec<f64>.
+    g.bench_function("pack_zerocopy_8x50", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(wire_cap);
+            nlheat_amt::codec::encode_f64_rows(
+                edge.area() as usize,
+                tile.rect_rows(&edge),
+                &mut buf,
+            );
+            black_box(buf.freeze())
+        })
+    });
+    g.bench_function("unpack_zerocopy_8x50", |b| {
+        b.iter(|| {
+            let mut payload = legacy_payload.clone();
+            nlheat_amt::codec::decode_f64_rows(&mut payload, tile.rect_rows_mut(&halo_rect))
+                .unwrap();
+        })
+    });
+    g.finish();
+}
+
+fn kernel_bench(c: &mut Criterion) {
+    init();
+    // One paper-scale SD (50x50 DPs, eps = 8h) and a serial-solver-scale
+    // region (200x200) where cache behaviour dominates.
+    let grid = Grid::square(400, 8.0);
+    let kernel = NonlocalKernel::new(&grid, 1.0, Influence::Constant);
+    let dt = kernel.stable_dt(0.5);
+    let src = zero_source();
+
+    let mut g = c.benchmark_group("kernel");
+    for (label, n) in [("50x50", 50i64), ("200x200", 200i64)] {
+        let mut curr = Tile::new(n, grid.halo);
+        for (i, (x, y)) in curr.interior_rect().cells().enumerate() {
+            curr.set(x, y, (i % 13) as f64 * 0.1);
+        }
+        let mut next = Tile::new(n, grid.halo);
+        let offsets = kernel.storage_offsets(curr.stride());
+        let region = curr.interior_rect();
+        g.bench_function(&format!("scalar_{label}_eps8h"), |b| {
+            b.iter(|| {
+                kernel.apply_region(
+                    black_box(&curr),
+                    &mut next,
+                    &region,
+                    &offsets,
+                    (0, 0),
+                    0.0,
+                    dt,
+                    &src,
+                    1,
+                );
+            })
+        });
+        let plan = kernel.plan(curr.stride());
+        g.bench_function(&format!("blocked_{label}_eps8h"), |b| {
+            b.iter(|| {
+                kernel.apply_region_blocked(
+                    black_box(&curr),
+                    &mut next,
+                    &region,
+                    &plan,
+                    (0, 0),
+                    0.0,
+                    dt,
+                    &src,
+                    1,
+                );
+            })
+        });
+    }
+    g.finish();
+}
+
+fn e2e_bench(c: &mut Criterion) {
+    init();
+    let mut g = c.benchmark_group("e2e");
+    let baseline = scenarios::paper_baseline(true);
+    g.bench_function("paper_baseline_quick_sim", |b| {
+        b.iter(|| black_box(baseline.run_sim()))
+    });
+    g.bench_function("paper_baseline_quick_dist", |b| {
+        b.iter(|| black_box(baseline.run_dist()))
+    });
+    let lopsided = scenarios::lopsided_two_rack(true);
+    g.bench_function("lopsided_two_rack_quick_sim", |b| {
+        b.iter(|| black_box(lopsided.run_sim()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    event_core_bench,
+    halo_codec_bench,
+    kernel_bench,
+    e2e_bench
+);
+criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! The hot-path performance gate.
+//!
+//! Compares a fresh `hotpath` bench run (the JSON the criterion shim writes
+//! when `NLHEAT_BENCH_JSON` is set) against the committed
+//! `BENCH_hotpath.json` snapshot and fails when a benchmark regressed
+//! beyond the tolerance band. Two independent checks:
+//!
+//! 1. **Within-run pairs** (machine-independent): every optimized path must
+//!    not be slower than its retained baseline measured *in the same run* —
+//!    `blocked` vs `scalar` kernels, `zerocopy` vs `legacy` halo codec.
+//!    A small slack absorbs micro-bench noise.
+//! 2. **Snapshot band**: every benchmark present in the snapshot must stay
+//!    within `NLHEAT_BENCH_TOLERANCE` × its recorded mean (default 1.5 —
+//!    wide enough for runner-to-runner variance, tight enough to catch a
+//!    2× regression).
+//!
+//! Usage: `bench_gate <current.json> <snapshot.json>`
+
+use std::process::ExitCode;
+
+/// One parsed benchmark: `group/name` label and mean nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    name: String,
+    mean_ns: f64,
+}
+
+/// Extract the string value of `"key": "..."` from a record line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract the numeric value of `"key": N` from a record line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parse the records inside the top-level `"results"` array of the shim's
+/// JSON document. Sibling arrays (the snapshot's `seed_results` record of
+/// pre-optimization numbers) are ignored.
+fn parse_results(doc: &str) -> Vec<Entry> {
+    let mut out = Vec::new();
+    let mut in_results = false;
+    for line in doc.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"results\"") {
+            in_results = true;
+            continue;
+        }
+        if in_results {
+            if trimmed.starts_with(']') {
+                break;
+            }
+            if let (Some(name), Some(mean_ns)) =
+                (str_field(trimmed, "name"), num_field(trimmed, "mean_ns"))
+            {
+                out.push(Entry { name, mean_ns });
+            }
+        }
+    }
+    out
+}
+
+fn lookup<'a>(entries: &'a [Entry], name: &str) -> Option<&'a Entry> {
+    entries.iter().find(|e| e.name == name)
+}
+
+/// The optimized/baseline pairs measured within one run. The optimized leg
+/// may be at most `slack` × the baseline — in practice it should be well
+/// under 1.0×; the slack only absorbs timer noise on sub-µs benches.
+const PAIRS: &[(&str, &str)] = &[
+    ("kernel/blocked_50x50_eps8h", "kernel/scalar_50x50_eps8h"),
+    (
+        "kernel/blocked_200x200_eps8h",
+        "kernel/scalar_200x200_eps8h",
+    ),
+    ("halo/pack_zerocopy_8x50", "halo/pack_legacy_8x50"),
+    ("halo/unpack_zerocopy_8x50", "halo/unpack_legacy_8x50"),
+];
+
+fn check_pairs(current: &[Entry], slack: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for &(optimized, baseline) in PAIRS {
+        let (Some(o), Some(b)) = (lookup(current, optimized), lookup(current, baseline)) else {
+            failures.push(format!(
+                "missing pair {optimized} / {baseline} in current run"
+            ));
+            continue;
+        };
+        let ratio = o.mean_ns / b.mean_ns;
+        let verdict = if ratio <= slack { "ok" } else { "FAIL" };
+        println!(
+            "  pair {optimized}: {:.1} µs vs {baseline}: {:.1} µs  (ratio {ratio:.2}, limit {slack:.2}) {verdict}",
+            o.mean_ns / 1e3,
+            b.mean_ns / 1e3
+        );
+        if ratio > slack {
+            failures.push(format!(
+                "{optimized} is {ratio:.2}x its baseline {baseline} (limit {slack:.2}x)"
+            ));
+        }
+    }
+    failures
+}
+
+fn check_snapshot(current: &[Entry], snapshot: &[Entry], tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for snap in snapshot {
+        let Some(cur) = lookup(current, &snap.name) else {
+            failures.push(format!("benchmark {} missing from current run", snap.name));
+            continue;
+        };
+        let ratio = cur.mean_ns / snap.mean_ns;
+        let verdict = if ratio <= tolerance { "ok" } else { "FAIL" };
+        println!(
+            "  snap {}: {:.1} µs vs snapshot {:.1} µs  (ratio {ratio:.2}, limit {tolerance:.2}) {verdict}",
+            snap.name,
+            cur.mean_ns / 1e3,
+            snap.mean_ns / 1e3
+        );
+        if ratio > tolerance {
+            failures.push(format!(
+                "{} regressed to {ratio:.2}x the snapshot (limit {tolerance:.2}x)",
+                snap.name
+            ));
+        }
+    }
+    failures
+}
+
+fn env_factor(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|f: &f64| *f >= 1.0)
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, current_path, snapshot_path] = &args[..] else {
+        eprintln!("usage: bench_gate <current.json> <snapshot.json>");
+        return ExitCode::from(2);
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let current = parse_results(&read(current_path));
+    let snapshot = parse_results(&read(snapshot_path));
+    assert!(!current.is_empty(), "no results parsed from {current_path}");
+    assert!(
+        !snapshot.is_empty(),
+        "no results parsed from {snapshot_path}"
+    );
+
+    // Pairs sit well below 1.0x in practice; the slack only has to clear
+    // timer noise on the sub-µs halo benches.
+    let slack = env_factor("NLHEAT_BENCH_PAIR_SLACK", 1.15);
+    let tolerance = env_factor("NLHEAT_BENCH_TOLERANCE", 1.5);
+
+    println!("within-run optimized/baseline pairs:");
+    let mut failures = check_pairs(&current, slack);
+    println!("current vs committed snapshot:");
+    failures.extend(check_snapshot(&current, &snapshot, tolerance));
+
+    if failures.is_empty() {
+        println!("bench gate: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench gate: {} failure(s):", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "results": [
+    {"name": "kernel/scalar_50x50_eps8h", "mean_ns": 1000.5, "iters": 100},
+    {"name": "kernel/blocked_50x50_eps8h", "mean_ns": 500.0, "iters": 100}
+  ],
+  "seed_results": [
+    {"name": "kernel/scalar_50x50_eps8h", "mean_ns": 9999.0, "iters": 3}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_only_the_results_array() {
+        let entries = parse_results(DOC);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "kernel/scalar_50x50_eps8h");
+        assert!((entries[0].mean_ns - 1000.5).abs() < 1e-9);
+        assert!((entries[1].mean_ns - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_check_flags_slower_optimized_leg() {
+        let fast = parse_results(DOC);
+        // only one pair present; the other three report as missing
+        let failures = check_pairs(&fast, 1.10);
+        assert_eq!(failures.len(), 3, "missing pairs counted: {failures:?}");
+        let inverted = vec![
+            Entry {
+                name: "kernel/scalar_50x50_eps8h".into(),
+                mean_ns: 500.0,
+            },
+            Entry {
+                name: "kernel/blocked_50x50_eps8h".into(),
+                mean_ns: 1000.0,
+            },
+        ];
+        let failures = check_pairs(&inverted, 1.10);
+        assert!(failures.iter().any(|f| f.contains("2.00x")), "{failures:?}");
+    }
+
+    #[test]
+    fn snapshot_check_applies_tolerance_band() {
+        let snap = vec![Entry {
+            name: "e2e/x".into(),
+            mean_ns: 100.0,
+        }];
+        let ok = vec![Entry {
+            name: "e2e/x".into(),
+            mean_ns: 140.0,
+        }];
+        assert!(check_snapshot(&ok, &snap, 1.5).is_empty());
+        let slow = vec![Entry {
+            name: "e2e/x".into(),
+            mean_ns: 160.0,
+        }];
+        assert_eq!(check_snapshot(&slow, &snap, 1.5).len(), 1);
+        assert_eq!(
+            check_snapshot(&[], &snap, 1.5).len(),
+            1,
+            "missing bench fails"
+        );
+    }
+}

@@ -466,7 +466,7 @@ pub fn iterate_rebalance(
         if plan.is_noop() {
             break;
         }
-        current = plan.new_ownership.clone();
+        current = plan.new_ownership;
         history.push(current.clone());
     }
     history

@@ -21,7 +21,7 @@ use crate::scenario::{modeled_busy, nominal_sec_per_dp, LbInput, PartitionSpec};
 use crate::workload::WorkModel;
 use bytes::{Bytes, BytesMut};
 use nlheat_amt::cluster::{Cluster, ClusterBuilder};
-use nlheat_amt::codec::{decode_f64_vec, encode_f64_slice, Wire};
+use nlheat_amt::codec::{decode_f64_rows, encode_f64_rows, Wire};
 use nlheat_amt::future::{when_all, Future};
 use nlheat_amt::locality::Locality;
 use nlheat_amt::parcel::tag;
@@ -252,6 +252,25 @@ struct SdComm {
     split: CaseSplit,
 }
 
+/// One outgoing ghost parcel, precomputed when ownership changes so the
+/// per-step send loop just replays the list (records are grouped by
+/// ascending source SD; the per-step loop holds one read lock per group).
+struct SendRec {
+    /// Source SD on this locality.
+    src_sd: SdId,
+    /// Owner of the destination SD.
+    dst_owner: u32,
+    dst_sd: SdId,
+    /// Patch index within the destination's halo plan.
+    pidx: u16,
+    /// The patch in the source SD's local coordinates.
+    src_rect: Rect,
+    /// Planner-grade wire bytes of the patch.
+    wire: u64,
+    /// Whether the link to `dst_owner` crosses a rack boundary.
+    inter_rack: bool,
+}
+
 /// Per-node report returned by each driver.
 struct NodeReport {
     sd_fields: Vec<(SdId, Vec<f64>)>,
@@ -358,10 +377,13 @@ pub fn run_distributed(cluster: &Cluster, cfg: &DistConfig) -> DistReport {
     }
 }
 
+/// Serialize `rect` of `tile` into a wire payload, streaming the strided
+/// rows straight into the buffer (no intermediate `Vec<f64>`). The buffer
+/// is sized exactly, so encoding is one allocation and `rect.h + 1`
+/// memcpys.
 fn pack_tile_rect(tile: &Tile, rect: &Rect) -> Bytes {
-    let values = tile.pack(rect);
-    let mut buf = BytesMut::with_capacity(values.len() * 8 + 8);
-    encode_f64_slice(&values, &mut buf);
+    let mut buf = BytesMut::with_capacity(rect.area() as usize * 8 + 8);
+    encode_f64_rows(rect.area() as usize, tile.rect_rows(rect), &mut buf);
     buf.freeze()
 }
 
@@ -373,7 +395,7 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
     let halo = setup.parts.grid.halo;
     let dt = setup.parts.dt;
     let kernel = Arc::new(setup.parts.kernel.clone());
-    let offsets = Arc::new(kernel.storage_offsets(sds.sd + 2 * halo));
+    let kernel_plan = Arc::new(kernel.plan(sds.sd + 2 * halo));
     let source = setup.parts.manufactured.source_fn();
     let manufactured = setup.parts.manufactured.clone();
 
@@ -404,6 +426,9 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
 
     let mut comm: HashMap<SdId, SdComm> = HashMap::new();
     let mut comm_dirty = true;
+    // Tiles reclaimed from migrated-away SDs, reused (zeroed) for incoming
+    // migrations so steady-state balancing stops allocating tile pairs.
+    let mut tile_pool: Vec<Tile> = Vec::new();
     let mut error_partials = Vec::with_capacity(cfg.n_steps);
     let mut in_migrations = 0usize;
     let mut lb_counts: Vec<Vec<usize>> = Vec::new();
@@ -443,10 +468,18 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
     let mut prev_window_secs: Option<f64> = None;
     let mut window_t0 = Instant::now();
 
+    // The owned-SD list and outgoing send records change only when a
+    // migration epoch rewrites ownership, so they are rebuilt together
+    // with the per-SD comm info under the `comm_dirty` flag instead of
+    // being rederived every step.
+    let mut owned: Vec<SdId> = Vec::new();
+    let mut send_recs: Vec<SendRec> = Vec::new();
     for step in 0..cfg.n_steps {
         if comm_dirty {
             comm.clear();
-            for &sd in states.keys() {
+            owned = states.keys().copied().collect();
+            owned.sort_unstable();
+            for &sd in &owned {
                 let plan = &setup.plans[sd as usize];
                 let foreign: Vec<(u16, Rect)> = plan
                     .patches
@@ -462,15 +495,29 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 let split = split_cases(sds.sd, halo, plan, |n| owners[n as usize] != me);
                 comm.insert(sd, SdComm { foreign, split });
             }
+            send_recs.clear();
+            for &sd in &owned {
+                for &(dst_sd, pidx) in &setup.reverse[sd as usize] {
+                    let dst_owner = owners[dst_sd as usize];
+                    if dst_owner == me {
+                        continue;
+                    }
+                    let patch = &setup.plans[dst_sd as usize].patches[pidx as usize];
+                    send_recs.push(SendRec {
+                        src_sd: sd,
+                        dst_owner,
+                        dst_sd,
+                        pidx,
+                        src_rect: patch.src_rect,
+                        wire: patch_wire_bytes(patch.dst_rect.area()),
+                        inter_rack: lb_net.comm.link_class(me, dst_owner) == LinkClass::InterRack,
+                    });
+                }
+            }
             comm_dirty = false;
         }
 
         // --- 1. local halo fill (same-node neighbours: plain copies) ---
-        let owned: Vec<SdId> = {
-            let mut v: Vec<SdId> = states.keys().copied().collect();
-            v.sort_unstable();
-            v
-        };
         for &sd in &owned {
             let dst_cell = states[&sd].cell.clone();
             let mut dst = dst_cell.curr.write();
@@ -486,25 +533,24 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
         }
 
         // --- 2. sends: scatter ghost data to foreign-owned readers ---
-        for &sd in &owned {
-            let src_tile = states[&sd].cell.curr.read();
-            for &(dst_sd, pidx) in &setup.reverse[sd as usize] {
-                let dst_owner = owners[dst_sd as usize];
-                if dst_owner == me {
-                    continue;
+        // (replays the precomputed records; one curr read lock per source
+        // SD, exactly like the per-step scan this replaces)
+        let mut rec_i = 0;
+        while rec_i < send_recs.len() {
+            let src_sd = send_recs[rec_i].src_sd;
+            let src_tile = states[&src_sd].cell.curr.read();
+            while let Some(rec) = send_recs.get(rec_i).filter(|r| r.src_sd == src_sd) {
+                ghost_bytes += rec.wire;
+                if rec.inter_rack {
+                    inter_rack_ghost_bytes += rec.wire;
                 }
-                let patch = &setup.plans[dst_sd as usize].patches[pidx as usize];
-                let wire = patch_wire_bytes(patch.dst_rect.area());
-                ghost_bytes += wire;
-                if lb_net.comm.link_class(me, dst_owner) == LinkClass::InterRack {
-                    inter_rack_ghost_bytes += wire;
-                }
-                let payload = pack_tile_rect(&src_tile, &patch.src_rect);
+                let payload = pack_tile_rect(&src_tile, &rec.src_rect);
                 loc.send(
-                    dst_owner,
-                    tag(CLASS_GHOST, step as u64, dst_sd as u64, pidx as u64),
+                    rec.dst_owner,
+                    tag(CLASS_GHOST, step as u64, rec.dst_sd as u64, rec.pidx as u64),
                     payload,
                 );
+                rec_i += 1;
             }
         }
 
@@ -528,15 +574,15 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
             let make_task = |rects: Vec<Rect>| {
                 let cell = unit.cell.clone();
                 let kernel = kernel.clone();
-                let offsets = offsets.clone();
+                let plan = kernel_plan.clone();
                 let source = source.clone();
                 let origin = unit.origin;
                 move || {
                     let curr = cell.curr.read();
                     let mut next = cell.next.lock();
                     for rect in &rects {
-                        kernel.apply_region(
-                            &curr, &mut next, rect, &offsets, origin, t, dt, &source, repeats,
+                        kernel.apply_region_blocked(
+                            &curr, &mut next, rect, &plan, origin, t, dt, &source, repeats,
                         );
                     }
                 }
@@ -552,8 +598,9 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
             let unpack = move |payloads: Vec<Bytes>| {
                 let mut curr = cell_for_unpack.curr.write();
                 for (mut payload, rect) in payloads.into_iter().zip(dst_rects) {
-                    let values = decode_f64_vec(&mut payload).expect("corrupt ghost payload");
-                    curr.unpack(&rect, &values);
+                    // straight into the padded tile: no intermediate Vec
+                    decode_f64_rows(&mut payload, curr.rect_rows_mut(&rect))
+                        .expect("corrupt ghost payload");
                 }
             };
             // Record the worst ghost-arrival delay of the step (wall time
@@ -683,6 +730,11 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 // from the config's NetSpec.
                 let metrics = compute_metrics(&ownership.counts(), &busy_vec);
                 let plan = policy.plan(&ownership, &metrics, &lb_net);
+                let wire: Vec<(u64, u32, u32)> = plan
+                    .moves
+                    .iter()
+                    .map(|m| (m.sd as u64, m.from, m.to))
+                    .collect();
                 if !plan.moves.is_empty() {
                     lb_traces.push(EpochTrace::record(
                         step + 1,
@@ -691,13 +743,9 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                         &ownership,
                         &lb_net,
                     ));
-                    lb_plans.push(plan.moves.clone());
+                    // take the move list instead of cloning it
+                    lb_plans.push(plan.moves);
                 }
-                let wire: Vec<(u64, u32, u32)> = plan
-                    .moves
-                    .iter()
-                    .map(|m| (m.sd as u64, m.from, m.to))
-                    .collect();
                 let payload = wire.to_bytes();
                 for n in 0..setup.n_nodes {
                     loc.send(n, tag(CLASS_LBPLAN, epoch, n as u64, 0), payload.clone());
@@ -706,34 +754,56 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
             let moves: Vec<(u64, u32, u32)> =
                 Wire::from_bytes(plan_fut.get()).expect("corrupt LB plan");
             let migrate_t0 = Instant::now();
-            // send outgoing SDs first, then collect incoming
+            // send outgoing SDs first, then collect incoming; tiles of
+            // migrated-away SDs go back to the pool (all step tasks have
+            // completed, so the Arc is uniquely held) and incoming SDs
+            // draw from it, so repeated epochs stop allocating tile pairs
             let mut incoming: Vec<(SdId, Future<Bytes>)> = Vec::new();
             for &(sd64, from, to) in &moves {
                 let sd = sd64 as SdId;
                 if from == me {
                     let unit = states.remove(&sd).expect("migrating unowned SD");
-                    let curr = unit.cell.curr.read();
-                    let payload = pack_tile_rect(&curr, &curr.interior_rect());
-                    loc.send(to, tag(CLASS_MIGRATE, epoch, sd as u64, 0), payload);
+                    {
+                        let curr = unit.cell.curr.read();
+                        let payload = pack_tile_rect(&curr, &curr.interior_rect());
+                        loc.send(to, tag(CLASS_MIGRATE, epoch, sd as u64, 0), payload);
+                    }
+                    if let Ok(cell) = Arc::try_unwrap(unit.cell) {
+                        tile_pool.push(cell.curr.into_inner());
+                        tile_pool.push(cell.next.into_inner());
+                    }
                 }
                 if to == me {
                     incoming.push((sd, loc.expect(tag(CLASS_MIGRATE, epoch, sd as u64, 0))));
                 }
                 owners[sd as usize] = to;
             }
+            let fresh_tile = |pool: &mut Vec<Tile>| {
+                pool.pop()
+                    .map(|mut t| {
+                        // pooled tiles must look newly constructed
+                        t.data_mut().fill(0.0);
+                        t
+                    })
+                    .unwrap_or_else(|| Tile::new(sds.sd, halo))
+            };
             for (sd, fut) in incoming {
                 let mut payload = fut.get();
-                let values = decode_f64_vec(&mut payload).expect("corrupt migration");
                 let origin = sds.origin(sd);
-                let mut curr = Tile::new(sds.sd, halo);
-                curr.unpack(&Rect::new(0, 0, sds.sd, sds.sd), &values);
+                let mut curr = fresh_tile(&mut tile_pool);
+                decode_f64_rows(
+                    &mut payload,
+                    curr.rect_rows_mut(&Rect::new(0, 0, sds.sd, sds.sd)),
+                )
+                .expect("corrupt migration");
+                let next = fresh_tile(&mut tile_pool);
                 states.insert(
                     sd,
                     NodeSd {
                         origin,
                         cell: Arc::new(SdCell {
                             curr: RwLock::new(curr),
-                            next: Mutex::new(Tile::new(sds.sd, halo)),
+                            next: Mutex::new(next),
                         }),
                     },
                 );

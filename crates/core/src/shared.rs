@@ -11,7 +11,7 @@ use crate::workload::WorkModel;
 use nlheat_amt::future::when_all;
 use nlheat_amt::pool::ThreadPool;
 use nlheat_mesh::{build_halo_plan, HaloPlan, PatchSource, SdGrid, Tile};
-use nlheat_model::{ErrorAccumulator, ProblemParts, ProblemSpec, SourceFn};
+use nlheat_model::{ErrorAccumulator, KernelPlan, ProblemParts, ProblemSpec, SourceFn};
 use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -82,7 +82,7 @@ pub struct SharedSolver {
     sds: SdGrid,
     units: Vec<SdUnit>,
     pool: ThreadPool,
-    kernel_offsets: Arc<Vec<isize>>,
+    kernel_plan: Arc<KernelPlan>,
     source: SourceFn,
     step: usize,
 }
@@ -117,7 +117,7 @@ impl SharedSolver {
             })
             .collect();
         let pool = ThreadPool::new(cfg.n_threads, "shared");
-        let kernel_offsets = Arc::new(parts.kernel.storage_offsets(sds.sd + 2 * halo));
+        let kernel_plan = Arc::new(parts.kernel.plan(sds.sd + 2 * halo));
         let source = m.source_fn();
         SharedSolver {
             cfg,
@@ -125,7 +125,7 @@ impl SharedSolver {
             sds,
             units,
             pool,
-            kernel_offsets,
+            kernel_plan,
             source,
             step: 0,
         }
@@ -160,7 +160,7 @@ impl SharedSolver {
             .map(|unit| {
                 let cell = unit.cell.clone();
                 let kernel = kernel.clone();
-                let offsets = self.kernel_offsets.clone();
+                let plan = self.kernel_plan.clone();
                 let source = self.source.clone();
                 let origin = unit.origin;
                 let repeats = unit.repeats;
@@ -168,8 +168,8 @@ impl SharedSolver {
                     let curr = cell.curr.read();
                     let mut next = cell.next.lock();
                     let region = curr.interior_rect();
-                    kernel.apply_region(
-                        &curr, &mut next, &region, &offsets, origin, t, dt, &source, repeats,
+                    kernel.apply_region_blocked(
+                        &curr, &mut next, &region, &plan, origin, t, dt, &source, repeats,
                     );
                 })
             })

@@ -109,6 +109,32 @@ impl Tile {
         out
     }
 
+    /// The rows of `rect` (local coordinates) as borrowed slices, top to
+    /// bottom — lets codecs stream a rectangle straight off the strided
+    /// storage without the intermediate vector [`pack`](Self::pack) builds.
+    pub fn rect_rows(&self, rect: &Rect) -> impl Iterator<Item = &[f64]> {
+        debug_assert!(self.padded_rect().contains_rect(rect));
+        let w = rect.w as usize;
+        let first = self.index(rect.x0, rect.y0);
+        self.data[first..]
+            .chunks(self.stride as usize)
+            .take(rect.h as usize)
+            .map(move |row| &row[..w])
+    }
+
+    /// Mutable counterpart of [`rect_rows`](Self::rect_rows): the rows of
+    /// `rect` as mutable slices, for decoding payloads straight into the
+    /// tile without an intermediate vector.
+    pub fn rect_rows_mut(&mut self, rect: &Rect) -> impl Iterator<Item = &mut [f64]> {
+        debug_assert!(self.padded_rect().contains_rect(rect));
+        let w = rect.w as usize;
+        let first = self.index(rect.x0, rect.y0);
+        self.data[first..]
+            .chunks_mut(self.stride as usize)
+            .take(rect.h as usize)
+            .map(move |row| &mut row[..w])
+    }
+
     /// Write a row-major vector into the cells of `rect` (local coords).
     ///
     /// # Panics
@@ -219,6 +245,40 @@ mod tests {
         for (x, y) in rect.cells() {
             assert_eq!(b.get(x, y), a.get(x, y));
         }
+    }
+
+    #[test]
+    fn rect_rows_match_pack() {
+        let mut t = Tile::new(6, 2);
+        for (i, (x, y)) in t.padded_rect().cells().enumerate() {
+            t.set(x, y, i as f64);
+        }
+        for rect in [
+            Rect::new(1, 2, 3, 2),
+            Rect::new(-2, 0, 2, 6), // left halo strip
+            Rect::new(0, 6, 6, 2),  // top halo strip
+            Rect::new(4, 4, 4, 4),  // bottom-right corner incl. halo end
+        ] {
+            let packed = t.pack(&rect);
+            let streamed: Vec<f64> = t.rect_rows(&rect).flatten().copied().collect();
+            assert_eq!(streamed, packed, "rect {rect:?}");
+        }
+    }
+
+    #[test]
+    fn rect_rows_mut_writes_like_unpack() {
+        let rect = Rect::new(-1, 0, 2, 3);
+        let values: Vec<f64> = (0..6).map(f64::from).collect();
+        let mut a = Tile::new(4, 1);
+        a.unpack(&rect, &values);
+        let mut b = Tile::new(4, 1);
+        let mut it = values.iter();
+        for row in b.rect_rows_mut(&rect) {
+            for v in row {
+                *v = *it.next().unwrap();
+            }
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod serial;
 
 pub mod prelude {
     pub use crate::influence::{conductivity_constant_1d, conductivity_constant_2d, Influence};
-    pub use crate::kernel::{zero_source, NonlocalKernel, SourceFn};
+    pub use crate::kernel::{zero_source, KernelPlan, NonlocalKernel, SourceFn};
     pub use crate::manufactured::Manufactured;
     pub use crate::norms::ErrorAccumulator;
     pub use crate::one_dim::{Serial1dSolver, Stencil1d};

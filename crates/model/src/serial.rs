@@ -6,7 +6,7 @@
 //! every timestep applies the discrete operator of eq. 5 over the interior.
 //! The distributed solvers are validated against it bit-for-bit.
 
-use crate::kernel::{NonlocalKernel, SourceFn};
+use crate::kernel::{KernelPlan, NonlocalKernel, SourceFn};
 use crate::manufactured::Manufactured;
 use crate::norms::{step_error, ErrorAccumulator};
 use crate::problem::ProblemParts;
@@ -20,7 +20,7 @@ pub struct SerialSolver {
     source: SourceFn,
     curr: Tile,
     next: Tile,
-    offsets: Vec<isize>,
+    plan: KernelPlan,
     dt: f64,
     step: usize,
     /// Present when built via [`SerialSolver::manufactured`]; enables
@@ -49,14 +49,14 @@ impl SerialSolver {
             }
         }
         let next = Tile::new(grid.nx, grid.halo);
-        let offsets = kernel.storage_offsets(curr.stride());
+        let plan = kernel.plan(curr.stride());
         SerialSolver {
             grid: *grid,
             kernel,
             source,
             curr,
             next,
-            offsets,
+            plan,
             dt,
             step: 0,
             exact: None,
@@ -85,11 +85,11 @@ impl SerialSolver {
     pub fn step(&mut self) {
         let region = Rect::new(0, 0, self.grid.nx, self.grid.ny);
         let t = self.time();
-        self.kernel.apply_region(
+        self.kernel.apply_region_blocked(
             &self.curr,
             &mut self.next,
             &region,
-            &self.offsets,
+            &self.plan,
             (0, 0),
             t,
             self.dt,

@@ -134,35 +134,156 @@ struct Geometry {
     sds: SdGrid,
     plans: Vec<HaloPlan>,
     halo: i64,
+    /// Per-SD ghost cells expected from neighbouring SDs — fixed geometry,
+    /// hoisted out of the per-step unpack-cost computation.
+    ghost_cells: Vec<f64>,
 }
 
 impl Geometry {
     fn build(cfg: &SimConfig) -> Self {
         let grid = Grid::square(cfg.mesh_n, cfg.eps_mult);
         let sds = SdGrid::tile_mesh(cfg.mesh_n, cfg.mesh_n, cfg.sd_size);
-        let plans = sds
+        let plans: Vec<HaloPlan> = sds
             .ids()
             .map(|id| build_halo_plan(&sds, grid.halo, id))
+            .collect();
+        let ghost_cells = plans
+            .iter()
+            .map(|p| p.ghost_cells_from_sds() as f64)
             .collect();
         Geometry {
             sds,
             plans,
             halo: grid.halo,
+            ghost_cells,
+        }
+    }
+}
+
+/// One cross-node ghost transfer, precomputed in exact arrival-call order
+/// (destination SDs ascending, patches in plan order) so replaying the
+/// list hits the stateful [`nlheat_netmodel::NetModel`] with the identical
+/// call sequence the per-step scan used to produce.
+struct GhostSend {
+    src: u32,
+    dst: u32,
+    /// Destination SD the payload feeds.
+    sd: u32,
+    /// Patch area in cells (prices the sender-side pack delay).
+    area: i64,
+    /// Wire bytes on the link.
+    bytes: u64,
+    /// Whether the link crosses a rack boundary under the run's topology.
+    inter_rack: bool,
+}
+
+/// Everything the event loop derives from ownership alone. The per-step
+/// scan used to rebuild all of this (owner copies, cross-node patch scans,
+/// case splits) every step; ownership only changes at realized balancing
+/// epochs, so the view is computed once and swapped on migration.
+struct OwnershipView {
+    owners: Vec<u32>,
+    /// Per-node owned SDs, ascending id (the order `owned_by` yields).
+    owned: Vec<Vec<u32>>,
+    /// Cross-node ghost sends in arrival-call order.
+    sends: Vec<GhostSend>,
+    /// Per-node cells copied for node-local halo patches each step.
+    local_copy_cells: Vec<i64>,
+    /// Per-SD (case-1 area, case-2 area) under this ownership.
+    splits: Vec<(i64, i64)>,
+}
+
+impl OwnershipView {
+    fn build(
+        geo: &Geometry,
+        ownership: &Ownership,
+        nn: usize,
+        comm: &nlheat_netmodel::CommCost,
+    ) -> Self {
+        let owners = ownership.owners().to_vec();
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); nn];
+        let mut sends = Vec::new();
+        let mut local_copy_cells = vec![0i64; nn];
+        let mut splits = Vec::with_capacity(geo.sds.count());
+        for sd in geo.sds.ids() {
+            let dst_node = owners[sd as usize] as usize;
+            owned[dst_node].push(sd);
+            for patch in &geo.plans[sd as usize].patches {
+                if let PatchSource::Sd(src) = patch.source {
+                    let src_node = owners[src as usize] as usize;
+                    if src_node == dst_node {
+                        local_copy_cells[dst_node] += patch.dst_rect.area();
+                        continue;
+                    }
+                    let bytes = nlheat_partition::patch_wire_bytes(patch.dst_rect.area());
+                    sends.push(GhostSend {
+                        src: src_node as u32,
+                        dst: dst_node as u32,
+                        sd,
+                        area: patch.dst_rect.area(),
+                        bytes,
+                        inter_rack: comm.link_class(src_node as u32, dst_node as u32)
+                            == LinkClass::InterRack,
+                    });
+                }
+            }
+            let split = split_cases(geo.sds.sd, geo.halo, &geo.plans[sd as usize], |n| {
+                owners[n as usize] as usize != dst_node
+            });
+            splits.push((split.case1_area(), split.case2_area()));
+        }
+        OwnershipView {
+            owners,
+            owned,
+            sends,
+            local_copy_cells,
+            splits,
+        }
+    }
+}
+
+/// Per-step scratch buffers reused across the whole run: the event loop
+/// proper performs no heap allocation once these reach steady-state size.
+struct StepScratch {
+    /// Ghost arrival times keyed by destination SD.
+    arrivals: Vec<Vec<f64>>,
+    /// (ready, duration) task list for the node being scheduled.
+    tasks: Vec<(f64, f64)>,
+    /// Core-free-time heap for the list scheduler.
+    free: BinaryHeap<Reverse<Ordered>>,
+}
+
+impl StepScratch {
+    fn new(sd_count: usize, max_cores: usize) -> Self {
+        StepScratch {
+            arrivals: vec![Vec::new(); sd_count],
+            tasks: Vec::new(),
+            free: BinaryHeap::with_capacity(max_cores.max(1)),
         }
     }
 }
 
 /// List-schedule `tasks` (ready, duration) onto `cores` cores that are
-/// free from `t0`. Returns (finish time, busy seconds).
-fn list_schedule(tasks: &mut [(f64, f64)], cores: usize, t0: f64) -> (f64, f64) {
+/// free from `t0`, reusing the caller's `free` heap (cleared on entry) so
+/// the per-step hot path never allocates. Returns (finish time, busy
+/// seconds).
+///
+/// `total_cmp` orders every value the simulator produces exactly like the
+/// previous `partial_cmp` sort (virtual times are finite and
+/// non-negative), and equal (ready, duration) pairs are interchangeable
+/// under list scheduling, so the unstable sort leaves results bit-identical.
+fn list_schedule(
+    tasks: &mut [(f64, f64)],
+    cores: usize,
+    t0: f64,
+    free: &mut BinaryHeap<Reverse<Ordered>>,
+) -> (f64, f64) {
     if tasks.is_empty() {
         return (t0, 0.0);
     }
-    tasks.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let mut free: BinaryHeap<Reverse<Ordered>> = BinaryHeap::new();
-    for _ in 0..cores.max(1) {
-        free.push(Reverse(Ordered(t0)));
-    }
+    tasks.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+    free.clear();
+    free.extend((0..cores.max(1)).map(|_| Reverse(Ordered(t0))));
     let mut finish = t0;
     let mut busy = 0.0;
     for &(ready, dur) in tasks.iter() {
@@ -242,101 +363,83 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
         lb.spec.build()
     });
     let mut last_barrier = 0.0f64;
+    let max_cores = cfg.nodes.iter().map(|n| n.cores).max().unwrap_or(1);
+    let mut scratch = StepScratch::new(geo.sds.count(), max_cores);
+    let mut view = OwnershipView::build(&geo, &ownership, nn, &comm);
 
     for step in 0..cfg.n_steps {
         // --- ghost messages: (dst node, dst sd) -> arrival time ---
-        // iterate destination SDs in id order; sender NICs serialize.
-        let owners = ownership.owners().to_vec();
-        let mut arrivals: Vec<Vec<f64>> = vec![Vec::new(); geo.sds.count()];
-        for sd in geo.sds.ids() {
-            let dst_node = owners[sd as usize] as usize;
-            for patch in &geo.plans[sd as usize].patches {
-                if let PatchSource::Sd(src) = patch.source {
-                    let src_node = owners[src as usize] as usize;
-                    if src_node == dst_node {
-                        continue;
-                    }
-                    let bytes = nlheat_partition::patch_wire_bytes(patch.dst_rect.area());
-                    // pack cost delays the send readiness a little
-                    let ready = node_time[src_node]
-                        + cfg.cost.copy_sec_per_cell * patch.dst_rect.area() as f64;
-                    let arr = net.arrival(
-                        ready,
-                        &Msg {
-                            src: src_node as u32,
-                            dst: dst_node as u32,
-                            bytes,
-                        },
-                    );
-                    arrivals[sd as usize].push(arr);
-                    cross_bytes += bytes;
-                    ghost_bytes += bytes;
-                    if comm.link_class(src_node as u32, dst_node as u32) == LinkClass::InterRack {
-                        inter_rack_ghost_bytes += bytes;
-                    }
-                    messages += 1;
-                }
+        // replay the precomputed send list (destination SDs in id order,
+        // the order sender NICs serialize in).
+        for v in scratch.arrivals.iter_mut() {
+            v.clear();
+        }
+        for s in &view.sends {
+            // pack cost delays the send readiness a little
+            let ready = node_time[s.src as usize] + cfg.cost.copy_sec_per_cell * s.area as f64;
+            let arr = net.arrival(
+                ready,
+                &Msg {
+                    src: s.src,
+                    dst: s.dst,
+                    bytes: s.bytes,
+                },
+            );
+            scratch.arrivals[s.sd as usize].push(arr);
+            cross_bytes += s.bytes;
+            ghost_bytes += s.bytes;
+            if s.inter_rack {
+                inter_rack_ghost_bytes += s.bytes;
             }
+            messages += 1;
         }
 
         // --- per-node task graphs and scheduling ---
+        let work = cfg.work_at(step);
         for node in 0..nn {
             let spec = cfg.nodes[node];
-            let owned = ownership.owned_by(node as u32);
+            let owned = &view.owned[node];
             // serial driver phase: local halo copies + task spawns
-            let mut local_copy_cells = 0i64;
-            for &sd in &owned {
-                for patch in &geo.plans[sd as usize].patches {
-                    if let PatchSource::Sd(src) = patch.source {
-                        if owners[src as usize] as usize == node {
-                            local_copy_cells += patch.dst_rect.area();
-                        }
-                    }
-                }
-            }
             let n_tasks_approx = owned.len().max(1);
-            let serial = cfg.cost.copy_sec_per_cell * local_copy_cells as f64
+            let serial = cfg.cost.copy_sec_per_cell * view.local_copy_cells[node] as f64
                 + cfg.cost.spawn_sec * n_tasks_approx as f64;
             let t0 = node_time[node] + serial;
 
-            let mut tasks: Vec<(f64, f64)> = Vec::new();
+            scratch.tasks.clear();
             let mut step_ghost_delay = 0.0f64;
-            for &sd in &owned {
-                let factor = cfg.work_at(step).factor(&geo.sds, sd);
-                let split = split_cases(geo.sds.sd, geo.halo, &geo.plans[sd as usize], |n| {
-                    owners[n as usize] as usize != node
-                });
-                let ghosts_in = if arrivals[sd as usize].is_empty() {
+            for &sd in owned {
+                let factor = work.factor(&geo.sds, sd);
+                let (case1_area, case2_area) = view.splits[sd as usize];
+                let arrived = &scratch.arrivals[sd as usize];
+                let ghosts_in = if arrived.is_empty() {
                     t0
                 } else {
-                    let unpack = cfg.cost.copy_sec_per_cell
-                        * (geo.plans[sd as usize].ghost_cells_from_sds() as f64);
-                    let ready = arrivals[sd as usize].iter().fold(t0, |m, &a| m.max(a)) + unpack;
+                    let unpack = cfg.cost.copy_sec_per_cell * geo.ghost_cells[sd as usize];
+                    let ready = arrived.iter().fold(t0, |m, &a| m.max(a)) + unpack;
                     step_ghost_delay = step_ghost_delay.max(ready - t0);
                     ready
                 };
                 if cfg.overlap {
-                    if split.case2_area() > 0 {
-                        tasks.push((
-                            t0,
-                            cfg.cost.task_sec(split.case2_area(), factor, spec.speed),
-                        ));
+                    if case2_area > 0 {
+                        scratch
+                            .tasks
+                            .push((t0, cfg.cost.task_sec(case2_area, factor, spec.speed)));
                     }
-                    if split.case1_area() > 0 {
-                        tasks.push((
-                            ghosts_in,
-                            cfg.cost.task_sec(split.case1_area(), factor, spec.speed),
-                        ));
+                    if case1_area > 0 {
+                        scratch
+                            .tasks
+                            .push((ghosts_in, cfg.cost.task_sec(case1_area, factor, spec.speed)));
                     }
                 } else {
-                    tasks.push((
+                    scratch.tasks.push((
                         ghosts_in,
                         cfg.cost
                             .task_sec(geo.sds.cells_per_sd() as i64, factor, spec.speed),
                     ));
                 }
             }
-            let (finish, busy) = list_schedule(&mut tasks, spec.cores, t0);
+            let (finish, busy) =
+                list_schedule(&mut scratch.tasks, spec.cores, t0, &mut scratch.free);
             node_time[node] = finish;
             busy_total[node] += busy;
             busy_window[node] += busy;
@@ -370,7 +473,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 // computes for the same scenario.
                 LbInput::Modeled => modeled_busy(
                     &geo.sds,
-                    ownership.owners(),
+                    &view.owners,
                     n_nodes,
                     cfg.work_at(step),
                     &speeds,
@@ -390,7 +493,6 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                     &ownership,
                     &lb_net,
                 ));
-                lb_plans.push(plan.moves.clone());
                 // migration costs: tile payloads over the network
                 net.reset(barrier);
                 for mv in &plan.moves {
@@ -411,8 +513,12 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 migrations += plan.moves.len();
                 migration_bytes += plan.comm.total_bytes;
                 inter_rack_migration_bytes += plan.comm.inter_rack_bytes();
-                ownership = plan.new_ownership.clone();
+                // take ownership of the plan instead of cloning the full
+                // owner map and move list out of it
+                ownership = plan.new_ownership;
+                lb_plans.push(plan.moves);
                 lb_history.push(ownership.counts());
+                view = OwnershipView::build(&geo, &ownership, nn, &comm);
             }
             // Feedback for adaptive policies: how much of the balancing
             // window the epoch's migrations stalled the cluster.

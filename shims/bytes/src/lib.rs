@@ -6,7 +6,7 @@
 //! workspace codec uses. Only the API surface exercised here is provided.
 
 use std::fmt;
-use std::ops::{Deref, Range};
+use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
 /// A cheaply-cloneable, sliceable, immutable byte buffer.
@@ -217,6 +217,12 @@ impl BytesMut {
         self.vec.extend_from_slice(data);
     }
 
+    /// Grow (zero-filling with `value`) or shrink to `new_len` bytes —
+    /// lets bulk encoders allocate once and write through `DerefMut`.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.vec)
     }
@@ -226,6 +232,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
     }
 }
 

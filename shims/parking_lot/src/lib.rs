@@ -85,6 +85,12 @@ impl<T> RwLock<T> {
             inner: sync::RwLock::new(value),
         }
     }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 impl<T: ?Sized> RwLock<T> {

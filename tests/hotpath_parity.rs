@@ -1,0 +1,151 @@
+//! Numerics pin for the hot-path optimizations: the blocked kernel, the
+//! zero-copy halo codec and the pooled migration buffers must be invisible
+//! in the results. Every optimized path is compared against the retained
+//! scalar/copying reference — `apply_region` with a flat offset table, and
+//! `pack` + `encode_f64_slice` — bit for bit, at scenario scope.
+
+use bytes::BytesMut;
+use nlheat_amt::codec::{decode_f64_rows, decode_f64_vec, encode_f64_rows, encode_f64_slice};
+use nlheat_mesh::{Rect, Tile};
+use nonlocalheat::prelude::*;
+
+/// Forward-Euler on one whole-mesh tile via the *scalar* kernel path —
+/// the pre-optimization reference the runtimes are pinned against.
+fn scalar_reference_field(sc: &Scenario) -> Vec<f64> {
+    let parts = sc.problem.build();
+    let grid = parts.grid;
+    let m = &parts.manufactured;
+    let mut curr = Tile::new(grid.nx, grid.halo);
+    for lj in 0..grid.ny {
+        for li in 0..grid.nx {
+            curr.set(li, lj, m.initial(li, lj));
+        }
+    }
+    let mut next = Tile::new(grid.nx, grid.halo);
+    let offsets = parts.kernel.storage_offsets(curr.stride());
+    let source = m.source_fn();
+    let region = curr.interior_rect();
+    for step in 0..sc.steps {
+        let t = step as f64 * parts.dt;
+        parts.kernel.apply_region(
+            &curr,
+            &mut next,
+            &region,
+            &offsets,
+            (0, 0),
+            t,
+            parts.dt,
+            &source,
+            1,
+        );
+        std::mem::swap(&mut curr, &mut next);
+    }
+    let mut out = Vec::with_capacity((grid.nx * grid.ny) as usize);
+    for gj in 0..grid.ny {
+        for gi in 0..grid.nx {
+            out.push(curr.get(gi, gj));
+        }
+    }
+    out
+}
+
+fn pinned_scenarios() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("paper-baseline", scenarios::paper_baseline(true)),
+        ("lopsided-two-rack", scenarios::lopsided_two_rack(true)),
+    ]
+}
+
+#[test]
+fn optimized_runtime_matches_scalar_reference_bitwise() {
+    // The real runtime now runs the blocked kernel, streams halos through
+    // the zero-copy codec and recycles migration tiles — the field must
+    // still equal the scalar single-tile integration bit for bit.
+    for (name, sc) in pinned_scenarios() {
+        let reference = scalar_reference_field(&sc);
+        let report = sc.run_dist();
+        let field = report.field.expect("real runs carry the field");
+        assert_eq!(field.len(), reference.len(), "{name}");
+        for (i, (got, want)) in field.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{name}: cell {i} diverged from the scalar reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn serial_solver_blocked_path_matches_scalar_reference() {
+    // The serial solver switched to the blocked kernel too; pin it against
+    // the same scalar reference.
+    for (name, sc) in pinned_scenarios() {
+        let reference = scalar_reference_field(&sc);
+        let parts = sc.problem.build();
+        let mut serial = SerialSolver::manufactured(&parts);
+        serial.run(sc.steps);
+        assert_eq!(serial.field(), reference, "{name}");
+    }
+}
+
+#[test]
+fn report_counters_unchanged_across_substrates() {
+    // Plan-derived counters must not notice the optimizations: under
+    // modeled planning input both substrates still produce identical plan
+    // sequences, histories and planner-grade byte counters.
+    for (name, sc) in pinned_scenarios() {
+        let sc = sc.with_lb_input(LbInput::Modeled);
+        let sim = sc.run_sim();
+        let real = sc.run_dist();
+        assert_eq!(sim.lb_plans, real.lb_plans, "{name}");
+        assert_eq!(sim.lb_history, real.lb_history, "{name}");
+        assert_eq!(
+            (sim.ghost_bytes, sim.inter_rack_ghost_bytes),
+            (real.ghost_bytes, real.inter_rack_ghost_bytes),
+            "{name}"
+        );
+        assert_eq!(
+            (sim.migrations, sim.migration_bytes),
+            (real.migrations, real.migration_bytes),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn zero_copy_codec_wire_format_matches_copying_path() {
+    // Same payload bytes on the wire, same values after decode — the
+    // zero-copy rows codec is a drop-in for pack + slice-encode.
+    let mut tile = Tile::new(12, 3);
+    for (i, (x, y)) in tile.padded_rect().cells().enumerate() {
+        tile.set(x, y, (i as f64).sin());
+    }
+    for rect in [
+        Rect::new(0, 0, 3, 12),  // case-2 edge strip
+        Rect::new(-3, 0, 3, 12), // halo destination strip
+        Rect::new(0, 0, 12, 12), // whole interior (migration payload)
+    ] {
+        let legacy = {
+            let mut buf = BytesMut::new();
+            encode_f64_slice(&tile.pack(&rect), &mut buf);
+            buf.freeze()
+        };
+        let streamed = {
+            let mut buf = BytesMut::new();
+            encode_f64_rows(rect.area() as usize, tile.rect_rows(&rect), &mut buf);
+            buf.freeze()
+        };
+        assert_eq!(
+            legacy, streamed,
+            "wire bytes must be identical for {rect:?}"
+        );
+
+        let mut via_vec = Tile::new(12, 3);
+        let values = decode_f64_vec(&mut legacy.clone()).unwrap();
+        via_vec.unpack(&rect, &values);
+        let mut via_rows = Tile::new(12, 3);
+        decode_f64_rows(&mut streamed.clone(), via_rows.rect_rows_mut(&rect)).unwrap();
+        assert_eq!(via_vec, via_rows, "decoded tiles must match for {rect:?}");
+    }
+}
