@@ -14,11 +14,14 @@
 
 use bytes::BytesMut;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nlheat_core::balance::LbSpec;
+use nlheat_core::scenario::sweep::{Axis, ScenarioSweep};
+use nlheat_core::scenario::{ClusterSpec, PartitionSpec, Scenario};
 use nlheat_core::scenarios;
 use nlheat_mesh::{Grid, Rect, Tile};
 use nlheat_model::{zero_source, Influence, NonlocalKernel};
 use nlheat_sim::engine::{simulate, SimConfig, VirtualNode};
-use nlheat_sim::scenario::RunSim;
+use nlheat_sim::scenario::{RunSim, SimSubstrate};
 use nlheat_sim::LbSchedule;
 use std::sync::Once;
 
@@ -210,11 +213,48 @@ fn e2e_bench(c: &mut Criterion) {
     g.finish();
 }
 
+fn sweep_bench(c: &mut Criterion) {
+    init();
+    // Sweep throughput (runs/second) is a first-class performance surface:
+    // a 16-run λ × μ grid of tree-planner simulations on the two-rack
+    // workload, through the parallel runner at 1 and 4 workers. On a
+    // multi-core host the 4-worker leg should be well under the 1-worker
+    // leg; on any host it must not be slower beyond queue overhead — the
+    // `bench_gate` pair check enforces exactly that.
+    let mut g = c.benchmark_group("sweep");
+    let base = Scenario::square(200, 8.0, 25, 8)
+        .on(ClusterSpec::speeds(&[2.0, 1.0, 2.0, 1.0]))
+        .with_partition(PartitionSpec::Strip)
+        .with_net(scenarios::two_rack_net());
+    for (label, parallelism) in [("1thr", 1usize), ("4thr", 4)] {
+        let sweep = ScenarioSweep::new(base.clone())
+            .axis(Axis::numeric("lambda", &[0.0, 0.5, 1.0, 2.0], |sc, l| {
+                sc.with_lb(LbSchedule::every(2).with_spec(LbSpec::tree(l)))
+            }))
+            .axis(Axis::numeric(
+                "mu",
+                &[0.0, 0.05, 0.1, 0.25],
+                |mut sc, mu| {
+                    if let Some(lb) = &mut sc.lb {
+                        lb.spec = lb.spec.clone().with_mu(mu);
+                    }
+                    sc
+                },
+            ))
+            .with_parallelism(parallelism);
+        g.bench_function(&format!("quick_grid_16runs_{label}"), |b| {
+            b.iter(|| black_box(sweep.run_collect(&SimSubstrate)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     event_core_bench,
     halo_codec_bench,
     kernel_bench,
-    e2e_bench
+    e2e_bench,
+    sweep_bench
 );
 criterion_main!(benches);

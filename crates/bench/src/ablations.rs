@@ -2,13 +2,14 @@
 
 use crate::figdata::{FigData, Series};
 use nlheat_core::balance::{LbSchedule, LbSpec};
+use nlheat_core::scenario::sweep::{Axis, ScenarioSweep};
 use nlheat_core::scenario::{ClusterSpec, PartitionSpec, Scenario};
 use nlheat_core::scenarios::{lopsided_owners, two_rack_net};
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{Grid, SdGrid};
 use nlheat_netmodel::{LinkClass, NetSpec};
 use nlheat_partition::{edge_cut, sd_dual_graph, strip_partition, SdGraph};
-use nlheat_sim::{simulate, RunSim, SimConfig, VirtualNode};
+use nlheat_sim::{simulate, RunSim, SimConfig, SimSubstrate, VirtualNode};
 
 fn nodes1(n: usize) -> Vec<VirtualNode> {
     (0..n).map(|_| VirtualNode::with_cores(1)).collect()
@@ -246,13 +247,27 @@ pub fn a6_network_models(quick: bool) -> FigData {
         (2.0, NetSpec::shared(1e-4, 1e8)),
         (3.0, two_rack_net()),
     ];
-    let base = Scenario::square(400, 8.0, 25, steps).on(ClusterSpec { nodes });
+    let mut net_axis = Axis::new("net");
+    for (x, spec) in specs {
+        net_axis = net_axis.value(format!("{x}"), x, move |sc: Scenario| sc.with_net(spec));
+    }
+    let sweep = ScenarioSweep::new(Scenario::square(400, 8.0, 25, steps).on(ClusterSpec { nodes }))
+        .axis(net_axis)
+        .axis(Axis::new("lb").value("off", 0.0, |sc: Scenario| sc).value(
+            "on",
+            1.0,
+            |sc: Scenario| sc.with_lb(LbSchedule::every(4)),
+        ))
+        .with_parallelism(2);
     let mut off = Series::new("LB off");
     let mut on = Series::new("LB on (period 4)");
-    for (x, spec) in specs {
-        let sc = base.clone().with_net(spec);
-        off.push(x, sc.run_sim().makespan * 1e3);
-        on.push(x, sc.with_lb(LbSchedule::every(4)).run_sim().makespan * 1e3);
+    for record in sweep.run_collect(&SimSubstrate) {
+        let x = record.axis_x("net").expect("net axis");
+        let series = match record.axis_label("lb") {
+            Some("off") => &mut off,
+            _ => &mut on,
+        };
+        series.push(x, record.makespan * 1e3);
     }
     fig.series = vec![off, on];
     fig
@@ -280,17 +295,23 @@ pub fn a7_comm_aware_lambda(quick: bool) -> FigData {
         .on(ClusterSpec::speeds(&[2.0, 1.0, 2.0, 1.0]))
         .with_partition(PartitionSpec::Strip)
         .with_net(two_rack_net());
+    let sweep = ScenarioSweep::new(base)
+        .axis(Axis::numeric(
+            "lambda",
+            &[0.0, 0.5, 1.0, 2.0, 4.0],
+            |sc, lambda| {
+                sc.with_lb(LbSchedule::every(4).with_spec(LbSpec::Tree { lambda, mu: 0.0 }))
+            },
+        ))
+        .with_parallelism(2);
     let mut inter = Series::new("inter-rack-KB");
     let mut total = Series::new("migration-KB");
     let mut time = Series::new("time-ms");
-    for &lambda in &[0.0, 0.5, 1.0, 2.0, 4.0] {
-        let run = base
-            .clone()
-            .with_lb(LbSchedule::every(4).with_spec(LbSpec::Tree { lambda, mu: 0.0 }))
-            .run_sim();
-        inter.push(lambda, run.inter_rack_migration_bytes as f64 / 1e3);
-        total.push(lambda, run.migration_bytes as f64 / 1e3);
-        time.push(lambda, run.makespan * 1e3);
+    for record in sweep.run_collect(&SimSubstrate) {
+        let lambda = record.axis_x("lambda").expect("lambda axis");
+        inter.push(lambda, record.inter_rack_migration_bytes as f64 / 1e3);
+        total.push(lambda, record.migration_bytes as f64 / 1e3);
+        time.push(lambda, record.makespan * 1e3);
     }
     fig.series = vec![inter, total, time];
     fig

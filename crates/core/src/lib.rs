@@ -35,6 +35,9 @@ pub use balance::{
 };
 pub use dist::{run_distributed, DistConfig, DistReport};
 pub use ownership::Ownership;
+pub use scenario::sweep::{
+    Axis, JsonlSink, MemorySink, RunRecord, ScenarioSweep, SweepSink, SweepSummary,
+};
 pub use scenario::{
     ClusterSpec, DistSubstrate, LbInput, PartitionSpec, RunExtras, RunReport, Scenario, Substrate,
     VirtualNode,

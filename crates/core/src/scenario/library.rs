@@ -78,17 +78,20 @@ pub fn paper_baseline(quick: bool) -> Scenario {
 /// ghost-aware tree planner (μ in the shaping band), so *where* the
 /// cross-rack territories grow is the experiment.
 pub fn lopsided_two_rack(quick: bool) -> Scenario {
+    // The quick size keeps 8-cell SDs and a wider stencil (like the
+    // heterogeneous entry) so per-SD busy relief clears the ~100 µs link
+    // estimates μ weighs it against — at 4-cell SDs any practical μ gated
+    // the whole redistribution (the old A9 smoke-scale caveat) and the
+    // quick variant had to plan ghost-blind. μ stays small because the
+    // modeled planning input sees one step of busy, not a whole epoch
+    // window; 0.01 shapes plans without gating them in either mode.
     let base = if quick {
-        Scenario::square(16, 2.0, 4, 6)
+        Scenario::square(48, 4.0, 8, 8)
     } else {
         Scenario::square(400, 8.0, 25, 48)
     };
     let sds = base.sd_grid();
-    // μ shapes plans at paper scale; at toy scale every busy relief is
-    // microseconds against ~100 µs link estimates, so any practical μ
-    // would gate the whole redistribution (the A9 smoke-scale caveat) —
-    // the quick variant plans ghost-blind so the redistribution happens.
-    let mu = if quick { 0.0 } else { 0.25 };
+    let mu = if quick { 0.01 } else { 0.25 };
     base.on(ClusterSpec::uniform(4, 1))
         .with_net(two_rack_net())
         .with_partition(PartitionSpec::Explicit(lopsided_owners(&sds, 4)))
@@ -193,6 +196,35 @@ mod tests {
             let report = sc.run_dist();
             report.check_invariants();
             assert!(report.field.is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn quick_imbalanced_scenarios_produce_non_empty_plans() {
+        // The A9 smoke-scale caveat is fixed: every quick scenario that
+        // *starts* imbalanced must actually redistribute, with its real
+        // μ/λ spec, under the deterministic modeled planning input (the
+        // quick lopsided entry used to need a ghost-blind μ = 0 to move
+        // at all). paper-baseline (already balanced) and incast-duplex
+        // (no balancer) legitimately plan nothing.
+        for name in [
+            "lopsided-two-rack",
+            "propagating-crack",
+            "heterogeneous-cluster",
+        ] {
+            let (_, sc) = all(true)
+                .into_iter()
+                .find(|(n, _)| *n == name)
+                .expect("library entry");
+            let report = sc.with_lb_input(super::super::LbInput::Modeled).run_dist();
+            report.check_invariants();
+            assert!(
+                !report.lb_plans.is_empty() && report.migrations > 0,
+                "{name}: quick variant must produce non-empty plans \
+                 (got {} plans, {} migrations)",
+                report.lb_plans.len(),
+                report.migrations
+            );
         }
     }
 

@@ -27,6 +27,7 @@
 //! arXiv:2401.04494).
 
 pub mod library;
+pub mod sweep;
 
 use crate::balance::{EpochTrace, LbSchedule, Move};
 use crate::dist::{run_distributed, DistConfig, DistReport};

@@ -60,6 +60,12 @@ pub fn write_json_if_requested() {
     if let Some(path) = std::env::var_os("NLHEAT_BENCH_JSON") {
         let results = recorded_results();
         let json = results_to_json(&results);
+        // Cargo runs bench binaries from the package directory, not the
+        // workspace root — create missing parents so a relative path
+        // doesn't silently drop the results.
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("criterion shim: failed to write {path:?}: {e}");
         } else {

@@ -55,6 +55,9 @@ pub mod prelude {
     };
     pub use nlheat_core::dist::{run_distributed, DistConfig};
     pub use nlheat_core::ownership::Ownership;
+    pub use nlheat_core::scenario::sweep::{
+        Axis, FnSink, JsonlSink, MemorySink, RunRecord, ScenarioSweep, SweepSink, SweepSummary,
+    };
     pub use nlheat_core::scenario::{
         ClusterSpec, DistSubstrate, LbInput, PartitionSpec, RunExtras, RunReport, Scenario,
         Substrate,
