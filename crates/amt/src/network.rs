@@ -483,6 +483,7 @@ mod tests {
     fn topology_model_distinguishes_rack_pairs() {
         // Racks of 2: 0→1 is intra-rack (fast), 0→2 inter-rack (slow).
         let spec = NetSpec::Topology(TopologySpec {
+            ranks_per_node: 1,
             nodes_per_rack: 2,
             intra_node: nlheat_netmodel::LinkSpec::new(0.0, f64::INFINITY),
             intra_rack: nlheat_netmodel::LinkSpec::new(1e-3, f64::INFINITY),

@@ -14,10 +14,11 @@
 
 use bytes::BytesMut;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use nlheat_core::balance::LbSpec;
+use nlheat_core::balance::{compute_metrics, LbNetwork, LbSpec};
 use nlheat_core::scenario::sweep::{Axis, ScenarioSweep};
-use nlheat_core::scenario::{ClusterSpec, PartitionSpec, Scenario};
+use nlheat_core::scenario::{modeled_busy, work_at, ClusterSpec, PartitionSpec, Scenario};
 use nlheat_core::scenarios;
+use nlheat_core::Ownership;
 use nlheat_mesh::{Grid, Rect, Tile};
 use nlheat_model::{zero_source, Influence, NonlocalKernel};
 use nlheat_sim::engine::{simulate, SimConfig, VirtualNode};
@@ -45,18 +46,22 @@ fn het4() -> Vec<VirtualNode> {
         VirtualNode {
             cores: 1,
             speed: 2.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
     ]
 }
@@ -249,12 +254,61 @@ fn sweep_bench(c: &mut Criterion) {
     g.finish();
 }
 
+fn plan_bench(c: &mut Criterion) {
+    init();
+    // Plan-time regression at cluster scale, on the plan_scale harness the
+    // A10b figure sweeps: the flat tree planner at 1000 ranks (10 SDs/rank
+    // — its global walk is quadratic in ranks, so the lower density keeps
+    // it inside a bench budget) and the hierarchical planner at 10k ranks
+    // over a million SDs. Grid, SD graph and modeled busy times are built
+    // once outside the timer; the measured quantity is exactly one `plan`
+    // call, the same invocation `PlanSubstrate` wall-clocks. The snapshot
+    // band keeps the hierarchical planner's near-linearity honest — a
+    // superlinear regression at 10k ranks blows far past any tolerance.
+    let mut g = c.benchmark_group("plan");
+    for (label, sc, spec) in [
+        (
+            "flat_1k",
+            scenarios::plan_scale_with_density(1000, 10),
+            LbSpec::tree(0.0),
+        ),
+        (
+            "hier_10k",
+            scenarios::plan_scale(10_000),
+            LbSpec::hierarchical(LbSpec::tree(0.0), 0.0),
+        ),
+    ] {
+        let sds = sc.sd_grid();
+        let cells = sds.cells_per_sd();
+        let n_nodes = sc.cluster.len() as u32;
+        let owners = sc.partition.initial_owners(&sds, n_nodes);
+        let busy = modeled_busy(
+            &sds,
+            &owners,
+            n_nodes,
+            work_at(&sc.work, &sc.work_schedule, 0),
+            &sc.cluster.speed_factors(),
+            sc.sec_per_dp(),
+        );
+        let ownership = Ownership::new(sds, owners, n_nodes);
+        let metrics = compute_metrics(&ownership.counts(), &busy);
+        let net = LbNetwork::for_sd_tiles(&sc.net, cells)
+            .with_sd_graph(std::sync::Arc::new(sc.sd_graph()));
+        let mut policy = spec.build();
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(policy.plan(&ownership, &metrics, &net)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     event_core_bench,
     halo_codec_bench,
     kernel_bench,
     e2e_bench,
-    sweep_bench
+    sweep_bench,
+    plan_bench
 );
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 use crate::figdata::{FigData, Series};
 use nlheat_core::balance::{LbSchedule, LbSpec};
 use nlheat_core::scenario::sweep::{Axis, ScenarioSweep};
-use nlheat_core::scenario::{ClusterSpec, PartitionSpec, Scenario};
-use nlheat_core::scenarios::{lopsided_owners, two_rack_net};
+use nlheat_core::scenario::{ClusterSpec, PartitionSpec, PlanSubstrate, RunReport, Scenario};
+use nlheat_core::scenarios::{lopsided_owners, memory_pressure, plan_scale, two_rack_net};
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{Grid, SdGrid};
 use nlheat_netmodel::{LinkClass, NetSpec};
@@ -87,6 +87,7 @@ pub fn a3_sd_size(quick: bool) -> FigData {
             .map(|_| VirtualNode {
                 cores: 2,
                 speed: 1.0,
+                memory_bytes: None,
             })
             .collect();
         let cfg = SimConfig::paper(mesh, sd, steps, nodes);
@@ -109,18 +110,22 @@ pub fn a4_lb_heterogeneous(quick: bool) -> FigData {
         VirtualNode {
             cores: 1,
             speed: 2.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
     ];
     let mut t = Series::new("time");
@@ -223,18 +228,22 @@ pub fn a6_network_models(quick: bool) -> FigData {
         VirtualNode {
             cores: 1,
             speed: 2.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
         VirtualNode {
             cores: 1,
             speed: 1.0,
+            memory_bytes: None,
         },
     ];
     // A deliberately tight network so the serialization term matters:
@@ -470,6 +479,132 @@ pub fn a9_ghost_aware_mu(quick: bool) -> FigData {
     fig
 }
 
+/// Peak capacity overflow over the whole run, in KB: replay the recorded
+/// plans backward from the final ownership (the same walk
+/// [`RunReport::check_invariants`] asserts with) and report the worst
+/// `Σ max(0, used − cap)` any state reaches. Zero when the report carries
+/// no memory tables.
+fn peak_overflow_kb(report: &RunReport) -> f64 {
+    let (Some(caps), Some(fp)) = (&report.memory_bytes, &report.sd_footprint) else {
+        return 0.0;
+    };
+    let overflow = |owners: &[u32]| -> u64 {
+        let mut usage = vec![0u64; caps.len()];
+        for (sd, &o) in owners.iter().enumerate() {
+            usage[o as usize] = usage[o as usize].saturating_add(fp[sd]);
+        }
+        usage
+            .iter()
+            .zip(caps.iter())
+            .map(|(&used, &cap)| used.saturating_sub(cap))
+            .sum()
+    };
+    let mut owners = report.final_ownership.owners().to_vec();
+    let mut peak = overflow(&owners);
+    for moves in report.lb_plans.iter().rev() {
+        for m in moves {
+            owners[m.sd as usize] = m.from;
+        }
+        peak = peak.max(overflow(&owners));
+    }
+    peak as f64 / 1e3
+}
+
+/// **A10** — memory-aware planning under pressure: the `memory-pressure`
+/// library scenario (node 3 twice as fast but capped ~1.5 SD footprints
+/// above its strip start) planned by the capacity-blind flat tree vs the
+/// hierarchical planner. The flat leg funnels SDs onto the fast node past
+/// its capacity — the peak-overflow series quantifies by how much — while
+/// the hierarchical capacity gate must hold overflow at exactly zero and
+/// still shed load toward the other under-loaded nodes.
+pub fn a10_memory_pressure(quick: bool) -> FigData {
+    let mut fig = FigData::new(
+        "A10 — memory pressure: capacity-blind flat tree vs hierarchical planner \
+         (x: 0=flat tree λ=0, 1=hierarchical)",
+        "planner",
+        "sim time (ms) / migrations / peak capacity overflow (KB)",
+    );
+    let base = memory_pressure(quick);
+    let mut time = Series::new("time-ms");
+    let mut migr = Series::new("migrations");
+    let mut over = Series::new("peak-overflow-KB");
+    for (x, spec) in [
+        (0.0, LbSpec::tree(0.0)),
+        (1.0, LbSpec::hierarchical(LbSpec::tree(0.0), 0.0)),
+    ] {
+        let mut sc = base.clone();
+        if let Some(lb) = &mut sc.lb {
+            lb.spec = spec;
+        }
+        let run = sc.run_sim();
+        time.push(x, run.makespan * 1e3);
+        migr.push(x, run.migrations as f64);
+        over.push(x, peak_overflow_kb(&run));
+    }
+    fig.series = vec![time, migr, over];
+    fig
+}
+
+/// **A10b** — plan time vs cluster size on the plan-only substrate: the
+/// synthetic `plan_scale` harness (~100 SDs per rank, 4 ranks/node, 25
+/// nodes/rack, 7-period speed skew from a strip start) swept over rank
+/// counts through [`ScenarioSweep`] + [`PlanSubstrate`], hierarchical vs
+/// flat tree. The hierarchical series must grow near-linearly — that is
+/// the subsystem's claim, regressed at fixed scale by the `plan/hier_10k`
+/// bench — while the flat planner's global frontier walk goes superlinear.
+/// Sweeps run at parallelism 1: plan time is the measured quantity, and
+/// concurrent legs would contend for the cores the clock charges.
+pub fn a10b_plan_time_scaling(quick: bool) -> FigData {
+    let hier_sizes: &[usize] = if quick {
+        &[16, 36, 64]
+    } else {
+        &[1000, 2500, 5000, 10_000]
+    };
+    // The flat walk is ~quadratic in rank count (the point of the
+    // figure), so its full-mode leg stops at 1000 ranks — already ~10 s
+    // of pure planning — while the hierarchical leg rides to 10k.
+    let flat_sizes: &[usize] = if quick {
+        &[16, 36, 64]
+    } else {
+        &[250, 500, 1000]
+    };
+    let mut fig = FigData::new(
+        "A10b — plan time vs cluster size (plan-only substrate, ~100 SDs/rank)",
+        "#ranks",
+        "plan time (ms)",
+    );
+    let leg = |label: &str, sizes: &[usize], spec: LbSpec| -> Series {
+        let mut axis = Axis::new("ranks");
+        for &n in sizes {
+            let mut sc = plan_scale(n);
+            if let Some(lb) = &mut sc.lb {
+                lb.spec = spec.clone();
+            }
+            axis = axis.value(format!("{n}"), n as f64, move |_| sc.clone());
+        }
+        let sweep = ScenarioSweep::new(plan_scale(sizes[0]))
+            .axis(axis)
+            .with_parallelism(1);
+        let mut s = Series::new(label);
+        for record in sweep.run_collect(&PlanSubstrate) {
+            s.push(
+                record.axis_x("ranks").expect("ranks axis"),
+                record.makespan * 1e3,
+            );
+        }
+        s
+    };
+    fig.series = vec![
+        leg(
+            "hier-plan-ms",
+            hier_sizes,
+            LbSpec::hierarchical(LbSpec::tree(0.0), 0.0),
+        ),
+        leg("flat-plan-ms", flat_sizes, LbSpec::tree(0.0)),
+    ];
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -688,6 +823,45 @@ mod tests {
             "real runtime: large μ must not leave a worse inter-rack cut \
              in at least one of 3 attempts: {last_real:?}"
         );
+    }
+
+    #[test]
+    fn a10_hierarchical_holds_the_capacity_line() {
+        // Both legs run the same deterministic simulation, so the
+        // contrast is exact: the hierarchical planner must never exceed
+        // any node's declared capacity (the gate it exists for), while
+        // still planning migrations off the slow nodes; the capacity-
+        // blind flat leg must overflow at least as much.
+        let fig = a10_memory_pressure(true);
+        let migr = &fig.series[1].points;
+        let over = &fig.series[2].points;
+        let flat_over = over[0].1;
+        let hier_over = over[1].1;
+        assert_eq!(hier_over, 0.0, "hierarchical leg overflowed: {over:?}");
+        assert!(
+            flat_over >= hier_over,
+            "flat must not beat the gated planner on overflow: {over:?}"
+        );
+        assert!(
+            migr[1].1 > 0.0,
+            "the capacity gate must not freeze balancing entirely: {migr:?}"
+        );
+    }
+
+    #[test]
+    fn a10b_plan_time_scaling_covers_both_planners() {
+        let fig = a10b_plan_time_scaling(true);
+        assert_eq!(fig.series.len(), 2);
+        for series in &fig.series {
+            assert_eq!(series.points.len(), 3, "{}", series.label);
+            for &(ranks, ms) in &series.points {
+                assert!(
+                    ms.is_finite() && ms > 0.0,
+                    "{} at {ranks} ranks reported {ms} ms",
+                    series.label
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Regenerate the paper's evaluation figures as markdown tables.
 //!
 //! ```text
-//! figures [fig8|fig9|fig10|fig11|fig12|fig13|fig14|a8|a9|ablations|all] [--quick]
+//! figures [fig8|fig9|fig10|fig11|fig12|fig13|fig14|a8|a9|a10|ablations|all] [--quick]
 //! ```
 //!
 //! Full mode uses the paper's exact workload parameters (400×400 and
@@ -38,6 +38,10 @@ fn main() {
         "fig14" => run_fig14(),
         "a8" => println!("{}", ablations::a8_policy_comparison(quick).to_markdown()),
         "a9" => println!("{}", ablations::a9_ghost_aware_mu(quick).to_markdown()),
+        "a10" => {
+            println!("{}", ablations::a10_memory_pressure(quick).to_markdown());
+            println!("{}", ablations::a10b_plan_time_scaling(quick).to_markdown());
+        }
         "ablations" => {
             println!("{}", ablations::a1_partition_quality(quick).to_markdown());
             println!("{}", ablations::a2_overlap(quick).to_markdown());
@@ -49,6 +53,8 @@ fn main() {
             println!("{}", ablations::a7_comm_aware_lambda(quick).to_markdown());
             println!("{}", ablations::a8_policy_comparison(quick).to_markdown());
             println!("{}", ablations::a9_ghost_aware_mu(quick).to_markdown());
+            println!("{}", ablations::a10_memory_pressure(quick).to_markdown());
+            println!("{}", ablations::a10b_plan_time_scaling(quick).to_markdown());
         }
         "all" => {
             println!("{}", fig8(quick).to_markdown());
@@ -68,10 +74,12 @@ fn main() {
             println!("{}", ablations::a7_comm_aware_lambda(quick).to_markdown());
             println!("{}", ablations::a8_policy_comparison(quick).to_markdown());
             println!("{}", ablations::a9_ghost_aware_mu(quick).to_markdown());
+            println!("{}", ablations::a10_memory_pressure(quick).to_markdown());
+            println!("{}", ablations::a10b_plan_time_scaling(quick).to_markdown());
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: figures [fig8..fig14|a8|a9|ablations|all] [--quick]");
+            eprintln!("usage: figures [fig8..fig14|a8|a9|a10|ablations|all] [--quick]");
             std::process::exit(2);
         }
     }

@@ -8,6 +8,65 @@ use nlheat_mesh::SdId;
 use nlheat_netmodel::{CommCost, N_LINK_CLASSES};
 use nlheat_partition::SdGraph;
 
+/// Per-SD migration payload sizes (wire bytes, payload + framing).
+///
+/// The historical planner carried one scalar `sd_bytes` — every tile the
+/// same size — which kept costs constant across a transfer frontier. A
+/// per-SD lookup lets costs and memory footprints differentiate *within*
+/// one frontier (heterogeneous tiles, refined meshes); the
+/// [`SdBytes::Uniform`] variant preserves the scalar behaviour exactly,
+/// so `u64` call sites (via `From`) stay byte-identical by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdBytes {
+    /// Every SD tile ships the same number of wire bytes.
+    Uniform(u64),
+    /// Per-SD wire bytes, indexed by [`SdId`]. Shared, not copied — the
+    /// substrate builds the table once per run.
+    PerSd(std::sync::Arc<Vec<u64>>),
+}
+
+impl SdBytes {
+    /// Wire bytes of `sd`'s migrating tile.
+    ///
+    /// # Panics
+    /// Panics when a [`SdBytes::PerSd`] table does not cover `sd`.
+    pub fn get(&self, sd: SdId) -> u64 {
+        match self {
+            SdBytes::Uniform(b) => *b,
+            SdBytes::PerSd(table) => table[sd as usize],
+        }
+    }
+
+    /// A representative per-tile size for SD-independent estimates (node
+    /// ordering weights, neighbour sorts): the uniform value, or the mean
+    /// of the per-SD table. Never used where an exact per-SD size is
+    /// available.
+    pub fn nominal(&self) -> u64 {
+        match self {
+            SdBytes::Uniform(b) => *b,
+            SdBytes::PerSd(table) if table.is_empty() => 0,
+            SdBytes::PerSd(table) => table.iter().sum::<u64>() / table.len() as u64,
+        }
+    }
+
+    /// Per-SD sizes from an owned table.
+    pub fn per_sd(table: Vec<u64>) -> Self {
+        SdBytes::PerSd(std::sync::Arc::new(table))
+    }
+}
+
+impl From<u64> for SdBytes {
+    fn from(b: u64) -> Self {
+        SdBytes::Uniform(b)
+    }
+}
+
+impl From<Vec<u64>> for SdBytes {
+    fn from(table: Vec<u64>) -> Self {
+        SdBytes::per_sd(table)
+    }
+}
+
 /// One SD migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Move {
@@ -38,14 +97,14 @@ pub struct Move {
 /// what the ownership costs *every step afterwards*; `μ = 0` (the
 /// default, and any plan without an [`SdGraph`]) is pinned byte-identical
 /// to the μ-less planner.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CostParams {
     /// Transfer-cost estimate derived from the active network spec.
     pub comm: CommCost,
     /// Weight of communication cost against busy-time relief.
     pub lambda: f64,
-    /// Wire bytes of one migrating SD tile (payload + framing).
-    pub sd_bytes: u64,
+    /// Wire bytes of each migrating SD tile (payload + framing).
+    pub sd_bytes: SdBytes,
     /// Weight of the per-SD ghost-traffic (edge-cut) delta against
     /// busy-time relief; 0 disables the term.
     pub mu: f64,
@@ -57,12 +116,12 @@ impl CostParams {
         CostParams {
             comm: CommCost::free(),
             lambda: 0.0,
-            sd_bytes: 0,
+            sd_bytes: SdBytes::Uniform(0),
             mu: 0.0,
         }
     }
 
-    pub fn new(comm: CommCost, lambda: f64, sd_bytes: u64) -> Self {
+    pub fn new(comm: CommCost, lambda: f64, sd_bytes: impl Into<SdBytes>) -> Self {
         assert!(
             lambda >= 0.0 && lambda.is_finite(),
             "lambda must be finite and non-negative, got {lambda}"
@@ -70,7 +129,7 @@ impl CostParams {
         CostParams {
             comm,
             lambda,
-            sd_bytes,
+            sd_bytes: sd_bytes.into(),
             mu: 0.0,
         }
     }
@@ -102,12 +161,25 @@ impl CostParams {
         }
     }
 
-    /// λ-weighted cost (seconds) of migrating one SD tile `src` → `dst`;
-    /// exactly 0 when inactive so the degenerate case cannot drift from
-    /// the count-based planner through float noise.
+    /// λ-weighted cost (seconds) of migrating one *nominal* SD tile
+    /// `src` → `dst` — the SD-independent estimate used for node ordering
+    /// (forest growth, neighbour sorts); exactly 0 when inactive so the
+    /// degenerate case cannot drift from the count-based planner through
+    /// float noise. With uniform tiles this equals [`Self::move_cost`]
+    /// for every SD.
     fn edge_weight(&self, src: NodeId, dst: NodeId) -> f64 {
         if self.is_active() {
-            self.lambda * self.comm.seconds(src, dst, self.sd_bytes)
+            self.lambda * self.comm.seconds(src, dst, self.sd_bytes.nominal())
+        } else {
+            0.0
+        }
+    }
+
+    /// λ-weighted cost (seconds) of migrating `sd`'s actual tile
+    /// `src` → `dst`; exactly 0 when inactive (see [`Self::edge_weight`]).
+    fn move_cost(&self, src: NodeId, dst: NodeId, sd: SdId) -> f64 {
+        if self.is_active() {
+            self.lambda * self.comm.seconds(src, dst, self.sd_bytes.get(sd))
         } else {
             0.0
         }
@@ -334,11 +406,12 @@ pub fn plan_rebalance_ghost_aware(
                     (i, m, (-x) as usize) // i lends to m
                 };
                 // Per-SD migration score: busy-time relief minus the
-                // λ-weighted transfer cost. Uniform tiles make it constant
-                // across this frontier, so it acts as a transfer gate —
-                // unless μ is active, in which case each SD additionally
-                // pays (or earns) its ghost-traffic delta.
-                let gain = metrics.relief_per_sd(src as usize) - cost.edge_weight(src, dst);
+                // λ-weighted transfer cost of *that* SD's tile. Uniform
+                // tiles make it constant across this frontier, so it acts
+                // as a transfer gate — per-SD sizes differentiate within
+                // the frontier, and an active μ additionally charges each
+                // SD its ghost-traffic delta.
+                let relief = metrics.relief_per_sd(src as usize);
                 let realized = match ghost {
                     Some(g) => realize_ghost_aware(
                         &mut working,
@@ -347,11 +420,15 @@ pub fn plan_rebalance_ghost_aware(
                         dst,
                         amount,
                         |owners, sd| {
-                            gain - cost.mu * ghost_delta_seconds(&cost.comm, g, owners, sd, dst)
+                            relief
+                                - cost.move_cost(src, dst, sd)
+                                - cost.mu * ghost_delta_seconds(&cost.comm, g, owners, sd, dst)
                         },
                     ),
                     None => {
-                        let chosen = select_transfer_scored(&working, src, dst, amount, |_| gain);
+                        let chosen = select_transfer_scored(&working, src, dst, amount, |sd| {
+                            relief - cost.move_cost(src, dst, sd)
+                        });
                         for &sd in &chosen {
                             working.set_owner(sd, dst);
                             raw.push(Move {
@@ -369,7 +446,7 @@ pub fn plan_rebalance_ghost_aware(
             }
         }
     }
-    finish_plan(metrics, working, raw, &cost.comm, cost.sd_bytes)
+    finish_plan(metrics, working, raw, &cost.comm, &cost.sd_bytes)
 }
 
 /// Realize a ghost-aware transfer of up to `amount` SDs `src` → `dst`,
@@ -416,7 +493,7 @@ pub(crate) fn finish_plan(
     working: Ownership,
     raw: Vec<Move>,
     comm_cost: &CommCost,
-    sd_bytes: u64,
+    sd_bytes: &SdBytes,
 ) -> MigrationPlan {
     let mut moves: Vec<Move> = Vec::new();
     let mut slot: std::collections::HashMap<SdId, usize> = std::collections::HashMap::new();
@@ -435,9 +512,10 @@ pub(crate) fn finish_plan(
     let mut comm = PlanComm::default();
     let mut est_migration_seconds = 0.0;
     for m in &moves {
-        comm.total_bytes += sd_bytes;
-        comm.bytes_by_class[comm_cost.link_class(m.from, m.to) as usize] += sd_bytes;
-        est_migration_seconds += comm_cost.seconds(m.from, m.to, sd_bytes);
+        let bytes = sd_bytes.get(m.sd);
+        comm.total_bytes += bytes;
+        comm.bytes_by_class[comm_cost.link_class(m.from, m.to) as usize] += bytes;
+        est_migration_seconds += comm_cost.seconds(m.from, m.to, bytes);
     }
 
     MigrationPlan {
@@ -721,6 +799,7 @@ mod tests {
     /// staying inside a rack is nearly free.
     fn harsh_two_rack() -> TopologySpec {
         TopologySpec {
+            ranks_per_node: 1,
             nodes_per_rack: 2,
             intra_node: LinkSpec::new(0.0, f64::INFINITY),
             intra_rack: LinkSpec::new(1e-9, f64::INFINITY),

@@ -39,10 +39,12 @@
 //! The tree planner is one strategy behind the pluggable [`policy`] layer:
 //! both substrates select an [`policy::LbPolicy`] via
 //! [`policy::LbSpec`]/[`policy::LbSchedule`] (tree, diffusion,
-//! greedy-steal, or the adaptive-λ decorator), and every policy emits the
-//! same single-hop [`MigrationPlan`] contract.
+//! greedy-steal, the hierarchical memory-aware planner of [`hier`], or
+//! the adaptive-λ/μ decorators), and every policy emits the same
+//! single-hop [`MigrationPlan`] contract.
 
 pub mod algorithm;
+pub mod hier;
 pub mod policy;
 pub mod power;
 pub mod trace;
@@ -52,8 +54,9 @@ pub mod tree;
 pub use algorithm::{
     ghost_delta_seconds, iterate_rebalance, plan_rebalance, plan_rebalance_from_metrics,
     plan_rebalance_ghost_aware, plan_rebalance_with_cost, CostParams, MigrationPlan, Move,
-    PlanComm,
+    PlanComm, SdBytes,
 };
+pub use hier::{hierarchy_is_degenerate, plan_hierarchical, HierPolicy};
 pub use nlheat_partition::SdGraph;
 pub use policy::{
     AdaptiveLambdaPolicy, AdaptiveMuPolicy, DiffusionPolicy, GreedyStealPolicy, LbNetwork,

@@ -39,10 +39,14 @@
 //!   ghost weight from the measured ghost-stall fraction
 //!   ([`LbPolicy::observe_ghost_stall`]), so the recurring-traffic gate is
 //!   steered online instead of hand-picked.
+//! * [`LbSpec::Hierarchical`] — the three-level (racks → nodes → ranks)
+//!   memory-aware planner of [`crate::balance::hier`], near-linear plan
+//!   time at 10k-rank scale; on a degenerate hierarchy without memory
+//!   capacities it delegates wholesale to its inner leaf policy.
 
 use crate::balance::algorithm::{
     finish_plan, ghost_delta_seconds, mu_active, plan_rebalance_ghost_aware, realize_ghost_aware,
-    CostParams, MigrationPlan, Move,
+    CostParams, MigrationPlan, Move, SdBytes,
 };
 use crate::balance::power::LoadMetrics;
 use crate::balance::transfer::select_transfer_scored;
@@ -62,26 +66,37 @@ use std::sync::Arc;
 pub struct LbNetwork {
     /// Transfer-cost estimate derived from the active network spec.
     pub comm: CommCost,
-    /// Wire bytes of one migrating SD tile (payload + framing).
-    pub sd_bytes: u64,
+    /// Wire bytes of each migrating SD tile (payload + framing). The
+    /// [`SdBytes::Uniform`] case is the historical scalar.
+    pub sd_bytes: SdBytes,
     /// The SD adjacency / halo-volume graph ([`SdGraph`]), shared with
     /// the substrate that built it. `None` = ghost-blind planning (every
     /// μ term is inert), the pre-ghost-aware behaviour.
     pub sd_graph: Option<Arc<SdGraph>>,
+    /// Per-rank memory capacity in bytes (`u64::MAX` = unbounded), the
+    /// `VirtualNode::memory_bytes` knob. `None` = memory-blind planning:
+    /// capacity gates are inert everywhere.
+    pub memory_bytes: Option<Arc<Vec<u64>>>,
+    /// Per-SD resident footprint in bytes (tile + incident ghost
+    /// buffers), what a destination's memory actually pays to host the
+    /// SD. Required whenever `memory_bytes` is set.
+    pub sd_footprint: Option<Arc<Vec<u64>>>,
 }
 
 impl LbNetwork {
-    pub fn new(comm: CommCost, sd_bytes: u64) -> Self {
+    pub fn new(comm: CommCost, sd_bytes: impl Into<SdBytes>) -> Self {
         LbNetwork {
             comm,
-            sd_bytes,
+            sd_bytes: sd_bytes.into(),
             sd_graph: None,
+            memory_bytes: None,
+            sd_footprint: None,
         }
     }
 
     /// Free network: every cost term vanishes, λ/μ gates are inert.
     pub fn free() -> Self {
-        LbNetwork::new(CommCost::free(), 0)
+        LbNetwork::new(CommCost::free(), 0u64)
     }
 
     /// Attach the SD adjacency / halo-volume graph, enabling μ-weighted
@@ -91,9 +106,28 @@ impl LbNetwork {
         self
     }
 
+    /// Attach per-rank memory capacities (`u64::MAX` = unbounded) and the
+    /// per-SD resident footprints they are balanced against, enabling the
+    /// capacity gate in memory-aware policies.
+    ///
+    /// # Panics
+    /// Panics on a zero capacity — a rank that can hold nothing cannot
+    /// host the partition it already owns ([`crate::scenario::ClusterSpec`]
+    /// validation rejects it at config time; this is the planner-side
+    /// backstop).
+    pub fn with_memory(mut self, capacities: Arc<Vec<u64>>, footprints: Arc<Vec<u64>>) -> Self {
+        assert!(
+            capacities.iter().all(|&c| c > 0),
+            "memory capacities must be positive"
+        );
+        self.memory_bytes = Some(capacities);
+        self.sd_footprint = Some(footprints);
+        self
+    }
+
     /// Derive the view from a network spec (what `DistConfig`/`SimConfig`
     /// do with their configured `net`).
-    pub fn from_spec(spec: &NetSpec, sd_bytes: u64) -> Self {
+    pub fn from_spec(spec: &NetSpec, sd_bytes: impl Into<SdBytes>) -> Self {
         LbNetwork::new(spec.comm_cost(), sd_bytes)
     }
 
@@ -287,6 +321,23 @@ pub enum LbSpec {
         inner: Box<LbSpec>,
         target_ghost_frac: f64,
     },
+    /// The hierarchical, memory-aware planner
+    /// ([`crate::balance::hier::plan_hierarchical`]): settle imbalance
+    /// between racks, then between the nodes of each rack, then between
+    /// the ranks of each node, each level over its own coarse group
+    /// graph — near-linear plan time where the flat planner goes
+    /// superlinear. When the [`LbNetwork`] carries memory capacities,
+    /// every level refuses destination-overflowing moves. On a
+    /// degenerate hierarchy (no [`nlheat_netmodel::TopologySpec`], or a
+    /// single rack of single-rank nodes) without capacities it delegates
+    /// wholesale to `inner` — a concrete leaf policy, not a decorator —
+    /// with its λ/μ synced, so plans are byte-identical to running the
+    /// leaf standalone.
+    Hierarchical {
+        inner: Box<LbSpec>,
+        lambda: f64,
+        mu: f64,
+    },
 }
 
 impl Default for LbSpec {
@@ -353,8 +404,31 @@ impl LbSpec {
                 let updated = std::mem::take(inner.as_mut()).with_mu(mu);
                 **inner = updated;
             }
+            // the hierarchical machinery has its own μ AND keeps the
+            // degenerate-case delegate in lockstep
+            LbSpec::Hierarchical { inner, mu: m, .. } => {
+                *m = mu;
+                let updated = std::mem::take(inner.as_mut()).with_mu(mu);
+                **inner = updated;
+            }
         }
         self
+    }
+
+    /// The hierarchical planner, weighing migration traffic by `lambda`
+    /// (ghost-blind: `mu = 0` — add it via [`LbSpec::with_mu`]). `inner`
+    /// is the leaf policy the degenerate case delegates to.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters — see [`LbSpec::validate`].
+    pub fn hierarchical(inner: LbSpec, lambda: f64) -> Self {
+        let spec = LbSpec::Hierarchical {
+            inner: Box::new(inner),
+            lambda,
+            mu: 0.0,
+        };
+        spec.validate();
+        spec
     }
 
     /// Wrap `inner` in the adaptive-λ decorator.
@@ -388,7 +462,9 @@ impl LbSpec {
     fn chain_has_adaptive_lambda(&self) -> bool {
         match self {
             LbSpec::AdaptiveLambda { .. } => true,
-            LbSpec::AdaptiveMu { inner, .. } => inner.chain_has_adaptive_lambda(),
+            LbSpec::AdaptiveMu { inner, .. } | LbSpec::Hierarchical { inner, .. } => {
+                inner.chain_has_adaptive_lambda()
+            }
             _ => false,
         }
     }
@@ -398,7 +474,9 @@ impl LbSpec {
     fn chain_has_adaptive_mu(&self) -> bool {
         match self {
             LbSpec::AdaptiveMu { .. } => true,
-            LbSpec::AdaptiveLambda { inner, .. } => inner.chain_has_adaptive_mu(),
+            LbSpec::AdaptiveLambda { inner, .. } | LbSpec::Hierarchical { inner, .. } => {
+                inner.chain_has_adaptive_mu()
+            }
             _ => false,
         }
     }
@@ -411,6 +489,7 @@ impl LbSpec {
             LbSpec::GreedySteal { .. } => "greedy-steal",
             LbSpec::AdaptiveLambda { .. } => "adaptive-lambda",
             LbSpec::AdaptiveMu { .. } => "adaptive-mu",
+            LbSpec::Hierarchical { .. } => "hierarchical",
         }
     }
 
@@ -485,6 +564,25 @@ impl LbSpec {
                 );
                 inner.validate();
             }
+            LbSpec::Hierarchical { inner, lambda, mu } => {
+                assert!(
+                    *lambda >= 0.0 && lambda.is_finite(),
+                    "lambda must be finite and non-negative, got {lambda}"
+                );
+                check_mu(mu);
+                // The inner spec is the degenerate-case delegate, planning
+                // whole epochs on its own: a decorator there would never
+                // receive the substrate feedback it adapts on, and a
+                // nested hierarchy is meaningless — demand a leaf.
+                assert!(
+                    matches!(
+                        **inner,
+                        LbSpec::Tree { .. } | LbSpec::Diffusion { .. } | LbSpec::GreedySteal { .. }
+                    ),
+                    "Hierarchical requires a leaf policy (tree, diffusion, greedy-steal) as inner"
+                );
+                inner.validate();
+            }
         }
     }
 
@@ -539,6 +637,13 @@ impl LbSpec {
                     target_ghost_frac: *target_ghost_frac,
                     mu,
                 })
+            }
+            LbSpec::Hierarchical { inner, lambda, mu } => {
+                let mut leaf = inner.build();
+                // keep the delegate's gates in lockstep from the start
+                leaf.set_cost_weight(*lambda);
+                leaf.set_ghost_weight(*mu);
+                Box::new(crate::balance::hier::HierPolicy::new(leaf, *lambda, *mu))
             }
         }
     }
@@ -605,7 +710,7 @@ impl LbPolicy for TreePolicy {
     }
 
     fn plan(&mut self, own: &Ownership, metrics: &LoadMetrics, net: &LbNetwork) -> MigrationPlan {
-        let cost = CostParams::new(net.comm, self.lambda, net.sd_bytes).with_mu(self.mu);
+        let cost = CostParams::new(net.comm, self.lambda, net.sd_bytes.clone()).with_mu(self.mu);
         plan_rebalance_ghost_aware(own, metrics.clone(), &cost, net.sd_graph.as_deref())
     }
 
@@ -686,18 +791,21 @@ impl LbPolicy for DiffusionPolicy {
                 } else {
                     (j, i, (-flow) as usize)
                 };
-                let gain = metrics.relief_per_sd(src as usize)
-                    - self.cost_weight * net.comm.seconds(src, dst, net.sd_bytes);
+                let relief = metrics.relief_per_sd(src as usize);
+                let gain = |sd| {
+                    relief - self.cost_weight * net.comm.seconds(src, dst, net.sd_bytes.get(sd))
+                };
                 let realized = match ghost {
                     Some(g) => {
                         // one SD at a time so every delta is exact against
                         // the evolving ownership (see realize_ghost_aware)
                         realize_ghost_aware(&mut working, &mut raw, src, dst, amount, |o, sd| {
-                            gain - self.ghost_weight * ghost_delta_seconds(&net.comm, g, o, sd, dst)
+                            gain(sd)
+                                - self.ghost_weight * ghost_delta_seconds(&net.comm, g, o, sd, dst)
                         })
                     }
                     None => {
-                        let chosen = select_transfer_scored(&working, src, dst, amount, |_| gain);
+                        let chosen = select_transfer_scored(&working, src, dst, amount, gain);
                         for &sd in &chosen {
                             working.set_owner(sd, dst);
                             raw.push(Move {
@@ -722,7 +830,7 @@ impl LbPolicy for DiffusionPolicy {
                 break;
             }
         }
-        finish_plan(metrics.clone(), working, raw, &net.comm, net.sd_bytes)
+        finish_plan(metrics.clone(), working, raw, &net.comm, &net.sd_bytes)
     }
 
     fn set_cost_weight(&mut self, lambda: f64) {
@@ -778,14 +886,19 @@ impl LbPolicy for GreedyStealPolicy {
                 if imbalance[dst as usize] <= 0 {
                     continue;
                 }
-                let gain = metrics.relief_per_sd(src)
-                    - self.cost_weight * net.comm.seconds(src as NodeId, dst, net.sd_bytes);
+                let relief = metrics.relief_per_sd(src);
+                let gain = |sd| {
+                    relief
+                        - self.cost_weight
+                            * net.comm.seconds(src as NodeId, dst, net.sd_bytes.get(sd))
+                };
                 let chosen = match ghost {
                     Some(g) => select_transfer_scored(&working, src as NodeId, dst, 1, |sd| {
-                        gain - self.ghost_weight
-                            * ghost_delta_seconds(&net.comm, g, working.owners(), sd, dst)
+                        gain(sd)
+                            - self.ghost_weight
+                                * ghost_delta_seconds(&net.comm, g, working.owners(), sd, dst)
                     }),
-                    None => select_transfer_scored(&working, src as NodeId, dst, 1, |_| gain),
+                    None => select_transfer_scored(&working, src as NodeId, dst, 1, gain),
                 };
                 if let Some(&sd) = chosen.first() {
                     working.set_owner(sd, dst);
@@ -804,7 +917,7 @@ impl LbPolicy for GreedyStealPolicy {
                 parked[src] = true;
             }
         }
-        finish_plan(metrics.clone(), working, raw, &net.comm, net.sd_bytes)
+        finish_plan(metrics.clone(), working, raw, &net.comm, &net.sd_bytes)
     }
 
     fn set_cost_weight(&mut self, lambda: f64) {
@@ -1002,6 +1115,7 @@ mod tests {
     fn two_rack_net(sd_bytes: u64) -> LbNetwork {
         LbNetwork::from_spec(
             &NetSpec::Topology(TopologySpec {
+                ranks_per_node: 1,
                 nodes_per_rack: 2,
                 intra_node: LinkSpec::new(0.0, f64::INFINITY),
                 intra_rack: LinkSpec::new(1e-9, f64::INFINITY),
@@ -1042,6 +1156,8 @@ mod tests {
             LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1),
             LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2),
             LbSpec::adaptive_mu(LbSpec::diffusion(1.0, 8), 0.2),
+            LbSpec::hierarchical(LbSpec::tree(0.0), 0.0),
+            LbSpec::hierarchical(LbSpec::greedy_steal(1), 0.5).with_mu(0.25),
         ]
     }
 
@@ -1057,7 +1173,7 @@ mod tests {
                 let direct = plan_rebalance_with_cost(
                     own,
                     busy,
-                    &CostParams::new(net.comm, lambda, net.sd_bytes),
+                    &CostParams::new(net.comm, lambda, net.sd_bytes.clone()),
                 );
                 let via_policy = policy.plan(own, &metrics_for(own, busy), &net);
                 assert_eq!(direct.moves, via_policy.moves, "λ={lambda}");
@@ -1289,6 +1405,54 @@ mod tests {
         let spec = LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2);
         assert_eq!(spec.name(), "adaptive-mu");
         assert_eq!(spec.build().name(), "adaptive-mu");
+        let spec = LbSpec::hierarchical(LbSpec::tree(0.0), 0.0);
+        assert_eq!(spec.name(), "hierarchical");
+        assert_eq!(spec.build().name(), "hierarchical");
+    }
+
+    #[test]
+    fn hierarchical_spec_round_trips_weights() {
+        // with_mu reaches both the machinery's μ and the delegate's
+        let spec = LbSpec::hierarchical(LbSpec::tree(0.0), 2.0).with_mu(0.5);
+        match &spec {
+            LbSpec::Hierarchical { inner, lambda, mu } => {
+                assert_eq!((*lambda, *mu), (2.0, 0.5));
+                assert_eq!(
+                    **inner,
+                    LbSpec::Tree {
+                        lambda: 0.0,
+                        mu: 0.5
+                    }
+                );
+            }
+            other => panic!("shape lost: {other:?}"),
+        }
+        let policy = spec.build();
+        assert_eq!(policy.cost_weight(), 2.0);
+        assert_eq!(policy.ghost_weight(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a leaf policy")]
+    fn hierarchical_rejects_decorator_inner() {
+        let _ = LbSpec::hierarchical(LbSpec::adaptive(LbSpec::tree(0.0), 0.1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a leaf policy")]
+    fn hierarchical_rejects_nested_hierarchy() {
+        let _ = LbSpec::hierarchical(LbSpec::hierarchical(LbSpec::tree(0.0), 0.0), 0.0);
+    }
+
+    #[test]
+    fn adaptive_decorator_can_wrap_hierarchical() {
+        // the decorators adapt λ/μ through set_*_weight, which the
+        // hierarchical policy forwards — wrapping it IS allowed
+        let spec = LbSpec::adaptive(LbSpec::hierarchical(LbSpec::tree(0.0), 0.0), 0.1);
+        spec.validate();
+        let mut policy = spec.build();
+        policy.observe_stall(0.9);
+        assert_eq!(policy.cost_weight(), 1.0, "outer λ engaged");
     }
 
     #[test]
@@ -1529,7 +1693,8 @@ mod tests {
     fn sd_tile_view_is_the_shared_wire_formula() {
         // both substrates derive sd_bytes through this one constructor
         let net = LbNetwork::for_sd_tiles(&NetSpec::cluster(), 25 * 25);
-        assert_eq!(net.sd_bytes, 25 * 25 * 8 + 24);
+        assert_eq!(net.sd_bytes, SdBytes::Uniform(25 * 25 * 8 + 24));
+        assert_eq!(net.sd_bytes.get(0), 25 * 25 * 8 + 24);
         assert!(!net.comm.is_free());
     }
 

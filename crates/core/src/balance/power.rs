@@ -96,8 +96,9 @@ pub fn compute_metrics(counts: &[usize], busy: &[f64]) -> LoadMetrics {
     }
 }
 
-/// Round non-negative real shares to integers summing to `total`.
-fn largest_remainder_round(shares: &[f64], total: i64) -> Vec<i64> {
+/// Round non-negative real shares to integers summing to `total` —
+/// shared with the hierarchical planner's per-scope group shares.
+pub(crate) fn largest_remainder_round(shares: &[f64], total: i64) -> Vec<i64> {
     let mut floors: Vec<i64> = shares.iter().map(|&s| s.floor() as i64).collect();
     let assigned: i64 = floors.iter().sum();
     let mut leftovers: Vec<(usize, f64)> = shares

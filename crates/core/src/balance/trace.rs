@@ -98,6 +98,7 @@ mod tests {
 
     fn two_rack() -> NetSpec {
         NetSpec::Topology(TopologySpec {
+            ranks_per_node: 1,
             nodes_per_rack: 2,
             intra_node: LinkSpec::new(0.0, f64::INFINITY),
             intra_rack: LinkSpec::new(1e-6, f64::INFINITY),
@@ -116,7 +117,7 @@ mod tests {
         let plan = plan_rebalance_from_metrics(
             &own,
             metrics,
-            &CostParams::new(net.comm, 0.0, net.sd_bytes),
+            &CostParams::new(net.comm, 0.0, net.sd_bytes.clone()),
         );
         assert!(!plan.is_noop());
         let trace = EpochTrace::record(4, "tree", &plan, &own, &net);

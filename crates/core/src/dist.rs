@@ -83,6 +83,12 @@ pub struct DistConfig {
     /// times (the paper's mode) or deterministic modeled busy times
     /// ([`LbInput::Modeled`], the cross-substrate parity mode).
     pub lb_input: LbInput,
+    /// Per-locality memory capacities in bytes (`None` = unbounded),
+    /// indexed by locality id. Empty = memory-blind planning (the
+    /// historical behaviour). When any cap is set the driver attaches the
+    /// capacities and the per-SD resident footprints to its [`LbNetwork`]
+    /// so memory-aware policies gate destinations on them.
+    pub memory_bytes: Vec<Option<u64>>,
 }
 
 impl DistConfig {
@@ -100,6 +106,7 @@ impl DistConfig {
             work_schedule: Vec::new(),
             net: NetSpec::Instant,
             lb_input: LbInput::Measured,
+            memory_bytes: Vec::new(),
         }
     }
 
@@ -167,6 +174,10 @@ pub struct DistReport {
     pub epoch_traces: Vec<EpochTrace>,
 }
 
+/// Memory-aware planning tables: per-locality capacities (`u64::MAX` =
+/// unbounded) and per-SD resident footprints.
+type MemoryTables = (Arc<Vec<u64>>, Arc<Vec<u64>>);
+
 /// Ownership-independent, cluster-wide setup shared by all drivers.
 struct Setup {
     cfg: DistConfig,
@@ -182,6 +193,9 @@ struct Setup {
     /// produce.
     sd_graph: Arc<SdGraph>,
     initial_owners: Vec<u32>,
+    /// Memory-aware planning tables, built once when any locality declares
+    /// a cap.
+    memory: Option<MemoryTables>,
     n_nodes: u32,
     /// Per-locality speed factors (from the cluster), for modeled busy.
     speeds: Vec<f64>,
@@ -218,6 +232,19 @@ impl Setup {
         let initial_owners = cfg.partition.initial_owners(&sds, n_nodes);
         let sd_graph = Arc::new(SdGraph::from_plans(&sds, &plans));
         let sec_per_dp = nominal_sec_per_dp(Stencil::build(grid.h, grid.eps).len());
+        let memory = cfg.memory_bytes.iter().any(Option::is_some).then(|| {
+            assert_eq!(
+                cfg.memory_bytes.len(),
+                n_nodes as usize,
+                "memory_bytes must name every locality"
+            );
+            let caps: Vec<u64> = cfg
+                .memory_bytes
+                .iter()
+                .map(|c| c.unwrap_or(u64::MAX))
+                .collect();
+            (Arc::new(caps), Arc::new(sd_graph.footprints()))
+        });
         Setup {
             cfg,
             parts,
@@ -226,6 +253,7 @@ impl Setup {
             reverse,
             sd_graph,
             initial_owners,
+            memory,
             n_nodes,
             speeds,
             sec_per_dp,
@@ -459,8 +487,11 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
     // halo-volume graph of the *real* halo plans, so μ-weighted policies
     // price the recurring parcels this driver sends every step (to within
     // the constant framing word `patch_wire_bytes` documents).
-    let lb_net =
+    let mut lb_net =
         LbNetwork::for_sd_tiles(&cfg.net, sds.cells_per_sd()).with_sd_graph(setup.sd_graph.clone());
+    if let Some((caps, footprints)) = &setup.memory {
+        lb_net = lb_net.with_memory(caps.clone(), footprints.clone());
+    }
     // Wall time this locality spent in the previous epoch's migration
     // exchange (gathered with the busy times as the adaptive-λ stall
     // signal) and, on locality 0, the length of the previous window.

@@ -17,6 +17,7 @@ use nlheat_netmodel::{LinkSpec, NetSpec, TopologySpec};
 /// across racks, near-free intra-node links.
 pub fn two_rack_net() -> NetSpec {
     NetSpec::Topology(TopologySpec {
+        ranks_per_node: 1,
         nodes_per_rack: 2,
         intra_node: LinkSpec::new(1e-7, 5e9),
         intra_rack: LinkSpec::new(1e-4, 1e8),
@@ -163,6 +164,74 @@ pub fn incast_duplex(quick: bool) -> Scenario {
         .with_net(NetSpec::duplex(1e-4, 1e8))
 }
 
+/// Memory pressure (the Lifflander-et-al. motivation): node 3 is twice as
+/// fast as its peers, so a capacity-blind planner funnels SDs onto it —
+/// but its memory holds only ~1.5 SD footprints beyond its strip start.
+/// The hierarchical planner's capacity gate must stop exactly at the cap
+/// while still shedding load toward the other under-loaded nodes;
+/// [`super::RunReport::check_invariants`] replays every recorded plan
+/// against the declared capacity.
+pub fn memory_pressure(quick: bool) -> Scenario {
+    // Same sizing rationale as the heterogeneous entry: 8-cell SDs and a
+    // wider stencil so the speed contrast actually shows up in the
+    // modeled busy times at toy scale.
+    let base = if quick {
+        Scenario::square(32, 4.0, 8, 8)
+    } else {
+        Scenario::square(400, 8.0, 25, 32)
+    };
+    let sds = base.sd_grid();
+    let owners = PartitionSpec::Strip.initial_owners(&sds, 4);
+    let footprints = base.sd_footprints();
+    let mut usage = [0u64; 4];
+    for (sd, &o) in owners.iter().enumerate() {
+        usage[o as usize] += footprints[sd];
+    }
+    // headroom for ~1.5 of the largest footprints on top of the strip
+    // start — far less than the fast node's fair share wants
+    let cap = usage[3] + 3 * footprints.iter().copied().max().unwrap_or(0) / 2;
+    base.on(ClusterSpec::speeds(&[1.0, 1.0, 1.0, 2.0]).with_node_memory(3, cap))
+        .with_net(two_rack_net())
+        .with_partition(PartitionSpec::Strip)
+        .with_lb(
+            LbSchedule::every(if quick { 2 } else { 4 })
+                .with_spec(LbSpec::hierarchical(LbSpec::tree(0.0), 0.0)),
+        )
+}
+
+/// Synthetic planning-scale harness for the hierarchical planner: ~100
+/// SDs per rank on a square SD grid, four ranks per node, 25 nodes per
+/// rack, and a deterministic 7-period speed skew so the strip start is
+/// genuinely imbalanced at every scale. One declared timestep — this
+/// scenario exists to be *planned*, not run: drive it through
+/// [`super::PlanSubstrate`] (the plan-time sweeps and the
+/// `plan/hier_10k` bench), which is why it is not in [`all`].
+pub fn plan_scale(n_ranks: usize) -> Scenario {
+    plan_scale_with_density(n_ranks, 100)
+}
+
+/// [`plan_scale`] at an explicit SDs-per-rank density. The `plan/flat_1k`
+/// bench plans 1000 ranks at 10 SDs/rank: dense enough that the flat
+/// planner's global walk dominates, sparse enough to fit a bench budget.
+pub fn plan_scale_with_density(n_ranks: usize, sds_per_rank: usize) -> Scenario {
+    assert!(n_ranks >= 2, "plan_scale needs at least two ranks");
+    let sd_size = 5usize;
+    // `sds_per_rank` SDs per rank, squared up (the count bends to the square)
+    let side = (((n_ranks * sds_per_rank) as f64).sqrt().round() as usize).max(2);
+    let speeds: Vec<f64> = (0..n_ranks).map(|i| 1.0 + (i % 7) as f64 * 0.25).collect();
+    Scenario::square(side * sd_size, 2.0, sd_size, 1)
+        .on(ClusterSpec::speeds(&speeds))
+        .with_net(NetSpec::Topology(TopologySpec {
+            ranks_per_node: 4,
+            nodes_per_rack: 25,
+            intra_node: LinkSpec::new(1e-7, 5e9),
+            intra_rack: LinkSpec::new(1e-4, 1e8),
+            inter_rack: LinkSpec::new(4e-4, 2.5e7),
+        }))
+        .with_partition(PartitionSpec::Strip)
+        .with_lb(LbSchedule::every(2).with_spec(LbSpec::hierarchical(LbSpec::tree(0.0), 0.0)))
+}
+
 /// Every named library scenario at the chosen scale, in a stable order.
 pub fn all(quick: bool) -> Vec<(&'static str, Scenario)> {
     vec![
@@ -171,6 +240,7 @@ pub fn all(quick: bool) -> Vec<(&'static str, Scenario)> {
         ("propagating-crack", propagating_crack(quick)),
         ("heterogeneous-cluster", heterogeneous_cluster(quick)),
         ("incast-duplex", incast_duplex(quick)),
+        ("memory-pressure", memory_pressure(quick)),
     ]
 }
 

@@ -27,7 +27,10 @@
 //! arXiv:2401.04494).
 
 pub mod library;
+pub mod plan;
 pub mod sweep;
+
+pub use plan::{PlanExtras, PlanSubstrate};
 
 use crate::balance::{EpochTrace, LbSchedule, Move};
 use crate::dist::{run_distributed, DistConfig, DistReport};
@@ -50,12 +53,29 @@ pub struct VirtualNode {
     pub cores: usize,
     /// Relative speed (1.0 = nominal).
     pub speed: f64,
+    /// Memory capacity in bytes; `None` = unbounded (the historical
+    /// behaviour). A capped node's resident footprint — its SD tiles plus
+    /// their ghost buffers ([`nlheat_partition::SdGraph::resident_bytes`])
+    /// — must never exceed this: memory-aware planners reject
+    /// overflowing migrations, and [`Scenario::validate`] rejects initial
+    /// partitions that already overflow.
+    pub memory_bytes: Option<u64>,
 }
 
 impl VirtualNode {
-    /// `n` nominal-speed cores.
+    /// `n` nominal-speed cores, unbounded memory.
     pub fn with_cores(cores: usize) -> Self {
-        VirtualNode { cores, speed: 1.0 }
+        VirtualNode {
+            cores,
+            speed: 1.0,
+            memory_bytes: None,
+        }
+    }
+
+    /// Cap this node's memory at `bytes` (chainable).
+    pub fn with_memory(mut self, bytes: u64) -> Self {
+        self.memory_bytes = Some(bytes);
+        self
     }
 }
 
@@ -87,15 +107,48 @@ impl ClusterSpec {
         ClusterSpec {
             nodes: speeds
                 .iter()
-                .map(|&speed| VirtualNode { cores: 1, speed })
+                .map(|&speed| VirtualNode {
+                    cores: 1,
+                    speed,
+                    memory_bytes: None,
+                })
                 .collect(),
         }
     }
 
     /// Append one node (chainable).
     pub fn node(mut self, cores: usize, speed: f64) -> Self {
-        self.nodes.push(VirtualNode { cores, speed });
+        self.nodes.push(VirtualNode {
+            cores,
+            speed,
+            memory_bytes: None,
+        });
         self
+    }
+
+    /// Cap the memory of node `idx` at `bytes` (chainable).
+    ///
+    /// # Panics
+    /// Panics when `idx` names no declared node.
+    pub fn with_node_memory(mut self, idx: usize, bytes: u64) -> Self {
+        assert!(idx < self.nodes.len(), "node {idx} is not declared");
+        self.nodes[idx].memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Per-node memory capacities with `u64::MAX` for unbounded nodes —
+    /// the table memory-aware planners consume ([`crate::balance::LbNetwork`]).
+    pub fn memory_capacities(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| n.memory_bytes.unwrap_or(u64::MAX))
+            .collect()
+    }
+
+    /// True when any node declares a memory cap — the gate for building
+    /// footprint tables (memory-blind scenarios skip that work entirely).
+    pub fn has_memory_caps(&self) -> bool {
+        self.nodes.iter().any(|n| n.memory_bytes.is_some())
     }
 
     /// Number of nodes.
@@ -123,11 +176,15 @@ impl ClusterSpec {
         b
     }
 
-    /// Reject a degenerate cluster at configuration time.
+    /// Reject a degenerate cluster at configuration time (mirroring
+    /// `WorkModel::validate`: every declared number must be usable before
+    /// a driver thread could trip over it mid-run).
     ///
     /// # Panics
-    /// Panics on an empty spec, a zero-core node, or a non-finite or
-    /// non-positive speed factor.
+    /// Panics on an empty spec, a zero-core node, a non-finite or
+    /// non-positive speed factor, or a zero memory capacity (a rank that
+    /// can hold nothing cannot host any partition; capacities are `u64`,
+    /// so NaN/negative spellings cannot be constructed).
     pub fn validate(&self) {
         assert!(!self.nodes.is_empty(), "cluster needs at least one node");
         for (i, n) in self.nodes.iter().enumerate() {
@@ -137,6 +194,9 @@ impl ClusterSpec {
                 "node {i} speed must be finite and positive, got {}",
                 n.speed
             );
+            if let Some(cap) = n.memory_bytes {
+                assert!(cap > 0, "node {i} memory capacity must be positive");
+            }
         }
     }
 }
@@ -377,6 +437,21 @@ impl Scenario {
         nominal_sec_per_dp(Stencil::build(grid.h, grid.eps).len())
     }
 
+    /// The SD adjacency / halo-volume graph of this scenario's
+    /// decomposition — the same graph both substrates attach to their
+    /// planners, built from geometry alone.
+    pub fn sd_graph(&self) -> nlheat_partition::SdGraph {
+        let grid = Grid::square(self.problem.n, self.problem.eps_mult);
+        nlheat_partition::SdGraph::build(&self.sd_grid(), grid.halo)
+    }
+
+    /// Per-SD resident memory footprints (tile + ghost buffers), indexed
+    /// by SD id — what each node's `memory_bytes` capacity is balanced
+    /// against ([`nlheat_partition::SdGraph::footprints`]).
+    pub fn sd_footprints(&self) -> Vec<u64> {
+        self.sd_graph().footprints()
+    }
+
     /// Reject an internally inconsistent scenario at configuration time,
     /// on the caller's thread — before any driver thread could panic
     /// mid-run and deadlock a cluster.
@@ -418,6 +493,40 @@ impl Scenario {
         if let Some(lb) = &self.lb {
             lb.validate();
         }
+        // Memory-aware configuration checks, skipped entirely for
+        // memory-blind clusters (no footprint table to build).
+        if self.cluster.has_memory_caps() {
+            let footprints = self.sd_footprints();
+            let total: u64 = footprints.iter().sum();
+            let capacity = self
+                .cluster
+                .nodes
+                .iter()
+                .try_fold(0u64, |acc, n| acc.checked_add(n.memory_bytes?))
+                .unwrap_or(u64::MAX);
+            assert!(
+                capacity >= total,
+                "cluster capacity ({capacity} B) cannot hold the mesh's \
+                 resident footprint ({total} B)"
+            );
+            let owners = self
+                .partition
+                .initial_owners(&sds, self.cluster.len() as u32);
+            let mut usage = vec![0u64; self.cluster.len()];
+            for (sd, &o) in owners.iter().enumerate() {
+                usage[o as usize] += footprints[sd];
+            }
+            for (i, n) in self.cluster.nodes.iter().enumerate() {
+                if let Some(cap) = n.memory_bytes {
+                    assert!(
+                        usage[i] <= cap,
+                        "node {i}'s initial partition ({} B) overflows its \
+                         memory capacity ({cap} B)",
+                        usage[i]
+                    );
+                }
+            }
+        }
     }
 
     /// Compile into the real runtime's low-level execution config (the
@@ -435,6 +544,11 @@ impl Scenario {
             work_schedule: self.work_schedule.clone(),
             net: self.net,
             lb_input: self.lb_input,
+            memory_bytes: if self.cluster.has_memory_caps() {
+                self.cluster.nodes.iter().map(|n| n.memory_bytes).collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 
@@ -500,6 +614,7 @@ impl Substrate for DistSubstrate {
         let report = run_distributed(&cluster, &cfg);
         let stats = cluster.net_stats();
         RunReport::from_dist(report, stats.messages(), stats.cross_bytes())
+            .with_scenario_memory(scenario)
     }
 }
 
@@ -511,6 +626,9 @@ pub enum RunExtras {
     Dist(DistExtras),
     /// Simulator extras.
     Sim(SimExtras),
+    /// Plan-only extras ([`PlanSubstrate`]: one planning call, no
+    /// execution).
+    Plan(PlanExtras),
 }
 
 /// What only the real runtime can measure.
@@ -581,6 +699,12 @@ pub struct RunReport {
     pub field: Option<Vec<f64>>,
     /// Summed per-step errors when requested (real runtime only).
     pub error: Option<ErrorAccumulator>,
+    /// Per-node memory capacities (`u64::MAX` = unbounded) when the
+    /// scenario declared any — what [`RunReport::check_invariants`]
+    /// replays the recorded plans against.
+    pub memory_bytes: Option<Vec<u64>>,
+    /// Per-SD resident footprints paired with `memory_bytes`.
+    pub sd_footprint: Option<Vec<u64>>,
     /// Substrate-specific measurements.
     pub extras: RunExtras,
 }
@@ -603,6 +727,8 @@ impl RunReport {
             final_ownership: report.final_ownership,
             field: Some(report.field),
             error: report.error,
+            memory_bytes: None,
+            sd_footprint: None,
             extras: RunExtras::Dist(DistExtras {
                 elapsed: report.elapsed,
                 busy_ns: report.busy_ns,
@@ -612,11 +738,23 @@ impl RunReport {
         }
     }
 
+    /// Attach the scenario's memory-aware planning tables (when it
+    /// declared any capacity), so [`RunReport::check_invariants`] can
+    /// replay the recorded plans against them. Every substrate calls this
+    /// on the report it assembles.
+    pub fn with_scenario_memory(mut self, scenario: &Scenario) -> Self {
+        if scenario.cluster.has_memory_caps() {
+            self.memory_bytes = Some(scenario.cluster.memory_capacities());
+            self.sd_footprint = Some(scenario.sd_footprints());
+        }
+        self
+    }
+
     /// The real-runtime extras, if this report came from the real runtime.
     pub fn dist_extras(&self) -> Option<&DistExtras> {
         match &self.extras {
             RunExtras::Dist(d) => Some(d),
-            RunExtras::Sim(_) => None,
+            _ => None,
         }
     }
 
@@ -624,7 +762,15 @@ impl RunReport {
     pub fn sim_extras(&self) -> Option<&SimExtras> {
         match &self.extras {
             RunExtras::Sim(s) => Some(s),
-            RunExtras::Dist(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The plan-only extras, if this report came from [`PlanSubstrate`].
+    pub fn plan_extras(&self) -> Option<&PlanExtras> {
+        match &self.extras {
+            RunExtras::Plan(p) => Some(p),
+            _ => None,
         }
     }
 
@@ -713,6 +859,43 @@ impl RunReport {
                     d.wire_cross_bytes
                 );
             }
+            // a plan-only run carries no traffic counters to cross-check
+            RunExtras::Plan(_) => {}
+        }
+        // Memory invariant: with the scenario's capacity/footprint tables
+        // attached, no ownership the run ever passed through may overflow
+        // a node's capacity. Plans are single-hop and each SD moves at
+        // most once per epoch, so replaying the recorded plans *backward*
+        // from the final ownership visits exactly the post-epoch states
+        // down to the initial partition.
+        if let (Some(caps), Some(fp)) = (&self.memory_bytes, &self.sd_footprint) {
+            let mut owners = self.final_ownership.owners().to_vec();
+            assert_eq!(
+                fp.len(),
+                owners.len(),
+                "{}: footprint table must cover every SD",
+                self.substrate
+            );
+            let check = |owners: &[u32], when: &str| {
+                let mut usage = vec![0u64; caps.len()];
+                for (sd, &o) in owners.iter().enumerate() {
+                    usage[o as usize] = usage[o as usize].saturating_add(fp[sd]);
+                }
+                for (node, (&used, &cap)) in usage.iter().zip(caps.iter()).enumerate() {
+                    assert!(
+                        used <= cap,
+                        "{}: node {node} holds {used} B {when}, over its {cap} B capacity",
+                        self.substrate
+                    );
+                }
+            };
+            check(&owners, "at the end of the run");
+            for (epoch, moves) in self.lb_plans.iter().enumerate().rev() {
+                for m in moves {
+                    owners[m.sd as usize] = m.from;
+                }
+                check(&owners, &format!("before epoch {epoch}'s plan"));
+            }
         }
     }
 }
@@ -747,6 +930,51 @@ mod tests {
     #[should_panic(expected = "speed must be finite and positive")]
     fn bad_speed_rejected() {
         ClusterSpec::new().node(1, 0.0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "memory capacity must be positive")]
+    fn zero_memory_capacity_rejected() {
+        ClusterSpec::uniform(2, 1).with_node_memory(1, 0).validate();
+    }
+
+    #[test]
+    fn memory_capacity_table_defaults_to_unbounded() {
+        let spec = ClusterSpec::uniform(3, 1).with_node_memory(1, 1 << 20);
+        assert!(spec.has_memory_caps());
+        assert_eq!(spec.memory_capacities(), vec![u64::MAX, 1 << 20, u64::MAX]);
+        assert!(!ClusterSpec::uniform(2, 1).has_memory_caps());
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows its memory capacity")]
+    fn initially_overflowing_partition_rejected() {
+        // node 0 owns everything but is capped below one SD's footprint
+        Scenario::square(16, 2.0, 4, 4)
+            .on(ClusterSpec::uniform(2, 1).with_node_memory(0, 64))
+            .with_partition(PartitionSpec::Explicit(vec![0; 16]))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold the mesh's resident footprint")]
+    fn undersized_total_capacity_rejected() {
+        let sc = Scenario::square(16, 2.0, 4, 4).on(ClusterSpec::uniform(2, 1)
+            .with_node_memory(0, 64)
+            .with_node_memory(1, 64));
+        sc.validate();
+    }
+
+    #[test]
+    fn memory_aware_scenario_with_room_validates() {
+        let sc = Scenario::square(16, 2.0, 4, 4)
+            .on(ClusterSpec::uniform(2, 1).with_node_memory(0, 1 << 30));
+        sc.validate();
+        // footprints cover every SD and are at least the tile payload
+        let fp = sc.sd_footprints();
+        assert_eq!(fp.len(), sc.sd_grid().count());
+        assert!(fp.iter().all(|&f| f >= 4 * 4 * 8));
     }
 
     #[test]

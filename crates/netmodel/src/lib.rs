@@ -306,14 +306,21 @@ impl LinkSpec {
     }
 }
 
-/// Declarative description of a [`TopologyNet`]: nodes are packed into
-/// racks round-robin-free (`rack = node / nodes_per_rack`) and each
-/// src→dst pair resolves to one of three link classes.
+/// Declarative description of a [`TopologyNet`]: ranks are packed into
+/// nodes (`node = rank / ranks_per_node`), nodes into racks
+/// (`rack = node / nodes_per_rack`), and each src→dst pair resolves to
+/// one of three link classes. The historical two-tier shape is
+/// `ranks_per_node = 1` (every rank is its own node, loopback only for
+/// self-sends) — the default of every constructor that predates the
+/// three-tier hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TopologySpec {
-    /// Nodes per rack; `rack(i) = i / nodes_per_rack`.
+    /// Ranks (localities) per node; `node(i) = i / ranks_per_node`.
+    /// Co-located ranks exchange over the `intra_node` link.
+    pub ranks_per_node: usize,
+    /// Nodes per rack; `rack(node) = node / nodes_per_rack`.
     pub nodes_per_rack: usize,
-    /// Self-sends (loopback).
+    /// Same node (loopback / shared memory).
     pub intra_node: LinkSpec,
     /// Different nodes, same rack.
     pub intra_rack: LinkSpec,
@@ -326,6 +333,7 @@ impl TopologySpec {
     /// 2.5 GB/s and 4x the latency across racks.
     pub fn two_tier(nodes_per_rack: usize) -> Self {
         TopologySpec {
+            ranks_per_node: 1,
             nodes_per_rack,
             intra_node: LinkSpec::new(1e-7, 50e9),
             intra_rack: LinkSpec::new(5e-6, 10e9),
@@ -333,14 +341,28 @@ impl TopologySpec {
         }
     }
 
-    /// The rack hosting `node`.
-    pub fn rack_of(&self, node: u32) -> usize {
-        node as usize / self.nodes_per_rack
+    /// The two-tier defaults with the full rank → node → rack hierarchy:
+    /// `ranks_per_node` localities share each node's loopback link.
+    pub fn three_tier(ranks_per_node: usize, nodes_per_rack: usize) -> Self {
+        TopologySpec {
+            ranks_per_node,
+            ..TopologySpec::two_tier(nodes_per_rack)
+        }
+    }
+
+    /// The node hosting `rank`.
+    pub fn node_of(&self, rank: u32) -> usize {
+        rank as usize / self.ranks_per_node.max(1)
+    }
+
+    /// The rack hosting `rank`.
+    pub fn rack_of(&self, rank: u32) -> usize {
+        self.node_of(rank) / self.nodes_per_rack
     }
 
     /// The link class between `src` and `dst`.
     pub fn class(&self, src: u32, dst: u32) -> LinkClass {
-        if src == dst {
+        if self.node_of(src) == self.node_of(dst) {
             LinkClass::IntraNode
         } else if self.rack_of(src) == self.rack_of(dst) {
             LinkClass::IntraRack
@@ -449,6 +471,16 @@ impl CommCost {
     /// vanish, so cost-aware planning is inert).
     pub fn is_free(&self) -> bool {
         matches!(self.kind, CostKind::Free)
+    }
+
+    /// The rank → node → rack hierarchy behind this estimate, when the
+    /// underlying spec declares one — what hierarchical planners group
+    /// by. `None` for free/uniform models (no rack structure to exploit).
+    pub fn topology_spec(&self) -> Option<TopologySpec> {
+        match self.kind {
+            CostKind::Topology(spec) => Some(spec),
+            CostKind::Free | CostKind::Uniform(_) => None,
+        }
     }
 
     /// The link class used between `src` and `dst`.
@@ -660,6 +692,14 @@ impl NetSpec {
                 bytes_per_sec,
             } => LinkSpec::new(*latency_s, *bytes_per_sec).validate("NetSpec"),
             NetSpec::Topology(spec) => {
+                assert!(
+                    spec.ranks_per_node >= 1,
+                    "TopologySpec.ranks_per_node must be at least 1"
+                );
+                assert!(
+                    spec.nodes_per_rack >= 1,
+                    "TopologySpec.nodes_per_rack must be at least 1"
+                );
                 spec.intra_node.validate("TopologySpec.intra_node");
                 spec.intra_rack.validate("TopologySpec.intra_rack");
                 spec.inter_rack.validate("TopologySpec.inter_rack");
@@ -860,8 +900,47 @@ mod tests {
     }
 
     #[test]
+    fn three_tier_packs_ranks_into_nodes_and_racks() {
+        // 4 ranks per node, 2 nodes per rack: ranks 0-7 fill rack 0.
+        let spec = TopologySpec::three_tier(4, 2);
+        assert_eq!(spec.node_of(0), 0);
+        assert_eq!(spec.node_of(3), 0);
+        assert_eq!(spec.node_of(4), 1);
+        assert_eq!(spec.rack_of(7), 0);
+        assert_eq!(spec.rack_of(8), 1);
+        assert_eq!(spec.class(0, 3), LinkClass::IntraNode);
+        assert_eq!(spec.class(0, 4), LinkClass::IntraRack);
+        assert_eq!(spec.class(0, 8), LinkClass::InterRack);
+        // two_tier is the ranks_per_node = 1 degenerate case: distinct
+        // ranks are never intra-node.
+        let flat = TopologySpec::two_tier(2);
+        assert_eq!(flat.class(0, 0), LinkClass::IntraNode);
+        assert_eq!(flat.class(0, 1), LinkClass::IntraRack);
+        assert_eq!(flat.class(0, 2), LinkClass::InterRack);
+        assert_eq!(TopologySpec::three_tier(1, 2), flat);
+    }
+
+    #[test]
+    fn comm_cost_exposes_its_topology_spec() {
+        let spec = TopologySpec::three_tier(4, 25);
+        let cost = NetSpec::Topology(spec).comm_cost();
+        assert_eq!(cost.topology_spec(), Some(spec));
+        assert_eq!(NetSpec::cluster().comm_cost().topology_spec(), None);
+        assert_eq!(NetSpec::Instant.comm_cost().topology_spec(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranks_per_node must be at least 1")]
+    fn zero_ranks_per_node_is_rejected() {
+        let mut spec = TopologySpec::two_tier(2);
+        spec.ranks_per_node = 0;
+        NetSpec::Topology(spec).validate();
+    }
+
+    #[test]
     fn topology_with_one_class_matches_shared() {
         let uniform = TopologySpec {
+            ranks_per_node: 1,
             nodes_per_rack: 1,
             intra_node: LinkSpec::new(0.001, 1e6),
             intra_rack: LinkSpec::new(0.001, 1e6),

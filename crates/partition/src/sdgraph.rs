@@ -99,6 +99,26 @@ impl SdGraph {
         (self.csr.adjwgt.iter().sum::<i64>() / 2) as u64
     }
 
+    /// Resident memory footprint of `sd` on its owner, in bytes: the tile
+    /// payload (8-byte f64 per cell) plus the ghost buffers it keeps for
+    /// its halo exchanges (the incident edge weights — both directions,
+    /// since a rank buffers what it receives and stages what it sends).
+    /// This is what a destination's `memory_bytes` capacity actually pays
+    /// to host the SD, the memory object of memory-aware balancing
+    /// (cf. Lifflander et al., arXiv:2404.16793).
+    pub fn resident_bytes(&self, sd: SdId) -> u64 {
+        let tile = (self.csr.vwgt[sd as usize] * 8) as u64;
+        tile + self.csr.neighbors(sd).map(|(_, w)| w as u64).sum::<u64>()
+    }
+
+    /// [`SdGraph::resident_bytes`] for every SD, indexed by [`SdId`] —
+    /// the per-SD footprint table memory-aware planners balance against.
+    pub fn footprints(&self) -> Vec<u64> {
+        (0..self.n_sds() as SdId)
+            .map(|sd| self.resident_bytes(sd))
+            .collect()
+    }
+
     /// Ghost bytes per timestep crossing node boundaries under `owners` —
     /// the ownership edge cut, computed by the partitioner's own
     /// [`edge_cut`] so planner and partitioner agree by construction.
@@ -176,6 +196,26 @@ mod tests {
         assert_eq!(nb, 1);
         assert_eq!(w, 2 * patch_wire_bytes(7));
         assert_eq!(g.total_ghost_bytes(), 2 * patch_wire_bytes(7));
+    }
+
+    #[test]
+    fn resident_bytes_sum_tile_and_ghost_buffers() {
+        // Two 7x7-cell SDs side by side, halo 1: each keeps its 49-cell
+        // tile plus one exchange's buffers (send + receive = the
+        // undirected edge weight).
+        let sds = SdGrid::new(2, 1, 7);
+        let g = SdGraph::build(&sds, 1);
+        let edge = 2 * patch_wire_bytes(7);
+        let tile = sds.cells_per_sd() as u64 * 8;
+        assert_eq!(g.resident_bytes(0), tile + edge);
+        assert_eq!(g.footprints(), vec![tile + edge; 2]);
+        // an interior SD of a 3x3 grid buffers all 8 exchanges
+        let sds3 = SdGrid::new(3, 3, 10);
+        let g3 = SdGraph::build(&sds3, 3);
+        let centre = sds3.id(1, 1);
+        let incident: u64 = g3.neighbours(centre).map(|(_, w)| w).sum();
+        assert_eq!(g3.resident_bytes(centre), 100 * 8 + incident);
+        assert!(g3.resident_bytes(centre) > g3.resident_bytes(sds3.id(0, 0)));
     }
 
     #[test]

@@ -351,9 +351,18 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
     // from the simulated migration stalls), and the SD adjacency /
     // halo-volume graph it prices μ against is built from the very halo
     // plans whose messages the loop below charges.
-    let lb_net = LbNetwork::for_sd_tiles(&cfg.net, geo.sds.cells_per_sd())
-        .with_sd_graph(Arc::new(SdGraph::from_plans(&geo.sds, &geo.plans)));
-    let sd_tile_bytes = lb_net.sd_bytes;
+    let sd_graph = Arc::new(SdGraph::from_plans(&geo.sds, &geo.plans));
+    let mut lb_net =
+        LbNetwork::for_sd_tiles(&cfg.net, geo.sds.cells_per_sd()).with_sd_graph(sd_graph.clone());
+    if cfg.nodes.iter().any(|n| n.memory_bytes.is_some()) {
+        let caps: Vec<u64> = cfg
+            .nodes
+            .iter()
+            .map(|n| n.memory_bytes.unwrap_or(u64::MAX))
+            .collect();
+        lb_net = lb_net.with_memory(Arc::new(caps), Arc::new(sd_graph.footprints()));
+    }
+    let sd_tile_bytes = lb_net.sd_bytes.clone();
     // Link classes for the virtual-time ghost accounting: the very
     // CommCost the planner prices moves with, so counter and μ term can
     // never disagree on what crosses a rack.
@@ -496,7 +505,7 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 // migration costs: tile payloads over the network
                 net.reset(barrier);
                 for mv in &plan.moves {
-                    let bytes = sd_tile_bytes;
+                    let bytes = sd_tile_bytes.get(mv.sd);
                     let arr = net.arrival(
                         node_time[mv.from as usize],
                         &Msg {
@@ -688,18 +697,22 @@ mod tests {
                 VirtualNode {
                     cores: 1,
                     speed: 2.0,
+                    memory_bytes: None,
                 },
                 VirtualNode {
                     cores: 1,
                     speed: 1.0,
+                    memory_bytes: None,
                 },
                 VirtualNode {
                     cores: 1,
                     speed: 1.0,
+                    memory_bytes: None,
                 },
                 VirtualNode {
                     cores: 1,
                     speed: 1.0,
+                    memory_bytes: None,
                 },
             ],
         );
@@ -722,18 +735,22 @@ mod tests {
             VirtualNode {
                 cores: 1,
                 speed: 2.0,
+                memory_bytes: None,
             },
             VirtualNode {
                 cores: 1,
                 speed: 1.0,
+                memory_bytes: None,
             },
             VirtualNode {
                 cores: 1,
                 speed: 1.0,
+                memory_bytes: None,
             },
             VirtualNode {
                 cores: 1,
                 speed: 1.0,
+                memory_bytes: None,
             },
         ];
         let mut base = SimConfig::paper(400, 25, 24, nodes);
@@ -811,10 +828,12 @@ mod tests {
                 VirtualNode {
                     cores: 1,
                     speed: 2.0,
+                    memory_bytes: None,
                 },
                 VirtualNode {
                     cores: 1,
                     speed: 1.0,
+                    memory_bytes: None,
                 },
             ],
         );
@@ -834,18 +853,22 @@ mod tests {
                 VirtualNode {
                     cores: 1,
                     speed: 2.0,
+                    memory_bytes: None,
                 },
                 VirtualNode {
                     cores: 1,
                     speed: 1.0,
+                    memory_bytes: None,
                 },
                 VirtualNode {
                     cores: 1,
                     speed: 1.0,
+                    memory_bytes: None,
                 },
                 VirtualNode {
                     cores: 1,
                     speed: 1.0,
+                    memory_bytes: None,
                 },
             ],
         );
@@ -879,6 +902,7 @@ mod tests {
         let mut cfg = SimConfig::paper(400, 25, 24, nodes);
         cfg.partition = PartitionSpec::Explicit(owners);
         cfg.net = NetSpec::Topology(nlheat_netmodel::TopologySpec {
+            ranks_per_node: 1,
             nodes_per_rack: 2,
             intra_node: nlheat_netmodel::LinkSpec::new(1e-7, 5e9),
             intra_rack: nlheat_netmodel::LinkSpec::new(1e-4, 1e8),
@@ -933,18 +957,22 @@ mod tests {
                     VirtualNode {
                         cores: 1,
                         speed: 2.0,
+                        memory_bytes: None,
                     },
                     VirtualNode {
                         cores: 1,
                         speed: 1.0,
+                        memory_bytes: None,
                     },
                     VirtualNode {
                         cores: 1,
                         speed: 1.0,
+                        memory_bytes: None,
                     },
                     VirtualNode {
                         cores: 1,
                         speed: 1.0,
+                        memory_bytes: None,
                     },
                 ],
             );

@@ -44,7 +44,7 @@ impl Substrate for SimSubstrate {
     fn run(&self, scenario: &Scenario) -> RunReport {
         scenario.validate();
         let cfg = SimConfig::from(scenario);
-        run_report(simulate(&cfg))
+        run_report(simulate(&cfg)).with_scenario_memory(scenario)
     }
 }
 
@@ -65,6 +65,8 @@ pub fn run_report(run: SimRun) -> RunReport {
         final_ownership: run.final_ownership,
         field: None,
         error: None,
+        memory_bytes: None,
+        sd_footprint: None,
         extras: RunExtras::Sim(SimExtras {
             busy_fraction: run.busy_fraction,
             cross_bytes: run.cross_bytes,

@@ -64,6 +64,7 @@ fn main() {
     // ghost parcels according to the rack topology (numerics unchanged),
     // and the simulator quantifies the cost of rack crossings at scale.
     let topo = NetSpec::Topology(TopologySpec {
+        ranks_per_node: 1,
         nodes_per_rack: 2,
         intra_node: LinkSpec::new(0.0, f64::INFINITY),
         intra_rack: LinkSpec::new(100e-6, 1e8),
@@ -89,6 +90,7 @@ fn main() {
     // the compute time, so the topology becomes visible in the makespan —
     // and case-1/case-2 overlap wins back most of it.
     let congested = NetSpec::Topology(TopologySpec {
+        ranks_per_node: 1,
         nodes_per_rack: 2,
         intra_node: LinkSpec::new(0.0, f64::INFINITY),
         intra_rack: LinkSpec::new(100e-6, 1e8),

@@ -243,7 +243,7 @@ fn tree_spec_pinned_byte_identical_to_pre_policy_planner() {
                 let legacy = plan_rebalance_with_cost(
                     &own,
                     &busy,
-                    &CostParams::new(net.comm, lambda, net.sd_bytes),
+                    &CostParams::new(net.comm, lambda, net.sd_bytes.clone()),
                 );
                 let metrics = compute_metrics(&own.counts(), &busy);
                 let plan = policy.plan(&own, &metrics, &net);

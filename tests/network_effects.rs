@@ -30,6 +30,7 @@ fn every_net_model_same_numerics() {
         NetSpec::shared(200e-6, 5e6),
         NetSpec::duplex(200e-6, 5e6),
         NetSpec::Topology(TopologySpec {
+            ranks_per_node: 1,
             nodes_per_rack: 2,
             intra_node: LinkSpec::new(0.0, f64::INFINITY),
             intra_rack: LinkSpec::new(100e-6, 1e7),

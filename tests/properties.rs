@@ -245,6 +245,7 @@ proptest! {
         let busy_vec: Vec<f64> =
             (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
         let comm = CommCost::from_spec(&NetSpec::Topology(TopologySpec {
+            ranks_per_node: 1,
             nodes_per_rack: 2,
             intra_node: LinkSpec::new(0.0, f64::INFINITY),
             intra_rack: LinkSpec::new(1e-3, 1e6),
@@ -289,7 +290,7 @@ proptest! {
         n_nodes in 2u32..6,
         owner_seed in any::<u64>(),
         busy in proptest::collection::vec(0.05f64..10.0, 8),
-        which in 0usize..6,
+        which in 0usize..8,
         mu in 0.0f64..3.0,
         halo in 1i64..6,
     ) {
@@ -305,6 +306,7 @@ proptest! {
         // survive ghost-aware gating and one-at-a-time realization too
         let net = LbNetwork::new(
             CommCost::from_spec(&NetSpec::Topology(TopologySpec {
+                ranks_per_node: 1,
                 nodes_per_rack: 2,
                 intra_node: LinkSpec::new(0.0, f64::INFINITY),
                 intra_rack: LinkSpec::new(1e-3, 1e6),
@@ -319,7 +321,9 @@ proptest! {
             2 => LbSpec::diffusion(1.0, 6),
             3 => LbSpec::greedy_steal(1),
             4 => LbSpec::adaptive(LbSpec::greedy_steal(1), 0.1),
-            _ => LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2),
+            5 => LbSpec::adaptive_mu(LbSpec::tree(0.0), 0.2),
+            6 => LbSpec::hierarchical(LbSpec::tree(0.0), 0.0),
+            _ => LbSpec::hierarchical(LbSpec::greedy_steal(1), 1.5),
         }
         .with_mu(mu);
         let mut policy = spec.build();
@@ -365,7 +369,7 @@ proptest! {
         n_nodes in 2u32..6,
         owner_seed in any::<u64>(),
         busy in proptest::collection::vec(0.05f64..10.0, 8),
-        which in 0usize..6,
+        which in 0usize..8,
         halo in 1i64..6,
     ) {
         let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
@@ -378,6 +382,7 @@ proptest! {
             (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
         let plain = LbNetwork::new(
             CommCost::from_spec(&NetSpec::Topology(TopologySpec {
+                ranks_per_node: 1,
                 nodes_per_rack: 2,
                 intra_node: LinkSpec::new(0.0, f64::INFINITY),
                 intra_rack: LinkSpec::new(1e-3, 1e6),
@@ -392,7 +397,9 @@ proptest! {
             2 => LbSpec::diffusion(1.0, 6),
             3 => LbSpec::greedy_steal(1),
             4 => LbSpec::adaptive(LbSpec::tree(0.5), 0.1),
-            _ => LbSpec::adaptive_mu(LbSpec::tree(0.5), 0.2),
+            5 => LbSpec::adaptive_mu(LbSpec::tree(0.5), 0.2),
+            6 => LbSpec::hierarchical(LbSpec::tree(0.0), 0.0),
+            _ => LbSpec::hierarchical(LbSpec::tree(0.5), 1.5),
         };
         let metrics = compute_metrics(&own.counts(), &busy_vec);
         let blind = spec.build().plan(&own, &metrics, &plain);
@@ -400,5 +407,117 @@ proptest! {
         prop_assert_eq!(&blind.moves, &ghosted.moves, "{}", spec.name());
         prop_assert_eq!(&blind.new_ownership, &ghosted.new_ownership);
         prop_assert_eq!(blind.comm, ghosted.comm);
+    }
+}
+
+// The hierarchical planner's degenerate case: on a cluster whose comm
+// model carries no topology (every pair of ranks is one flat tier) and
+// with no memory capacities attached, `LbSpec::Hierarchical` must
+// delegate to its inner leaf — plans byte-identical to running the leaf
+// directly, so single-rack configurations pay nothing for the wrapper.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn hierarchical_degenerates_to_flat_on_single_rack(
+        nsx in 2i64..7,
+        nsy in 2i64..7,
+        n_nodes in 2u32..6,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.05f64..10.0, 8),
+        lambda in 0.0f64..2.0,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        let owners: Vec<u32> = (0..count)
+            .map(|i| ((owner_seed >> (i % 60)) as u32 ^ i as u32) % n_nodes)
+            .collect();
+        let own = Ownership::new(grid, owners, n_nodes);
+        let busy_vec: Vec<f64> =
+            (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+        let net = LbNetwork::new(
+            CommCost::from_spec(&NetSpec::shared(1e-4, 1e8)),
+            4 * 4 * 8 + 24,
+        );
+        let metrics = compute_metrics(&own.counts(), &busy_vec);
+        let flat = LbSpec::tree(lambda).build().plan(&own, &metrics, &net);
+        let hier = LbSpec::hierarchical(LbSpec::tree(lambda), 1.5)
+            .build()
+            .plan(&own, &metrics, &net);
+        prop_assert_eq!(&flat.moves, &hier.moves, "λ={}", lambda);
+        prop_assert_eq!(&flat.new_ownership, &hier.new_ownership);
+        prop_assert_eq!(flat.comm, hier.comm);
+    }
+}
+
+// The memory capacity gate, under adversarial inputs: random ownerships,
+// random per-node headroom (including zero — a full node must receive
+// nothing), footprints from the real SdGraph. Whatever the hierarchical
+// planner emits, applying the whole plan must leave every rank at or
+// under its declared capacity — the invariant `RunReport::check_invariants`
+// replays for every recorded scenario epoch.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn hierarchical_plan_never_overflows_destinations(
+        nsx in 2i64..7,
+        nsy in 2i64..7,
+        n_nodes in 2u32..6,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.05f64..10.0, 8),
+        headroom in proptest::collection::vec(0u64..3, 8),
+        halo in 1i64..6,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        let owners: Vec<u32> = (0..count)
+            .map(|i| ((owner_seed >> (i % 60)) as u32 ^ i as u32) % n_nodes)
+            .collect();
+        let graph = Arc::new(SdGraph::build(&grid, halo));
+        let fp = Arc::new(graph.footprints());
+        // capacities: each rank's initial residency plus 0–2 of the
+        // largest footprint — tight enough that the gate must refuse
+        // moves on most cases
+        let mut usage = vec![0u64; n_nodes as usize];
+        for (sd, &o) in owners.iter().enumerate() {
+            usage[o as usize] += fp[sd];
+        }
+        let max_fp = fp.iter().copied().max().unwrap_or(1).max(1);
+        let caps: Vec<u64> = usage
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u + headroom[i % headroom.len()] * max_fp).max(1))
+            .collect();
+        let own = Ownership::new(grid, owners, n_nodes);
+        let busy_vec: Vec<f64> =
+            (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+        let net = LbNetwork::new(
+            CommCost::from_spec(&NetSpec::Topology(TopologySpec {
+                ranks_per_node: 1,
+                nodes_per_rack: 2,
+                intra_node: LinkSpec::new(0.0, f64::INFINITY),
+                intra_rack: LinkSpec::new(1e-3, 1e6),
+                inter_rack: LinkSpec::new(0.5, 2e4),
+            })),
+            4 * 4 * 8 + 24,
+        )
+        .with_sd_graph(graph.clone())
+        .with_memory(Arc::new(caps.clone()), fp.clone());
+        let metrics = compute_metrics(&own.counts(), &busy_vec);
+        let plan = LbSpec::hierarchical(LbSpec::tree(0.0), 0.0)
+            .build()
+            .plan(&own, &metrics, &net);
+        let mut after = usage.clone();
+        for m in &plan.moves {
+            prop_assert_eq!(own.owner(m.sd), m.from);
+            after[m.from as usize] -= fp[m.sd as usize];
+            after[m.to as usize] += fp[m.sd as usize];
+        }
+        for (node, (&used, &cap)) in after.iter().zip(caps.iter()).enumerate() {
+            prop_assert!(
+                used <= cap,
+                "rank {} holds {} B after the plan, over its {} B capacity",
+                node, used, cap
+            );
+        }
     }
 }
