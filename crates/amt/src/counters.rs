@@ -151,6 +151,22 @@ pub fn busy_time_counter_name(locality: u32) -> String {
     format!("/threads{{locality#{locality}/total}}/time/busy")
 }
 
+/// Successful work steals (injector + peer-deque batches) of a locality's
+/// pool, in the same HPX-style naming scheme.
+pub fn steals_counter_name(locality: u32) -> String {
+    format!("/threads{{locality#{locality}/total}}/count/steals")
+}
+
+/// Full steal scans that found nothing (the thief's whiffs).
+pub fn steal_fails_counter_name(locality: u32) -> String {
+    format!("/threads{{locality#{locality}/total}}/count/steal-fails")
+}
+
+/// Times a worker parked on the sleep condvar.
+pub fn parks_counter_name(locality: u32) -> String {
+    format!("/threads{{locality#{locality}/total}}/count/parks")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,10 @@
 
 pub use crate::parcel::LocalityId;
 
-use crate::counters::{busy_time_counter_name, Counter, CounterRegistry};
+use crate::counters::{
+    busy_time_counter_name, parks_counter_name, steal_fails_counter_name, steals_counter_name,
+    Counter, CounterRegistry,
+};
 use crate::future::Future;
 use crate::network::FabricHandle;
 use crate::parcel::{tag_class, Parcel, Tag};
@@ -68,6 +71,21 @@ impl Locality {
         let busy_counter = registry.register(
             busy_time_counter_name(id),
             Counter::gauge(move || pool_for_gauge.busy_ns_total()),
+        );
+        let p = pool.clone();
+        registry.register(
+            steals_counter_name(id),
+            Counter::gauge(move || p.steals_total()),
+        );
+        let p = pool.clone();
+        registry.register(
+            steal_fails_counter_name(id),
+            Counter::gauge(move || p.steal_fails_total()),
+        );
+        let p = pool.clone();
+        registry.register(
+            parks_counter_name(id),
+            Counter::gauge(move || p.parks_total()),
         );
         Arc::new(Locality {
             id,

@@ -254,6 +254,37 @@ fn sweep_bench(c: &mut Criterion) {
     g.finish();
 }
 
+fn pool_bench(c: &mut Criterion) {
+    init();
+    // Raw spawn/steal throughput of the AMT pool: 1024 tiny tasks pushed
+    // through the injector and drained by the workers, measured at one
+    // worker (no contention — pure deque overhead) and at eight (every
+    // worker fighting over the injector and each other's deques). This is
+    // the surface the Chase–Lev deque rewrite targets: on the old
+    // Mutex<VecDeque> shim the 8-thread leg serializes on locks.
+    use nlheat_amt::pool::ThreadPool;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    let mut g = c.benchmark_group("pool");
+    for (label, workers) in [("1thr", 1usize), ("8thr", 8)] {
+        let pool = ThreadPool::new(workers, &format!("bench-{label}"));
+        g.bench_function(&format!("spawn_steal_{label}"), |b| {
+            b.iter(|| {
+                let hits = Arc::new(AtomicU64::new(0));
+                for _ in 0..1024 {
+                    let hits = hits.clone();
+                    pool.spawn(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                pool.wait_idle();
+                assert_eq!(hits.load(Ordering::Relaxed), 1024);
+            })
+        });
+    }
+    g.finish();
+}
+
 fn plan_bench(c: &mut Criterion) {
     init();
     // Plan-time regression at cluster scale, on the plan_scale harness the
@@ -302,6 +333,24 @@ fn plan_bench(c: &mut Criterion) {
     g.finish();
 }
 
+fn dist_straggler_bench(c: &mut Criterion) {
+    init();
+    // One straggler SD on a single 4-core locality: SD 0 costs 8x its
+    // peers, so without intra-step stealing three workers idle at the step
+    // barrier while one grinds the hot SD. The snapshot seed was captured
+    // with stealing off on the mutex-shim deque; the current entry runs
+    // with stealing on, so the band also guards the chunked task path.
+    let mut work = vec![1.0f64; 16];
+    work[0] = 8.0;
+    let sc = Scenario::square(64, 4.0, 16, 4)
+        .on(ClusterSpec::uniform(1, 4))
+        .with_work(nlheat_core::WorkModel::PerSd(work))
+        .with_intra_step_stealing(true);
+    let mut g = c.benchmark_group("dist");
+    g.bench_function("step_straggler", |b| b.iter(|| black_box(sc.run_dist())));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     event_core_bench,
@@ -309,6 +358,8 @@ criterion_group!(
     kernel_bench,
     e2e_bench,
     sweep_bench,
-    plan_bench
+    pool_bench,
+    plan_bench,
+    dist_straggler_bench
 );
 criterion_main!(benches);

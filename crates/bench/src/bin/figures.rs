@@ -1,7 +1,7 @@
 //! Regenerate the paper's evaluation figures as markdown tables.
 //!
 //! ```text
-//! figures [fig8|fig9|fig10|fig11|fig12|fig13|fig14|a8|a9|a10|ablations|all] [--quick]
+//! figures [fig8|fig9|fig10|fig11|fig12|fig13|fig14|a8|a9|a10|a11|ablations|all] [--quick]
 //! ```
 //!
 //! Full mode uses the paper's exact workload parameters (400×400 and
@@ -42,6 +42,10 @@ fn main() {
             println!("{}", ablations::a10_memory_pressure(quick).to_markdown());
             println!("{}", ablations::a10b_plan_time_scaling(quick).to_markdown());
         }
+        "a11" => println!(
+            "{}",
+            ablations::a11_intra_step_stealing(quick).to_markdown()
+        ),
         "ablations" => {
             println!("{}", ablations::a1_partition_quality(quick).to_markdown());
             println!("{}", ablations::a2_overlap(quick).to_markdown());
@@ -55,6 +59,10 @@ fn main() {
             println!("{}", ablations::a9_ghost_aware_mu(quick).to_markdown());
             println!("{}", ablations::a10_memory_pressure(quick).to_markdown());
             println!("{}", ablations::a10b_plan_time_scaling(quick).to_markdown());
+            println!(
+                "{}",
+                ablations::a11_intra_step_stealing(quick).to_markdown()
+            );
         }
         "all" => {
             println!("{}", fig8(quick).to_markdown());
@@ -76,10 +84,14 @@ fn main() {
             println!("{}", ablations::a9_ghost_aware_mu(quick).to_markdown());
             println!("{}", ablations::a10_memory_pressure(quick).to_markdown());
             println!("{}", ablations::a10b_plan_time_scaling(quick).to_markdown());
+            println!(
+                "{}",
+                ablations::a11_intra_step_stealing(quick).to_markdown()
+            );
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: figures [fig8..fig14|a8|a9|a10|ablations|all] [--quick]");
+            eprintln!("usage: figures [fig8..fig14|a8|a9|a10|a11|ablations|all] [--quick]");
             std::process::exit(2);
         }
     }

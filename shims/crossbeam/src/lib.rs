@@ -1,10 +1,11 @@
 //! Minimal std-backed stand-in for the `crossbeam` crate.
 //!
 //! Provides the subset this workspace uses: `channel` (MPMC unbounded
-//! channels with timeouts), `deque` (injector + per-worker deques with
-//! stealing) and `utils::CachePadded`. Implementations favour simplicity
-//! over raw throughput; semantics (blocking, disconnection, LIFO worker
-//! pop vs FIFO steal) match the real crate for the paths exercised here.
+//! channels with timeouts), `deque` (a lock-free Chase–Lev per-worker
+//! deque plus a sharded injector) and `utils::CachePadded`. Semantics
+//! (blocking, disconnection, LIFO worker pop vs FIFO steal, batch
+//! transfer into the destination worker) match the real crate for the
+//! paths exercised here.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -236,7 +237,24 @@ pub mod channel {
 }
 
 pub mod deque {
+    //! Work-stealing deques: a lock-free Chase–Lev deque per worker
+    //! (Chase & Lev, SPAA 2005, with the C11 orderings of Lê, Pop,
+    //! Cohen & Zappa Nardelli, PPoPP 2013) and a sharded MPMC injector.
+    //!
+    //! Elements are stored as boxed pointers in `AtomicPtr` slots, so
+    //! every slot read/write is a single atomic word: stealers may race
+    //! with the owner's push/pop and with buffer growth without ever
+    //! reading a torn `T`. Ownership of an element transfers exactly
+    //! once — to the stealer that wins the `top` CAS, or to the owner's
+    //! `pop` (which CASes `top` itself for the last element). Retired
+    //! grow buffers are kept alive until the deque drops, because a
+    //! stealer that read the old buffer pointer may still index it; the
+    //! grow copies every live slot, so any reachable buffer version
+    //! holds a valid pointer for any index the `top` CAS can validate.
+
     use std::collections::VecDeque;
+    use std::marker::PhantomData;
+    use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
     use std::sync::{Arc, Mutex, PoisonError};
 
     /// Outcome of a steal attempt.
@@ -246,100 +264,368 @@ pub mod deque {
         Retry,
     }
 
-    /// Global FIFO injection queue.
+    /// Default batch bound for `steal_batch_and_pop`: enough to amortize
+    /// the CAS traffic, small enough that one thief cannot drain a
+    /// straggler's whole deque in one visit.
+    const MAX_BATCH: usize = 32;
+
+    /// Initial per-worker ring capacity (grows by doubling).
+    const INITIAL_CAP: usize = 64;
+
+    /// A growable ring of `AtomicPtr` slots indexed by the unbounded
+    /// Chase–Lev positions (wrapping via the power-of-two mask).
+    struct Buffer<T> {
+        slots: Box<[AtomicPtr<T>]>,
+        mask: usize,
+    }
+
+    impl<T> Buffer<T> {
+        fn new(cap: usize) -> Self {
+            debug_assert!(cap.is_power_of_two());
+            Buffer {
+                slots: (0..cap)
+                    .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                    .collect(),
+                mask: cap - 1,
+            }
+        }
+
+        fn cap(&self) -> usize {
+            self.slots.len()
+        }
+
+        fn slot(&self, index: isize) -> &AtomicPtr<T> {
+            &self.slots[index as usize & self.mask]
+        }
+    }
+
+    struct Inner<T> {
+        /// Stealer end — advances monotonically, one CAS per element.
+        top: AtomicIsize,
+        /// Owner end — only the owning `Worker` writes it.
+        bottom: AtomicIsize,
+        /// Current ring; swapped (never mutated in place) on growth.
+        buffer: AtomicPtr<Buffer<T>>,
+        /// Rings replaced by growth, freed on drop: a concurrent stealer
+        /// may hold a pointer to any previous version.
+        retired: Mutex<Vec<*mut Buffer<T>>>,
+    }
+
+    unsafe impl<T: Send> Send for Inner<T> {}
+    unsafe impl<T: Send> Sync for Inner<T> {}
+
+    impl<T> Drop for Inner<T> {
+        fn drop(&mut self) {
+            // Exclusive access: free the elements still queued, then every
+            // buffer version.
+            let t = *self.top.get_mut();
+            let b = *self.bottom.get_mut();
+            let buf_ptr = *self.buffer.get_mut();
+            unsafe {
+                let buf = &*buf_ptr;
+                for i in t..b {
+                    drop(Box::from_raw(buf.slot(i).load(Ordering::Relaxed)));
+                }
+                drop(Box::from_raw(buf_ptr));
+            }
+            let retired =
+                std::mem::take(&mut *self.retired.lock().unwrap_or_else(PoisonError::into_inner));
+            for p in retired {
+                unsafe { drop(Box::from_raw(p)) };
+            }
+        }
+    }
+
+    /// The owner end of a Chase–Lev deque: LIFO `push`/`pop`, no locks,
+    /// no CAS except when racing stealers for the last element. `Send`
+    /// but not `Sync` — exactly one thread may own it at a time.
+    pub struct Worker<T> {
+        inner: Arc<Inner<T>>,
+        /// The owner-end protocol is single-writer; suppress `Sync`.
+        _not_sync: PhantomData<std::cell::Cell<()>>,
+    }
+
+    unsafe impl<T: Send> Send for Worker<T> {}
+
+    impl<T> Worker<T> {
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Inner {
+                    top: AtomicIsize::new(0),
+                    bottom: AtomicIsize::new(0),
+                    buffer: AtomicPtr::new(Box::into_raw(Box::new(Buffer::new(INITIAL_CAP)))),
+                    retired: Mutex::new(Vec::new()),
+                }),
+                _not_sync: PhantomData,
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed);
+            let t = inner.top.load(Ordering::Acquire);
+            let mut buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+            if b - t >= buf.cap() as isize {
+                self.grow(t, b);
+                buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+            }
+            buf.slot(b)
+                .store(Box::into_raw(Box::new(value)), Ordering::Relaxed);
+            // Publish: a stealer that acquires this bottom also sees the
+            // slot store (and, transitively, the buffer swap of any grow).
+            inner.bottom.store(b + 1, Ordering::Release);
+        }
+
+        /// Double the ring, copying the live window `[t, b)`. The old
+        /// buffer is retired, not freed: stealers may already hold it,
+        /// and its copy of any still-unstolen index stays valid.
+        fn grow(&self, t: isize, b: isize) {
+            let inner = &*self.inner;
+            let old_ptr = inner.buffer.load(Ordering::Relaxed);
+            let old = unsafe { &*old_ptr };
+            let new = Buffer::new(old.cap() * 2);
+            for i in t..b {
+                new.slot(i)
+                    .store(old.slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            inner
+                .buffer
+                .store(Box::into_raw(Box::new(new)), Ordering::Release);
+            inner
+                .retired
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(old_ptr);
+        }
+
+        /// LIFO pop from the owner end. Lock-free; a single `top` CAS
+        /// arbitrates the last element against concurrent stealers.
+        pub fn pop(&self) -> Option<T> {
+            let inner = &*self.inner;
+            let b = inner.bottom.load(Ordering::Relaxed) - 1;
+            inner.bottom.store(b, Ordering::Relaxed);
+            // Order the bottom write before the top read (the Chase–Lev
+            // "reserve then check" handshake with the stealer's fence).
+            fence(Ordering::SeqCst);
+            let t = inner.top.load(Ordering::Relaxed);
+            if t > b {
+                // Deque was empty; undo the reservation.
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                return None;
+            }
+            let buf = unsafe { &*inner.buffer.load(Ordering::Relaxed) };
+            let elem = buf.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last element: win it with the same CAS stealers use.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                won.then(|| unsafe { *Box::from_raw(elem) })
+            } else {
+                Some(unsafe { *Box::from_raw(elem) })
+            }
+        }
+
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Steals from the top (FIFO) end of another worker's deque.
+    pub struct Stealer<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Lock-free single-element steal: one `top` CAS claims the
+        /// oldest element; a lost race reports [`Steal::Retry`].
+        pub fn steal(&self) -> Steal<T> {
+            let inner = &*self.inner;
+            let t = inner.top.load(Ordering::Acquire);
+            // Pair with the owner's pop fence so the bottom read below
+            // cannot pass the top read above.
+            fence(Ordering::SeqCst);
+            let b = inner.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return Steal::Empty;
+            }
+            // Loaded after bottom: the acquire on bottom orders this read
+            // after any grow that published the bottom value we saw, so
+            // the buffer version holds a valid pointer for index `t`
+            // whenever the CAS below validates `top == t`.
+            let buf = unsafe { &*inner.buffer.load(Ordering::Acquire) };
+            let elem = buf.slot(t).load(Ordering::Relaxed);
+            if inner
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                Steal::Success(unsafe { *Box::from_raw(elem) })
+            } else {
+                Steal::Retry
+            }
+        }
+
+        /// Steal up to `limit` elements: the first is returned, the rest
+        /// are pushed into `dest`. Each element is claimed by its own
+        /// `top` CAS — a wider CAS would race the owner's `pop`, which
+        /// takes elements from the other end without touching `top`
+        /// until the deque is nearly empty.
+        pub fn steal_batch_with_limit_and_pop(&self, dest: &Worker<T>, limit: usize) -> Steal<T> {
+            let mut first = None;
+            for taken in 0..limit.max(1) {
+                match self.steal() {
+                    Steal::Success(v) => {
+                        if first.is_none() {
+                            first = Some(v);
+                        } else {
+                            dest.push(v);
+                        }
+                    }
+                    Steal::Retry if taken == 0 => return Steal::Retry,
+                    Steal::Empty | Steal::Retry => break,
+                }
+            }
+            match first {
+                Some(v) => Steal::Success(v),
+                None => Steal::Empty,
+            }
+        }
+
+        /// [`Self::steal_batch_with_limit_and_pop`] at the default bound.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            self.steal_batch_with_limit_and_pop(dest, MAX_BATCH)
+        }
+    }
+
+    /// How many independently locked FIFO shards back an [`Injector`]:
+    /// spawners round-robin across them, so concurrent pushes (and
+    /// concurrent worker drains) mostly touch different locks.
+    const INJECTOR_SHARDS: usize = 8;
+
+    /// Global MPMC injection queue, sharded to keep spawn and drain
+    /// traffic from serializing on one lock. FIFO within a shard;
+    /// round-robin push keeps global ordering approximately FIFO.
     pub struct Injector<T> {
-        q: Mutex<VecDeque<T>>,
+        shards: Box<[super::utils::CachePadded<Mutex<VecDeque<T>>>]>,
+        push_idx: AtomicUsize,
+        steal_idx: AtomicUsize,
+        len: AtomicUsize,
     }
 
     impl<T> Injector<T> {
         pub fn new() -> Self {
             Injector {
-                q: Mutex::new(VecDeque::new()),
+                shards: (0..INJECTOR_SHARDS)
+                    .map(|_| super::utils::CachePadded::new(Mutex::new(VecDeque::new())))
+                    .collect(),
+                push_idx: AtomicUsize::new(0),
+                steal_idx: AtomicUsize::new(0),
+                len: AtomicUsize::new(0),
             }
         }
 
         pub fn push(&self, value: T) {
-            self.q
+            let i = self.push_idx.fetch_add(1, Ordering::Relaxed) % INJECTOR_SHARDS;
+            self.shards[i]
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
                 .push_back(value);
+            self.len.fetch_add(1, Ordering::Release);
         }
 
+        /// Approximate emptiness — exact once the queue is quiescent,
+        /// which is all the pool's sleep check needs.
         pub fn is_empty(&self) -> bool {
-            self.q
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .is_empty()
+            self.len.load(Ordering::Acquire) == 0
         }
 
-        /// Pop one task for the calling worker (the real crate also moves a
-        /// batch into `_dest`; one at a time is sufficient here).
-        pub fn steal_batch_and_pop(&self, _dest: &Worker<T>) -> Steal<T> {
-            match self
-                .q
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_front()
-            {
-                Some(v) => Steal::Success(v),
-                None => Steal::Empty,
+        /// Pop one task for the calling worker.
+        pub fn steal(&self) -> Steal<T> {
+            if self.is_empty() {
+                return Steal::Empty;
             }
+            let start = self.steal_idx.fetch_add(1, Ordering::Relaxed);
+            for k in 0..INJECTOR_SHARDS {
+                let shard = &self.shards[(start + k) % INJECTOR_SHARDS];
+                let mut q = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                if let Some(v) = q.pop_front() {
+                    self.len.fetch_sub(1, Ordering::Release);
+                    return Steal::Success(v);
+                }
+            }
+            Steal::Empty
+        }
+
+        /// Move up to `limit` tasks out of the shards: the first is
+        /// returned, the rest land in `dest`'s deque (where deque peers
+        /// can re-steal them).
+        pub fn steal_batch_with_limit_and_pop(&self, dest: &Worker<T>, limit: usize) -> Steal<T> {
+            let mut first = None;
+            let taken = self.take(limit.max(1), dest, &mut first);
+            match (taken, first) {
+                (0, _) => Steal::Empty,
+                (_, Some(v)) => Steal::Success(v),
+                (_, None) => unreachable!("the first taken task is always captured"),
+            }
+        }
+
+        /// [`Self::steal_batch_with_limit_and_pop`] at the default bound.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            self.steal_batch_with_limit_and_pop(dest, MAX_BATCH)
+        }
+
+        /// Drain up to `limit` tasks scanning shards from a rotating
+        /// start (pushes round-robin, so a batch usually spans shards —
+        /// one lock acquisition per shard visited). Returns the number
+        /// taken; routes the first into `first`, the rest into `dest`'s
+        /// deque.
+        fn take(&self, limit: usize, dest: &Worker<T>, first: &mut Option<T>) -> usize {
+            if self.is_empty() {
+                return 0;
+            }
+            let start = self.steal_idx.fetch_add(1, Ordering::Relaxed);
+            let mut taken = 0;
+            for k in 0..INJECTOR_SHARDS {
+                if taken >= limit {
+                    break;
+                }
+                let shard = &self.shards[(start + k) % INJECTOR_SHARDS];
+                let mut q = shard.lock().unwrap_or_else(PoisonError::into_inner);
+                let n = (limit - taken).min(q.len());
+                if n == 0 {
+                    continue;
+                }
+                self.len.fetch_sub(n, Ordering::Release);
+                for _ in 0..n {
+                    let v = q.pop_front().expect("len-checked");
+                    if taken == 0 {
+                        *first = Some(v);
+                    } else {
+                        dest.push(v);
+                    }
+                    taken += 1;
+                }
+            }
+            taken
         }
     }
 
     impl<T> Default for Injector<T> {
         fn default() -> Self {
             Injector::new()
-        }
-    }
-
-    /// A per-worker deque: LIFO for the owner, FIFO for stealers.
-    pub struct Worker<T> {
-        q: Arc<Mutex<VecDeque<T>>>,
-    }
-
-    impl<T> Worker<T> {
-        pub fn new_lifo() -> Self {
-            Worker {
-                q: Arc::new(Mutex::new(VecDeque::new())),
-            }
-        }
-
-        pub fn push(&self, value: T) {
-            self.q
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .push_back(value);
-        }
-
-        pub fn pop(&self) -> Option<T> {
-            self.q
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_back()
-        }
-
-        pub fn stealer(&self) -> Stealer<T> {
-            Stealer { q: self.q.clone() }
-        }
-    }
-
-    /// Steals from the front of another worker's deque.
-    pub struct Stealer<T> {
-        q: Arc<Mutex<VecDeque<T>>>,
-    }
-
-    impl<T> Stealer<T> {
-        pub fn steal(&self) -> Steal<T> {
-            match self
-                .q
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_front()
-            {
-                Some(v) => Steal::Success(v),
-                None => Steal::Empty,
-            }
         }
     }
 }
@@ -439,5 +725,245 @@ mod tests {
         inj.push(7);
         assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Success(7)));
         assert!(matches!(inj.steal_batch_and_pop(&w), Steal::Empty));
+    }
+
+    #[test]
+    fn stealer_batch_transfers_into_dest() {
+        let src = Worker::new_lifo();
+        for i in 0..10 {
+            src.push(i);
+        }
+        let dest = Worker::new_lifo();
+        // limit 4: first element returned, three moved into dest
+        let got = src.stealer().steal_batch_with_limit_and_pop(&dest, 4);
+        assert!(matches!(got, Steal::Success(0)));
+        assert_eq!(dest.pop(), Some(3), "dest drains LIFO");
+        assert_eq!(dest.pop(), Some(2));
+        assert_eq!(dest.pop(), Some(1));
+        assert_eq!(dest.pop(), None);
+        // the source kept the rest
+        assert_eq!(src.pop(), Some(9));
+    }
+
+    #[test]
+    fn injector_batch_transfers_into_dest() {
+        let inj = Injector::new();
+        for i in 0..6 {
+            inj.push(i);
+        }
+        let dest = Worker::new_lifo();
+        let got = inj.steal_batch_with_limit_and_pop(&dest, 4);
+        let Steal::Success(first) = got else {
+            panic!("expected a task");
+        };
+        let mut moved = Vec::new();
+        while let Some(v) = dest.pop() {
+            moved.push(v);
+        }
+        assert_eq!(moved.len(), 3, "batch of 4: one popped, three moved");
+        assert!(!inj.is_empty(), "two tasks stay queued");
+        let mut rest = Vec::new();
+        loop {
+            match inj.steal() {
+                Steal::Success(v) => rest.push(v),
+                Steal::Empty => break,
+                Steal::Retry => {}
+            }
+        }
+        let mut all: Vec<i32> = moved;
+        all.push(first);
+        all.extend(rest);
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_stealer_sees_fifo_order_across_growth() {
+        // No owner pops: a lone stealer must observe exact push order,
+        // including across several buffer growths (initial cap is 64).
+        let w = Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let s = w.stealer();
+        for want in 0..1000 {
+            loop {
+                match s.steal() {
+                    Steal::Success(v) => {
+                        assert_eq!(v, want);
+                        break;
+                    }
+                    Steal::Retry => {}
+                    Steal::Empty => panic!("lost task {want}"),
+                }
+            }
+        }
+        assert!(matches!(s.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn chase_lev_stress_no_lost_or_duplicated_tasks() {
+        // Concurrent owner (push + interleaved LIFO pops) vs 4 stealers
+        // hammering single-element steals: every task must be received
+        // exactly once, across buffer growths and last-element races.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        const ITEMS: usize = 20_000;
+        const STEALERS: usize = 4;
+        let w = Worker::new_lifo();
+        let done = Arc::new(AtomicBool::new(false));
+        let mut thieves = Vec::new();
+        for _ in 0..STEALERS {
+            let s = w.stealer();
+            let done = done.clone();
+            thieves.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while !done.load(Ordering::Acquire) {
+                    match s.steal() {
+                        Steal::Success(v) => got.push(v),
+                        Steal::Empty => std::thread::yield_now(),
+                        Steal::Retry => {}
+                    }
+                }
+                got
+            }));
+        }
+        let mut all = Vec::new();
+        for i in 0..ITEMS {
+            w.push(i);
+            if i % 3 == 0 {
+                if let Some(v) = w.pop() {
+                    all.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            all.push(v);
+        }
+        // The deque is empty; anything not popped here is already owned
+        // by exactly one stealer.
+        done.store(true, Ordering::Release);
+        for t in thieves {
+            all.extend(t.join().unwrap());
+        }
+        assert_eq!(all.len(), ITEMS, "lost or duplicated tasks");
+        all.sort_unstable();
+        for (want, got) in all.iter().enumerate() {
+            assert_eq!(want, *got, "task multiset corrupted");
+        }
+    }
+
+    #[test]
+    fn batch_steal_stress_no_lost_or_duplicated_tasks() {
+        // Same exactly-once contract under batch transfer: thieves pull
+        // batches into their own deque and drain it locally — the path
+        // the pool's find_task runs.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        const ITEMS: usize = 20_000;
+        const STEALERS: usize = 3;
+        let w = Worker::new_lifo();
+        let done = Arc::new(AtomicBool::new(false));
+        let mut thieves = Vec::new();
+        for _ in 0..STEALERS {
+            let s = w.stealer();
+            let done = done.clone();
+            thieves.push(std::thread::spawn(move || {
+                let local = Worker::new_lifo();
+                let mut got = Vec::new();
+                while !done.load(Ordering::Acquire) {
+                    match s.steal_batch_with_limit_and_pop(&local, 8) {
+                        Steal::Success(v) => {
+                            got.push(v);
+                            while let Some(v) = local.pop() {
+                                got.push(v);
+                            }
+                        }
+                        Steal::Empty => std::thread::yield_now(),
+                        Steal::Retry => {}
+                    }
+                }
+                got
+            }));
+        }
+        let mut all = Vec::new();
+        for i in 0..ITEMS {
+            w.push(i);
+            if i % 5 == 0 {
+                if let Some(v) = w.pop() {
+                    all.push(v);
+                }
+            }
+        }
+        while let Some(v) = w.pop() {
+            all.push(v);
+        }
+        done.store(true, Ordering::Release);
+        for t in thieves {
+            all.extend(t.join().unwrap());
+        }
+        assert_eq!(all.len(), ITEMS, "lost or duplicated tasks");
+        all.sort_unstable();
+        for (want, got) in all.iter().enumerate() {
+            assert_eq!(want, *got, "task multiset corrupted");
+        }
+    }
+
+    #[test]
+    fn injector_stress_concurrent_producers_and_consumers() {
+        // The sharded injector is the pool's spawn path: 2 producers vs
+        // 3 consumers draining through batch transfer, exactly once.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        const PER_PRODUCER: usize = 5_000;
+        const PRODUCERS: usize = 2;
+        let inj = Arc::new(Injector::new());
+        let mut producers = Vec::new();
+        for pid in 0..PRODUCERS {
+            let inj = inj.clone();
+            producers.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    inj.push(pid * PER_PRODUCER + i);
+                }
+            }));
+        }
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let inj = inj.clone();
+            let received = received.clone();
+            consumers.push(std::thread::spawn(move || {
+                let local = Worker::new_lifo();
+                let mut got = Vec::new();
+                while received.load(Ordering::Acquire) < PRODUCERS * PER_PRODUCER {
+                    match inj.steal_batch_and_pop(&local) {
+                        Steal::Success(v) => {
+                            let mut n = 1;
+                            got.push(v);
+                            while let Some(v) = local.pop() {
+                                got.push(v);
+                                n += 1;
+                            }
+                            received.fetch_add(n, Ordering::AcqRel);
+                        }
+                        Steal::Empty => std::thread::yield_now(),
+                        Steal::Retry => {}
+                    }
+                }
+                got
+            }));
+        }
+        for t in producers {
+            t.join().unwrap();
+        }
+        let mut all = Vec::new();
+        for t in consumers {
+            all.extend(t.join().unwrap());
+        }
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER);
+        all.sort_unstable();
+        for (want, got) in all.iter().enumerate() {
+            assert_eq!(want, *got);
+        }
     }
 }

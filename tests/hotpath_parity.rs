@@ -77,6 +77,37 @@ fn optimized_runtime_matches_scalar_reference_bitwise() {
 }
 
 #[test]
+fn intra_step_stealing_matches_scalar_reference_bitwise() {
+    // Intra-step stealing chops each SD's update into row-band tasks that
+    // race across pool workers and write `next` through a raw pointer —
+    // a pure scheduling change. On multi-core re-clusterings of the
+    // pinned scenarios (1-core nodes give thieves nothing to steal), the
+    // field must still equal the scalar reference bit for bit.
+    for (name, sc) in pinned_scenarios() {
+        let reference = scalar_reference_field(&sc);
+        let cores = ClusterSpec::uniform(sc.cluster.nodes.len(), 4);
+        let sc = sc.on(cores).with_intra_step_stealing(true);
+        let report = sc.run_dist();
+        let field = report.field.as_ref().expect("real runs carry the field");
+        assert_eq!(field.len(), reference.len(), "{name}");
+        for (i, (got, want)) in field.iter().zip(&reference).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "{name}: cell {i} diverged under intra-step stealing"
+            );
+        }
+        let steals: u64 = report
+            .dist_extras()
+            .expect("real-runtime extras")
+            .pool_steals
+            .iter()
+            .sum();
+        assert!(steals > 0, "{name}: stealing run scheduled no steals");
+    }
+}
+
+#[test]
 fn serial_solver_blocked_path_matches_scalar_reference() {
     // The serial solver switched to the blocked kernel too; pin it against
     // the same scalar reference.
