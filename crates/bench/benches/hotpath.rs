@@ -290,12 +290,19 @@ fn plan_bench(c: &mut Criterion) {
     // Plan-time regression at cluster scale, on the plan_scale harness the
     // A10b figure sweeps: the flat tree planner at 1000 ranks (10 SDs/rank
     // — its global walk is quadratic in ranks, so the lower density keeps
-    // it inside a bench budget) and the hierarchical planner at 10k ranks
-    // over a million SDs. Grid, SD graph and modeled busy times are built
-    // once outside the timer; the measured quantity is exactly one `plan`
-    // call, the same invocation `PlanSubstrate` wall-clocks. The snapshot
-    // band keeps the hierarchical planner's near-linearity honest — a
-    // superlinear regression at 10k ranks blows far past any tolerance.
+    // it inside a bench budget), the hierarchical planner at 10k ranks
+    // over a million SDs, and the cut-aware repartitioning decorator at
+    // the same 10k-rank scale. The repart leg is configured so *every*
+    // iteration takes the replan path (threshold 0.5 sits below any real
+    // live/fresh cut ratio, period 1, unbounded budget drains the staged
+    // diff each call): one iteration = one full multilevel
+    // `repartition_capacitated` over the million-SD graph plus the
+    // old→new diff, the dominant cost a drift-triggered epoch pays.
+    // Grid, SD graph and modeled busy times are built once outside the
+    // timer; the measured quantity is exactly one `plan` call, the same
+    // invocation `PlanSubstrate` wall-clocks. The snapshot band keeps the
+    // hierarchical planner's near-linearity honest — a superlinear
+    // regression at 10k ranks blows far past any tolerance.
     let mut g = c.benchmark_group("plan");
     for (label, sc, spec) in [
         (
@@ -307,6 +314,13 @@ fn plan_bench(c: &mut Criterion) {
             "hier_10k",
             scenarios::plan_scale(10_000),
             LbSpec::hierarchical(LbSpec::tree(0.0), 0.0),
+        ),
+        (
+            "repart_10k",
+            scenarios::plan_scale(10_000),
+            // λ=1e9 gates the inner tree so a surprise non-replan epoch
+            // stays cheap instead of paying the quadratic flat walk.
+            LbSpec::repartition(LbSpec::tree(1e9), 0.5, 1, u64::MAX),
         ),
     ] {
         let sds = sc.sd_grid();

@@ -5,8 +5,8 @@ use nlheat_core::balance::{LbSchedule, LbSpec};
 use nlheat_core::scenario::sweep::{Axis, ScenarioSweep};
 use nlheat_core::scenario::{ClusterSpec, PartitionSpec, PlanSubstrate, RunReport, Scenario};
 use nlheat_core::scenarios::{
-    heterogeneous_cluster, lopsided_owners, memory_pressure, plan_scale, propagating_crack,
-    two_rack_net,
+    cut_drift, elastic_scale_out, heterogeneous_cluster, lopsided_owners, memory_pressure,
+    plan_scale, propagating_crack, rank_failure, two_rack_net,
 };
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{Grid, SdGrid};
@@ -675,6 +675,127 @@ pub fn a11_intra_step_stealing(quick: bool) -> FigData {
     fig
 }
 
+/// The A12 roster: the incremental policies, the repartitioner alone, and
+/// the composed decorator, in the fixed x-axis order of the figure.
+/// "repart-only" wraps a tree whose λ gates every incremental move, so
+/// the only migrations it ever emits are staged replan diffs.
+pub fn a12_policies() -> Vec<(&'static str, LbSpec)> {
+    vec![
+        ("tree λ=0", LbSpec::tree(0.0)),
+        ("greedy-steal", LbSpec::greedy_steal(1)),
+        ("hierarchical", LbSpec::hierarchical(LbSpec::tree(0.0), 0.0)),
+        (
+            "repart-only",
+            LbSpec::repartition(LbSpec::tree(1e9), 1.15, 1, u64::MAX),
+        ),
+        (
+            "repart+tree",
+            LbSpec::repartition(LbSpec::tree(0.0), 1.15, 1, u64::MAX),
+        ),
+    ]
+}
+
+/// **A12** — cut-aware repartitioning vs incremental balancing: the
+/// `cut-drift` library scenario (a decayed, island-riddled ownership on
+/// the two-rack cluster plus a propagating crack) planned by every
+/// [`a12_policies`] roster entry. Incremental policies can fix the count
+/// skew but inherit the islands, so their steady-state inter-rack ghost
+/// cut stays high; the drift monitor of [`LbSpec::Repartition`] re-invokes
+/// the multilevel partitioner, and every repartitioning leg must land a
+/// strictly lower recurring cut — at equal-or-better makespan for at
+/// least one of them. Sim leg at `quick` scale, real leg at smoke scale
+/// (A8 pattern).
+///
+/// Two elasticity timelines ride along on **both substrates**, asserting
+/// the membership half of the subsystem end to end: `rank-failure` (the
+/// evacuating replan must leave the failed rank empty) and
+/// `elastic-scale-out` (the joining ranks must end up owning SDs), with
+/// the plan sequences bit-identical across substrates under
+/// `LbInput::Modeled`.
+pub fn a12_repartition(quick: bool) -> FigData {
+    let mut fig = FigData::new(
+        "A12 — cut-aware repartitioning on the drifted 2-rack start (x: 0=tree λ=0, \
+         1=greedy-steal, 2=hierarchical, 3=repart-only, 4=repart+tree)",
+        "policy",
+        "sim inter-rack ghost KB/step / sim time (ms) / sim replans / real inter-rack ghost KB/step",
+    );
+    let sim_base = cut_drift(quick);
+    let real_base = cut_drift(true);
+    let mut sim_cut = Series::new("sim-inter-rack-ghost-KB");
+    let mut sim_time = Series::new("sim-time-ms");
+    let mut sim_replans = Series::new("sim-replans");
+    let mut real_cut = Series::new("real-inter-rack-ghost-KB");
+    for (i, (_name, spec)) in a12_policies().into_iter().enumerate() {
+        let x = i as f64;
+        let mut sc = sim_base.clone();
+        if let Some(lb) = &mut sc.lb {
+            lb.spec = spec.clone();
+        }
+        let run = sc.run_sim();
+        let trace = run.epoch_traces.last().expect("LB epochs must realize");
+        sim_cut.push(x, trace.inter_rack_ghost_bytes_after as f64 / 1e3);
+        sim_time.push(x, run.makespan * 1e3);
+        sim_replans.push(
+            x,
+            run.epoch_traces.iter().filter(|t| t.replan).count() as f64,
+        );
+
+        let mut rc = real_base.clone();
+        if let Some(lb) = &mut rc.lb {
+            lb.spec = spec;
+        }
+        let report = rc.run_dist();
+        let rtrace = report.epoch_traces.last().expect("LB epochs must realize");
+        real_cut.push(x, rtrace.inter_rack_ghost_bytes_after as f64 / 1e3);
+    }
+    assert!(
+        sim_replans.points[3..].iter().all(|p| p.1 >= 1.0),
+        "the drift monitor must fire on the repartitioning legs: {:?}",
+        sim_replans.points
+    );
+
+    // Elasticity timelines: both substrates, plans asserted identical.
+    let mut elastic = Series::new("elastic-SDs (0/1: failed-rank, 2/3: joined-ranks)");
+    for (x, sc, check) in [
+        (
+            0.0,
+            rank_failure(true),
+            (|counts: &[usize]| counts[3] as f64) as fn(&[usize]) -> f64,
+        ),
+        (2.0, elastic_scale_out(true), |counts: &[usize]| {
+            (counts[2] + counts[3]) as f64
+        }),
+    ] {
+        let real = sc.run_dist();
+        let sim = sc.run_sim();
+        real.check_invariants();
+        sim.check_invariants();
+        assert_eq!(
+            real.lb_plans, sim.lb_plans,
+            "elasticity timeline at x={x}: substrates must plan identically"
+        );
+        for (offset, report) in [(0.0, &real), (1.0, &sim)] {
+            let y = check(&report.final_ownership.counts());
+            if x == 0.0 {
+                assert_eq!(
+                    y, 0.0,
+                    "{}: the failed rank must end evacuated",
+                    report.substrate
+                );
+            } else {
+                assert!(
+                    y > 0.0,
+                    "{}: the joined ranks must end up owning SDs",
+                    report.substrate
+                );
+            }
+            elastic.push(x + offset, y);
+        }
+    }
+    fig.series = vec![sim_cut, sim_time, sim_replans, real_cut, elastic];
+    fig
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -941,6 +1062,63 @@ mod tests {
         let off = pts[0].1;
         let best_on = pts[1..].iter().map(|p| p.1).fold(f64::MAX, f64::min);
         assert!(best_on < off, "LB should help: off {off} on {best_on}");
+    }
+
+    #[test]
+    fn a12_repartitioning_heals_the_cut_policies_cannot() {
+        // Everything here is deterministic (`LbInput::Modeled` planning on
+        // both substrates), so the contrasts are exact.
+        let fig = a12_repartition(true);
+        let cut = &fig.series[0].points;
+        let time = &fig.series[1].points;
+        let replans = &fig.series[2].points;
+        let real_cut = &fig.series[3].points;
+        assert_eq!(cut.len(), 5, "all five roster entries must run");
+        // the drift monitor must fire on the repartitioning legs and
+        // never on the incremental ones
+        for i in 0..3 {
+            assert_eq!(replans[i].1, 0.0, "leg {i} cannot replan: {replans:?}");
+        }
+        for i in 3..5 {
+            assert!(replans[i].1 >= 1.0, "leg {i} must replan: {replans:?}");
+        }
+        // every repartitioning leg lands a strictly lower steady-state
+        // inter-rack ghost cut than the best incremental policy ...
+        let best_cut = cut[..3].iter().map(|p| p.1).fold(f64::MAX, f64::min);
+        let best_time = time[..3].iter().map(|p| p.1).fold(f64::MAX, f64::min);
+        for i in 3..5 {
+            assert!(
+                cut[i].1 < best_cut,
+                "leg {i} must beat every incremental cut: {cut:?}"
+            );
+        }
+        // ... and at least one does so at equal-or-better makespan (the
+        // headline claim); the composed leg keeps rebalancing against the
+        // crack, so its makespan may trail the best incremental one by
+        // migration overhead, but never by more than noise
+        assert!(
+            (3..5).any(|i| cut[i].1 < best_cut && time[i].1 <= best_time),
+            "some repartitioning leg must win the cut at equal-or-better \
+             makespan: cut {cut:?} time {time:?}"
+        );
+        assert!(
+            time[4].1 <= best_time * 1.10,
+            "the composed leg's makespan must stay within noise: {time:?}"
+        );
+        let best_real = real_cut[..3].iter().map(|p| p.1).fold(f64::MAX, f64::min);
+        for i in 3..5 {
+            assert!(
+                real_cut[i].1 < best_real,
+                "real leg {i} must beat every incremental cut: {real_cut:?}"
+            );
+        }
+        // elasticity timelines: the failed rank ends empty, the joined
+        // ranks end loaded, on both substrates
+        let elastic = &fig.series[4].points;
+        assert_eq!(elastic[0].1, 0.0, "real failed-rank SDs: {elastic:?}");
+        assert_eq!(elastic[1].1, 0.0, "sim failed-rank SDs: {elastic:?}");
+        assert!(elastic[2].1 > 0.0, "real joined-rank SDs: {elastic:?}");
+        assert!(elastic[3].1 > 0.0, "sim joined-rank SDs: {elastic:?}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Regenerate the paper's evaluation figures as markdown tables.
 //!
 //! ```text
-//! figures [fig8|fig9|fig10|fig11|fig12|fig13|fig14|a8|a9|a10|a11|ablations|all] [--quick]
+//! figures [fig8|fig9|fig10|fig11|fig12|fig13|fig14|a8|a9|a10|a11|a12|ablations|all] [--quick]
 //! ```
 //!
 //! Full mode uses the paper's exact workload parameters (400×400 and
@@ -46,6 +46,7 @@ fn main() {
             "{}",
             ablations::a11_intra_step_stealing(quick).to_markdown()
         ),
+        "a12" => println!("{}", ablations::a12_repartition(quick).to_markdown()),
         "ablations" => {
             println!("{}", ablations::a1_partition_quality(quick).to_markdown());
             println!("{}", ablations::a2_overlap(quick).to_markdown());
@@ -63,6 +64,7 @@ fn main() {
                 "{}",
                 ablations::a11_intra_step_stealing(quick).to_markdown()
             );
+            println!("{}", ablations::a12_repartition(quick).to_markdown());
         }
         "all" => {
             println!("{}", fig8(quick).to_markdown());
@@ -88,10 +90,11 @@ fn main() {
                 "{}",
                 ablations::a11_intra_step_stealing(quick).to_markdown()
             );
+            println!("{}", ablations::a12_repartition(quick).to_markdown());
         }
         other => {
             eprintln!("unknown figure '{other}'");
-            eprintln!("usage: figures [fig8..fig14|a8|a9|a10|a11|ablations|all] [--quick]");
+            eprintln!("usage: figures [fig8..fig14|a8|a9|a10|a11|a12|ablations|all] [--quick]");
             std::process::exit(2);
         }
     }

@@ -42,11 +42,18 @@
 //! greedy-steal, the hierarchical memory-aware planner of [`hier`], or
 //! the adaptive-λ/μ decorators), and every policy emits the same
 //! single-hop [`MigrationPlan`] contract.
+//!
+//! Incremental policies only ever nudge ownership; [`repart`] adds the
+//! global escape hatch: a cut-drift monitor that re-invokes the
+//! multilevel partitioner on the live [`SdGraph`] when the live cut
+//! decays past a threshold (or the cluster membership changes) and
+//! stages the old→new diff as budgeted single-hop plans.
 
 pub mod algorithm;
 pub mod hier;
 pub mod policy;
 pub mod power;
+pub mod repart;
 pub mod trace;
 pub mod transfer;
 pub mod tree;
@@ -63,6 +70,7 @@ pub use policy::{
     LbPolicy, LbSchedule, LbSpec, TreePolicy,
 };
 pub use power::{compute_metrics, LoadMetrics};
+pub use repart::{DriftInfo, RepartitionPolicy};
 pub use trace::EpochTrace;
 pub use transfer::{select_transfer, select_transfer_scored};
 pub use tree::{build_forest, build_forest_weighted, DependencyTree};

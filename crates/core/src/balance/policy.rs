@@ -81,6 +81,13 @@ pub struct LbNetwork {
     /// buffers), what a destination's memory actually pays to host the
     /// SD. Required whenever `memory_bytes` is set.
     pub sd_footprint: Option<Arc<Vec<u64>>>,
+    /// Elastic-membership mask: `active[r]` is false once rank `r` has
+    /// drained, failed, or not yet joined ([`crate::scenario::ClusterEvent`]
+    /// timeline). `None` = every rank is a legal destination, the
+    /// fixed-membership behaviour. Only [`LbSpec::Repartition`] evacuates
+    /// inactive ranks; for every other policy the mask merely filters
+    /// destinations.
+    pub active: Option<Arc<Vec<bool>>>,
 }
 
 impl LbNetwork {
@@ -91,6 +98,7 @@ impl LbNetwork {
             sd_graph: None,
             memory_bytes: None,
             sd_footprint: None,
+            active: None,
         }
     }
 
@@ -122,6 +130,13 @@ impl LbNetwork {
         );
         self.memory_bytes = Some(capacities);
         self.sd_footprint = Some(footprints);
+        self
+    }
+
+    /// Attach the elastic-membership mask (one flag per rank; `false` =
+    /// drained / failed / not yet joined).
+    pub fn with_active(mut self, active: Arc<Vec<bool>>) -> Self {
+        self.active = Some(active);
         self
     }
 
@@ -277,6 +292,14 @@ pub trait LbPolicy: Send {
     fn ghost_weight(&self) -> f64 {
         0.0
     }
+
+    /// What the cut-drift monitor saw at the last epoch. `None` for every
+    /// policy without one — only [`LbSpec::Repartition`] (and decorators
+    /// forwarding to it) reports, and the substrates copy it into
+    /// [`EpochTrace`](crate::balance::EpochTrace) for the A12 plots.
+    fn drift_info(&self) -> Option<crate::balance::repart::DriftInfo> {
+        None
+    }
 }
 
 /// Serde-free policy selection shared by `DistConfig` and `SimConfig`
@@ -337,6 +360,24 @@ pub enum LbSpec {
         inner: Box<LbSpec>,
         lambda: f64,
         mu: f64,
+    },
+    /// Decorator: run `inner` while the live ownership's ghost cut stays
+    /// within `drift_threshold` of a freshly computed capacity-aware
+    /// k-way cut (recomputed every `period` balancing epochs); past the
+    /// threshold — or on any [`crate::scenario::ClusterEvent`] membership
+    /// change — globally repartition the live [`SdGraph`] and stage the
+    /// old→new diff as single-hop plans under `max_bytes_per_epoch`
+    /// migration bytes per epoch ([`crate::balance::repart`]).
+    Repartition {
+        inner: Box<LbSpec>,
+        /// Replan once `live_cut / fresh_cut` exceeds this (`f64::INFINITY`
+        /// = never: the decorator is transparent absent membership events).
+        drift_threshold: f64,
+        /// Recompute the fresh cut every this many balancing epochs.
+        period: usize,
+        /// Per-epoch migration-payload budget for staged diffs
+        /// (`u64::MAX` = ship the whole diff at once).
+        max_bytes_per_epoch: u64,
     },
 }
 
@@ -400,7 +441,9 @@ impl LbSpec {
             LbSpec::Tree { mu: m, .. }
             | LbSpec::Diffusion { mu: m, .. }
             | LbSpec::GreedySteal { mu: m, .. } => *m = mu,
-            LbSpec::AdaptiveLambda { inner, .. } | LbSpec::AdaptiveMu { inner, .. } => {
+            LbSpec::AdaptiveLambda { inner, .. }
+            | LbSpec::AdaptiveMu { inner, .. }
+            | LbSpec::Repartition { inner, .. } => {
                 let updated = std::mem::take(inner.as_mut()).with_mu(mu);
                 **inner = updated;
             }
@@ -457,14 +500,35 @@ impl LbSpec {
         spec
     }
 
+    /// Wrap `inner` in the cut-aware repartitioning decorator
+    /// ([`crate::balance::repart::RepartitionPolicy`]).
+    ///
+    /// # Panics
+    /// Panics on invalid parameters — see [`LbSpec::validate`].
+    pub fn repartition(
+        inner: LbSpec,
+        drift_threshold: f64,
+        period: usize,
+        max_bytes_per_epoch: u64,
+    ) -> Self {
+        let spec = LbSpec::Repartition {
+            inner: Box::new(inner),
+            drift_threshold,
+            period,
+            max_bytes_per_epoch,
+        };
+        spec.validate();
+        spec
+    }
+
     /// True when the spec's decorator chain contains an adaptive-λ
     /// decorator (used to reject silently-inert nesting).
     fn chain_has_adaptive_lambda(&self) -> bool {
         match self {
             LbSpec::AdaptiveLambda { .. } => true,
-            LbSpec::AdaptiveMu { inner, .. } | LbSpec::Hierarchical { inner, .. } => {
-                inner.chain_has_adaptive_lambda()
-            }
+            LbSpec::AdaptiveMu { inner, .. }
+            | LbSpec::Hierarchical { inner, .. }
+            | LbSpec::Repartition { inner, .. } => inner.chain_has_adaptive_lambda(),
             _ => false,
         }
     }
@@ -474,9 +538,23 @@ impl LbSpec {
     fn chain_has_adaptive_mu(&self) -> bool {
         match self {
             LbSpec::AdaptiveMu { .. } => true,
-            LbSpec::AdaptiveLambda { inner, .. } | LbSpec::Hierarchical { inner, .. } => {
-                inner.chain_has_adaptive_mu()
-            }
+            LbSpec::AdaptiveLambda { inner, .. }
+            | LbSpec::Hierarchical { inner, .. }
+            | LbSpec::Repartition { inner, .. } => inner.chain_has_adaptive_mu(),
+            _ => false,
+        }
+    }
+
+    /// True when the spec's decorator chain contains a repartition
+    /// decorator (nesting one would double-replan the same drift;
+    /// elastic-membership scenarios *require* one — see
+    /// [`crate::scenario::Scenario::validate`]).
+    pub(crate) fn chain_has_repartition(&self) -> bool {
+        match self {
+            LbSpec::Repartition { .. } => true,
+            LbSpec::AdaptiveLambda { inner, .. }
+            | LbSpec::AdaptiveMu { inner, .. }
+            | LbSpec::Hierarchical { inner, .. } => inner.chain_has_repartition(),
             _ => false,
         }
     }
@@ -490,6 +568,7 @@ impl LbSpec {
             LbSpec::AdaptiveLambda { .. } => "adaptive-lambda",
             LbSpec::AdaptiveMu { .. } => "adaptive-mu",
             LbSpec::Hierarchical { .. } => "hierarchical",
+            LbSpec::Repartition { .. } => "repartition",
         }
     }
 
@@ -583,6 +662,28 @@ impl LbSpec {
                 );
                 inner.validate();
             }
+            LbSpec::Repartition {
+                inner,
+                drift_threshold,
+                period,
+                max_bytes_per_epoch,
+            } => {
+                assert!(
+                    *drift_threshold > 0.0 && !drift_threshold.is_nan(),
+                    "drift_threshold must be positive (infinity = never replan), \
+                     got {drift_threshold}"
+                );
+                assert!(*period >= 1, "repartition period must be at least 1 epoch");
+                assert!(
+                    *max_bytes_per_epoch >= 1,
+                    "max_bytes_per_epoch must be positive (u64::MAX = unbounded)"
+                );
+                assert!(
+                    !inner.chain_has_repartition(),
+                    "Repartition cannot wrap another Repartition"
+                );
+                inner.validate();
+            }
         }
     }
 
@@ -645,6 +746,17 @@ impl LbSpec {
                 leaf.set_ghost_weight(*mu);
                 Box::new(crate::balance::hier::HierPolicy::new(leaf, *lambda, *mu))
             }
+            LbSpec::Repartition {
+                inner,
+                drift_threshold,
+                period,
+                max_bytes_per_epoch,
+            } => Box::new(crate::balance::repart::RepartitionPolicy::new(
+                inner.build(),
+                *drift_threshold,
+                *period,
+                *max_bytes_per_epoch,
+            )),
         }
     }
 }
@@ -1008,6 +1120,10 @@ impl LbPolicy for AdaptiveLambdaPolicy {
     fn observe_ghost_stall(&mut self, ghost_frac: f64) {
         self.inner.observe_ghost_stall(ghost_frac);
     }
+
+    fn drift_info(&self) -> Option<crate::balance::repart::DriftInfo> {
+        self.inner.drift_info()
+    }
 }
 
 /// [`LbSpec::AdaptiveMu`]: closes the μ feedback loop. Doubles the inner
@@ -1084,6 +1200,10 @@ impl LbPolicy for AdaptiveMuPolicy {
     fn ghost_weight(&self) -> f64 {
         self.mu
     }
+
+    fn drift_info(&self) -> Option<crate::balance::repart::DriftInfo> {
+        self.inner.drift_info()
+    }
 }
 
 #[cfg(test)]
@@ -1158,6 +1278,17 @@ mod tests {
             LbSpec::adaptive_mu(LbSpec::diffusion(1.0, 8), 0.2),
             LbSpec::hierarchical(LbSpec::tree(0.0), 0.0),
             LbSpec::hierarchical(LbSpec::greedy_steal(1), 0.5).with_mu(0.25),
+            // ∞ threshold: the decorator is transparent, so it satisfies
+            // the roster's "graph attachment changes nothing at μ=0"
+            // pins; active repartitioning is pinned in `repart::tests`
+            // and `tests/properties.rs`.
+            LbSpec::repartition(LbSpec::tree(0.0), f64::INFINITY, 1, u64::MAX),
+            LbSpec::repartition(
+                LbSpec::hierarchical(LbSpec::tree(0.0), 0.0),
+                f64::INFINITY,
+                2,
+                1 << 20,
+            ),
         ]
     }
 
@@ -1408,6 +1539,53 @@ mod tests {
         let spec = LbSpec::hierarchical(LbSpec::tree(0.0), 0.0);
         assert_eq!(spec.name(), "hierarchical");
         assert_eq!(spec.build().name(), "hierarchical");
+        let spec = LbSpec::repartition(LbSpec::tree(0.0), 2.0, 4, u64::MAX);
+        assert_eq!(spec.name(), "repartition");
+        assert_eq!(spec.build().name(), "repartition");
+    }
+
+    #[test]
+    #[should_panic(expected = "Repartition cannot wrap another Repartition")]
+    fn nested_repartition_is_rejected() {
+        LbSpec::repartition(
+            LbSpec::adaptive_mu(
+                LbSpec::repartition(LbSpec::tree(0.0), 2.0, 1, u64::MAX),
+                0.2,
+            ),
+            2.0,
+            1,
+            u64::MAX,
+        );
+    }
+
+    #[test]
+    fn repartition_forwards_weights_and_drift_through_decorators() {
+        let spec = LbSpec::repartition(LbSpec::tree(0.5), 2.0, 1, u64::MAX).with_mu(0.25);
+        match &spec {
+            LbSpec::Repartition { inner, .. } => {
+                assert_eq!(
+                    **inner,
+                    LbSpec::Tree {
+                        lambda: 0.5,
+                        mu: 0.25
+                    }
+                );
+            }
+            other => panic!("shape lost: {other:?}"),
+        }
+        let policy = spec.build();
+        assert_eq!(policy.cost_weight(), 0.5);
+        assert_eq!(policy.ghost_weight(), 0.25);
+        assert!(policy.drift_info().is_some(), "monitor must report");
+        // an adaptive decorator over Repartition surfaces the drift info
+        let wrapped = LbSpec::adaptive(
+            LbSpec::repartition(LbSpec::tree(0.0), 2.0, 1, u64::MAX),
+            0.1,
+        )
+        .build();
+        assert!(wrapped.drift_info().is_some());
+        // …and plain policies report none
+        assert!(LbSpec::tree(0.0).build().drift_info().is_none());
     }
 
     #[test]

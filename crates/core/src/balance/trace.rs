@@ -10,11 +10,12 @@
 
 use crate::balance::algorithm::MigrationPlan;
 use crate::balance::policy::LbNetwork;
+use crate::balance::repart::DriftInfo;
 use crate::ownership::Ownership;
 use nlheat_netmodel::LinkClass;
 
 /// What one balancing epoch did, in recorded (not re-derived) numbers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochTrace {
     /// Timestep after which the epoch ran (1-based, like the LB schedule).
     pub step: usize,
@@ -35,6 +36,14 @@ pub struct EpochTrace {
     pub inter_rack_ghost_bytes_before: u64,
     /// The inter-rack share of `ghost_bytes_after`.
     pub inter_rack_ghost_bytes_after: u64,
+    /// Ratio of the live ghost cut to a freshly repartitioned cut, as
+    /// last measured by the [`Repartition`](crate::balance::LbSpec::Repartition)
+    /// drift monitor (0 for policies without one, or before the first
+    /// cadence check).
+    pub cut_drift: f64,
+    /// True when this epoch's plan came from a global replan (or a staged
+    /// chunk of one) rather than the incremental policy.
+    pub replan: bool,
 }
 
 impl EpochTrace {
@@ -76,7 +85,20 @@ impl EpochTrace {
             ghost_bytes_after: ghost_after,
             inter_rack_ghost_bytes_before: inter_before,
             inter_rack_ghost_bytes_after: inter_after,
+            cut_drift: 0.0,
+            replan: false,
         }
+    }
+
+    /// Attach what the policy's drift monitor reported for this epoch
+    /// ([`LbPolicy::drift_info`](crate::balance::LbPolicy::drift_info));
+    /// `None` leaves the columns at their policy-without-a-monitor zeros.
+    pub fn with_drift(mut self, info: Option<DriftInfo>) -> Self {
+        if let Some(info) = info {
+            self.cut_drift = info.cut_drift;
+            self.replan = info.replan;
+        }
+        self
     }
 
     /// Signed change of recurring ghost bytes per timestep this epoch

@@ -17,7 +17,9 @@
 pub use crate::balance::LbSpec;
 use crate::balance::{compute_metrics, EpochTrace, LbNetwork, LbSchedule, Move, SdGraph};
 use crate::ownership::Ownership;
-use crate::scenario::{modeled_busy, nominal_sec_per_dp, LbInput, PartitionSpec};
+use crate::scenario::{
+    active_at, failed_at, modeled_busy, nominal_sec_per_dp, LbInput, PartitionSpec,
+};
 use crate::workload::WorkModel;
 use bytes::{Bytes, BytesMut};
 use nlheat_amt::cluster::{Cluster, ClusterBuilder};
@@ -74,6 +76,13 @@ pub struct DistConfig {
     /// executes — the work factor is emulated by kernel repetition, so
     /// the numerics stay bit-exact while the busy times shift.
     pub work_schedule: Vec<(usize, WorkModel)>,
+    /// Elastic cluster-membership timeline (`(from_step, event)`, sorted
+    /// by step; see [`crate::scenario::ClusterEvent`]). Events change the
+    /// planner's view — the active-rank mask on locality 0's
+    /// [`LbNetwork`] and the failure mask the ghost counters honour —
+    /// never the execution: every locality keeps computing the SDs it
+    /// owns until a replan evacuates them, so the field stays bit-exact.
+    pub cluster_events: Vec<(usize, crate::scenario::ClusterEvent)>,
     /// Network cost model for the cluster fabric — the same [`NetSpec`]
     /// the simulator consumes, so one configuration describes both
     /// substrates. Applied by [`DistConfig::cluster`]; a cluster built
@@ -111,6 +120,7 @@ impl DistConfig {
             record_error: false,
             work: WorkModel::Uniform,
             work_schedule: Vec::new(),
+            cluster_events: Vec::new(),
             net: NetSpec::Instant,
             lb_input: LbInput::Measured,
             intra_step_stealing: false,
@@ -617,14 +627,26 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
         // --- 2. sends: scatter ghost data to foreign-owned readers ---
         // (replays the precomputed records; one curr read lock per source
         // SD, exactly like the per-step scan this replaces)
+        //
+        // Failure mask of this step: parcels to or from a fail-stopped
+        // rank still flow (the solver's numerics are sacred) but stop
+        // counting toward the planner-grade ghost counters — a failed
+        // rank's in-flight contributions are lost to the application.
+        let failed_now = (!cfg.cluster_events.is_empty())
+            .then(|| failed_at(setup.n_nodes as usize, &cfg.cluster_events, step));
         let mut rec_i = 0;
         while rec_i < send_recs.len() {
             let src_sd = send_recs[rec_i].src_sd;
             let src_tile = states[&src_sd].cell.curr.read();
             while let Some(rec) = send_recs.get(rec_i).filter(|r| r.src_sd == src_sd) {
-                ghost_bytes += rec.wire;
-                if rec.inter_rack {
-                    inter_rack_ghost_bytes += rec.wire;
+                let counted = failed_now
+                    .as_ref()
+                    .is_none_or(|f| !f[me as usize] && !f[rec.dst_owner as usize]);
+                if counted {
+                    ghost_bytes += rec.wire;
+                    if rec.inter_rack {
+                        inter_rack_ghost_bytes += rec.wire;
+                    }
                 }
                 let payload = pack_tile_rect(&src_tile, &rec.src_rect);
                 loc.send(
@@ -903,7 +925,17 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                 let ownership = Ownership::new(sds, owners.clone(), setup.n_nodes);
                 // The policy sees the same network the fabric was built
                 // with: locality 0 derives the LbNetwork cost estimate
-                // from the config's NetSpec.
+                // from the config's NetSpec — plus, under an elastic
+                // timeline, the membership mask in effect at this epoch
+                // (shared `active_at`, so both substrates see the same
+                // mask for the same scenario).
+                if !cfg.cluster_events.is_empty() {
+                    lb_net.active = Some(Arc::new(active_at(
+                        setup.n_nodes as usize,
+                        &cfg.cluster_events,
+                        step + 1,
+                    )));
+                }
                 let metrics = compute_metrics(&ownership.counts(), &busy_vec);
                 let plan = policy.plan(&ownership, &metrics, &lb_net);
                 let wire: Vec<(u64, u32, u32)> = plan
@@ -912,13 +944,10 @@ fn driver(loc: Arc<Locality>, setup: Arc<Setup>) -> NodeReport {
                     .map(|m| (m.sd as u64, m.from, m.to))
                     .collect();
                 if !plan.moves.is_empty() {
-                    lb_traces.push(EpochTrace::record(
-                        step + 1,
-                        policy.name(),
-                        &plan,
-                        &ownership,
-                        &lb_net,
-                    ));
+                    lb_traces.push(
+                        EpochTrace::record(step + 1, policy.name(), &plan, &ownership, &lb_net)
+                            .with_drift(policy.drift_info()),
+                    );
                     // take the move list instead of cloning it
                     lb_plans.push(plan.moves);
                 }
@@ -1410,6 +1439,37 @@ mod tests {
         assert_eq!(
             report.ghost_bytes + 8 * msgs,
             cluster.net_stats().cross_bytes()
+        );
+    }
+
+    #[test]
+    fn failed_rank_is_evacuated_and_numerics_hold() {
+        // Fail-stop at step 3: the repartition policy must evacuate the
+        // rank at the next epoch, the solver's numerics must stay
+        // bit-exact throughout (the rank keeps computing until its SDs
+        // are gone — membership is a planner-level fact), and nothing
+        // may move back afterwards.
+        let cluster = ClusterBuilder::new().uniform(2, 1).build();
+        let mut cfg = DistConfig::new(16, 2.0, 4, 8);
+        cfg.lb = Some(LbSchedule::every(2).with_spec(LbSpec::repartition(
+            LbSpec::greedy_steal(1),
+            f64::INFINITY,
+            1,
+            u64::MAX,
+        )));
+        cfg.cluster_events = vec![(3, crate::scenario::ClusterEvent::Fail { rank: 1 })];
+        cfg.lb_input = LbInput::Modeled;
+        let report = run_distributed(&cluster, &cfg);
+        assert_eq!(report.field, serial_field(16, 2.0, 8));
+        assert!(report.migrations > 0, "the failed rank must be evacuated");
+        let counts = report.final_ownership.counts();
+        assert_eq!(counts[1], 0, "failed rank must end empty: {counts:?}");
+        assert_eq!(counts[0], 16);
+        // the evacuation epoch is recorded as a replan
+        assert!(
+            report.epoch_traces.iter().any(|t| t.replan),
+            "the evacuation must be flagged as a replan: {:?}",
+            report.epoch_traces
         );
     }
 

@@ -6,11 +6,12 @@
 //! `quick = false` is the paper-scale simulator workload the ablation
 //! figures sweep.
 
-use super::{ClusterSpec, PartitionSpec, Scenario};
+use super::{ClusterEvent, ClusterSpec, LbInput, PartitionSpec, Scenario};
 use crate::balance::{LbSchedule, LbSpec};
 use crate::workload::WorkModel;
 use nlheat_mesh::SdGrid;
 use nlheat_netmodel::{LinkSpec, NetSpec, TopologySpec};
+use nlheat_partition::strip_partition;
 
 /// The canonical two-rack interconnect of ablations A6–A9: 100 µs /
 /// 100 MB/s inside a rack, 4× the latency and a quarter of the bandwidth
@@ -199,6 +200,138 @@ pub fn memory_pressure(quick: bool) -> Scenario {
         )
 }
 
+/// A deliberately decayed ownership over `n_nodes`: node 0 holds a
+/// lopsided majority while the other nodes own single-SD islands
+/// interleaved through its territory — the kind of map a long run of
+/// purely incremental balancing leaves behind (ragged frontiers, high
+/// recurring cut, skewed counts). Every node owns at least one SD as
+/// long as the grid has `2·n_nodes` SDs.
+pub fn drifted_owners(sds: &SdGrid, n_nodes: u32) -> Vec<u32> {
+    assert!(n_nodes >= 2, "drift needs somebody to drift against");
+    (0..sds.count() as u32)
+        .map(|sd| {
+            let slot = sd % (2 * n_nodes);
+            if slot % 2 == 1 {
+                (slot / 2) % (n_nodes - 1) + 1
+            } else {
+                0
+            }
+        })
+        .collect()
+}
+
+/// Cut drift on the two-rack cluster (ablation A12): the run starts from
+/// [`drifted_owners`] — a lopsided, island-riddled map whose recurring
+/// ghost cut is far above a fresh k-way partition's — and a propagating
+/// crack keeps the balancer working. Incremental policies can fix the
+/// count skew but never heal the islands; the [`LbSpec::Repartition`]
+/// decorator's drift monitor compares the live cut against a fresh
+/// partition each epoch and re-invokes the multilevel partitioner once
+/// the ratio passes the threshold. A12 swaps the spec to compare
+/// repartitioning, the incremental policies alone, and the composed
+/// decorator. Modeled planning input, so both substrates produce
+/// identical plan sequences.
+pub fn cut_drift(quick: bool) -> Scenario {
+    let base = if quick {
+        Scenario::square(48, 4.0, 8, 10)
+    } else {
+        Scenario::square(400, 8.0, 25, 48)
+    };
+    let sds = base.sd_grid();
+    let (y0, dy, half_width, jump_step) = if quick {
+        (12i64, 24i64, 6i64, 4usize)
+    } else {
+        (100, 200, 30, 16)
+    };
+    base.on(ClusterSpec::uniform(4, 1))
+        .with_net(two_rack_net())
+        .with_partition(PartitionSpec::Explicit(drifted_owners(&sds, 4)))
+        .with_work_schedule(vec![
+            (
+                0,
+                WorkModel::Crack {
+                    y_cell: y0,
+                    half_width,
+                    factor: 0.25,
+                },
+            ),
+            (
+                jump_step,
+                WorkModel::Crack {
+                    y_cell: y0 + dy,
+                    half_width,
+                    factor: 0.25,
+                },
+            ),
+        ])
+        .with_lb(
+            LbSchedule::every(if quick { 2 } else { 4 }).with_spec(LbSpec::repartition(
+                LbSpec::tree(0.0),
+                1.15,
+                1,
+                u64::MAX,
+            )),
+        )
+        .with_lb_input(LbInput::Modeled)
+}
+
+/// Elastic scale-out: the run starts on half the declared cluster (ranks
+/// 2 and 3 are declared but unjoined), then the spare ranks join mid-run
+/// and the replanner spreads load onto the fresh capacity. The ∞ drift
+/// threshold makes membership changes the *only* replan trigger, so the
+/// timeline is the whole experiment. Modeled planning input — both
+/// substrates must realize identical plan sequences.
+pub fn elastic_scale_out(quick: bool) -> Scenario {
+    let base = if quick {
+        Scenario::square(32, 4.0, 8, 10)
+    } else {
+        Scenario::square(400, 8.0, 25, 32)
+    };
+    let sds = base.sd_grid();
+    let (joins, period) = if quick {
+        (vec![3usize, 5usize], 2)
+    } else {
+        (vec![8, 16], 4)
+    };
+    base.on(ClusterSpec::uniform(4, 1))
+        .with_net(two_rack_net())
+        .with_partition(PartitionSpec::Explicit(strip_partition(&sds, 2)))
+        .with_cluster_events(vec![
+            (joins[0], ClusterEvent::Join { rank: 2 }),
+            (joins[1], ClusterEvent::Join { rank: 3 }),
+        ])
+        .with_lb(LbSchedule::every(period).with_spec(LbSpec::repartition(
+            LbSpec::greedy_steal(1),
+            f64::INFINITY,
+            1,
+            u64::MAX,
+        )))
+        .with_lb_input(LbInput::Modeled)
+}
+
+/// Rank failure: rank 3 fail-stops mid-run. The replanner must evacuate
+/// it at the next epoch (it keeps computing its SDs until then — the
+/// membership timeline is a planner-level fact, so the numerics stay
+/// bit-exact), and its in-flight ghost contributions are dropped from the
+/// planner-grade counters for the steps it spends failed.
+pub fn rank_failure(quick: bool) -> Scenario {
+    let (base, fail_step, period) = if quick {
+        (Scenario::square(32, 4.0, 8, 10), 5, 2)
+    } else {
+        (Scenario::square(400, 8.0, 25, 32), 16, 4)
+    };
+    base.on(ClusterSpec::uniform(4, 1))
+        .with_net(two_rack_net())
+        .with_cluster_events(vec![(fail_step, ClusterEvent::Fail { rank: 3 })])
+        .with_lb(LbSchedule::every(period).with_spec(LbSpec::repartition(
+            LbSpec::greedy_steal(1),
+            f64::INFINITY,
+            1,
+            u64::MAX,
+        )))
+        .with_lb_input(LbInput::Modeled)
+}
+
 /// Synthetic planning-scale harness for the hierarchical planner: ~100
 /// SDs per rank on a square SD grid, four ranks per node, 25 nodes per
 /// rack, and a deterministic 7-period speed skew so the strip start is
@@ -241,6 +374,9 @@ pub fn all(quick: bool) -> Vec<(&'static str, Scenario)> {
         ("heterogeneous-cluster", heterogeneous_cluster(quick)),
         ("incast-duplex", incast_duplex(quick)),
         ("memory-pressure", memory_pressure(quick)),
+        ("cut-drift", cut_drift(quick)),
+        ("elastic-scale-out", elastic_scale_out(quick)),
+        ("rank-failure", rank_failure(quick)),
     ]
 }
 
@@ -296,6 +432,49 @@ mod tests {
                 report.migrations
             );
         }
+    }
+
+    #[test]
+    fn cut_drift_scenario_replans_at_least_once() {
+        // The A12 smoke contract: the drifting quick scenario must
+        // trigger the drift monitor (≥ 1 replanned epoch) on the real
+        // runtime, and the drift column must be populated.
+        let report = cut_drift(true).run_dist();
+        report.check_invariants();
+        assert!(
+            report.epoch_traces.iter().any(|t| t.replan),
+            "drift monitor must fire at least once: {:?}",
+            report
+                .epoch_traces
+                .iter()
+                .map(|t| (t.step, t.cut_drift, t.replan))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.epoch_traces.iter().any(|t| t.cut_drift > 0.0),
+            "monitored epochs must record the measured drift"
+        );
+    }
+
+    #[test]
+    fn elastic_scale_out_spreads_onto_joined_ranks() {
+        let report = elastic_scale_out(true).run_dist();
+        report.check_invariants();
+        let counts = report.final_ownership.counts();
+        assert!(
+            counts[2] > 0 && counts[3] > 0,
+            "joined ranks must receive work: {counts:?}"
+        );
+        assert!(report.epoch_traces.iter().any(|t| t.replan));
+    }
+
+    #[test]
+    fn rank_failure_evacuates_the_failed_rank() {
+        let report = rank_failure(true).run_dist();
+        report.check_invariants();
+        let counts = report.final_ownership.counts();
+        assert_eq!(counts[3], 0, "failed rank must end empty: {counts:?}");
+        assert!(report.migrations > 0);
     }
 
     #[test]

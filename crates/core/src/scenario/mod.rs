@@ -201,6 +201,97 @@ impl ClusterSpec {
     }
 }
 
+/// One elastic cluster-membership change, scheduled by step like
+/// `work_schedule` entries. Events change what the *planner* sees — the
+/// active-rank mask on its [`crate::balance::LbNetwork`] — never the
+/// numerics: a drained or failed rank keeps computing the SDs it still
+/// owns until the [`Repartition`](crate::balance::LbSpec::Repartition)
+/// policy has evacuated them, so the field stays bit-exact through any
+/// membership timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// The rank becomes available for work from this step on. A rank
+    /// whose *first* event is a `Join` starts the run inactive (it is
+    /// declared in the [`ClusterSpec`] but holds nothing until it joins);
+    /// the next replan spreads load onto it.
+    Join {
+        /// The joining rank.
+        rank: u32,
+    },
+    /// The rank is gracefully decommissioned: its capacity drops to zero
+    /// and the replanner evacuates its SDs (under the migration budget),
+    /// but its in-flight ghost contributions still count.
+    Drain {
+        /// The draining rank.
+        rank: u32,
+    },
+    /// The rank fail-stops: like [`ClusterEvent::Drain`], plus its
+    /// in-flight ghost contributions are dropped from the planner-grade
+    /// traffic counters for the steps it spends failed.
+    Fail {
+        /// The failing rank.
+        rank: u32,
+    },
+}
+
+impl ClusterEvent {
+    /// The rank this event concerns.
+    pub fn rank(&self) -> u32 {
+        match self {
+            ClusterEvent::Join { rank }
+            | ClusterEvent::Drain { rank }
+            | ClusterEvent::Fail { rank } => *rank,
+        }
+    }
+}
+
+/// The active-rank mask *before* any event fires: every declared rank is
+/// active except those whose earliest event is a [`ClusterEvent::Join`]
+/// (they are declared but have not joined yet).
+pub fn initial_active(n_nodes: usize, events: &[(usize, ClusterEvent)]) -> Vec<bool> {
+    let mut active = vec![true; n_nodes];
+    let mut seen = vec![false; n_nodes];
+    for (_, ev) in events {
+        let r = ev.rank() as usize;
+        if !seen[r] {
+            seen[r] = true;
+            if matches!(ev, ClusterEvent::Join { .. }) {
+                active[r] = false;
+            }
+        }
+    }
+    active
+}
+
+/// The active-rank mask in effect at `step`: [`initial_active`] with every
+/// event scheduled at or before `step` applied in order — shared by both
+/// substrates (like [`work_at`]) so they can never disagree on the
+/// membership timeline.
+pub fn active_at(n_nodes: usize, events: &[(usize, ClusterEvent)], step: usize) -> Vec<bool> {
+    let mut active = initial_active(n_nodes, events);
+    for (from, ev) in events {
+        if *from <= step {
+            active[ev.rank() as usize] = matches!(ev, ClusterEvent::Join { .. });
+        }
+    }
+    active
+}
+
+/// The failed-rank mask in effect at `step`: ranks whose latest applied
+/// event is a [`ClusterEvent::Fail`]. Both substrates drop ghost
+/// contributions touching these ranks from the planner-grade counters (a
+/// fail-stopped rank's parcels are lost to the application even though
+/// the solver keeps its numerics alive underneath).
+pub fn failed_at(n_nodes: usize, events: &[(usize, ClusterEvent)], step: usize) -> Vec<bool> {
+    let mut failed = vec![false; n_nodes];
+    for (from, ev) in events {
+        if *from <= step {
+            failed[ev.rank() as usize] = matches!(ev, ClusterEvent::Fail { .. });
+        }
+    }
+    failed
+}
+
 /// How the initial SD → node distribution is produced — the one partition
 /// selection both substrates consume (it merges the former
 /// `PartitionMethod` and `SimPartition` enums).
@@ -325,6 +416,12 @@ pub struct Scenario {
     /// by step. At step `s` the last entry with `from_step ≤ s` overrides
     /// `work` — a *propagating* crack. Runs on both substrates.
     pub work_schedule: Vec<(usize, WorkModel)>,
+    /// Elastic cluster-membership timeline: `(from_step, event)` entries
+    /// sorted by step, applied by both substrates ([`active_at`]). Events
+    /// require an [`LbSpec::Repartition`](crate::balance::LbSpec::Repartition)
+    /// policy in the LB chain — only the replanner evacuates drained and
+    /// failed ranks or spreads load onto joiners.
+    pub cluster_events: Vec<(usize, ClusterEvent)>,
     /// Case-1/case-2 overlap (§6.3); `false` waits for all ghosts before
     /// computing anything (ablation A2).
     pub overlap: bool,
@@ -359,6 +456,7 @@ impl Scenario {
             partition: PartitionSpec::Metis { seed: 1 },
             work: WorkModel::Uniform,
             work_schedule: Vec::new(),
+            cluster_events: Vec::new(),
             overlap: true,
             lb: None,
             record_error: false,
@@ -394,6 +492,14 @@ impl Scenario {
     /// Declare a time-varying workload (switch points sorted by step).
     pub fn with_work_schedule(mut self, schedule: Vec<(usize, WorkModel)>) -> Self {
         self.work_schedule = schedule;
+        self
+    }
+
+    /// Declare the elastic cluster-membership timeline (events sorted by
+    /// step). Requires a `Repartition` LB policy — see
+    /// [`Scenario::validate`].
+    pub fn with_cluster_events(mut self, events: Vec<(usize, ClusterEvent)>) -> Self {
+        self.cluster_events = events;
         self
     }
 
@@ -507,6 +613,62 @@ impl Scenario {
         if let Some(lb) = &self.lb {
             lb.validate();
         }
+        // Elastic-membership checks: the timeline must be well-formed and
+        // the run must be able to react to it.
+        if !self.cluster_events.is_empty() {
+            assert!(
+                self.lb
+                    .as_ref()
+                    .is_some_and(|lb| lb.spec.chain_has_repartition()),
+                "cluster events require an LbSpec::Repartition policy in the \
+                 LB chain (only the replanner evacuates drained/failed ranks \
+                 and spreads load onto joiners)"
+            );
+            let n = self.cluster.len();
+            let mut prev = 0usize;
+            for (i, (from, ev)) in self.cluster_events.iter().enumerate() {
+                assert!(
+                    *from >= 1,
+                    "cluster events take effect from step 1 (step 0 is the \
+                     initial condition — declare late joiners by making Join \
+                     their first event)"
+                );
+                assert!(
+                    i == 0 || *from >= prev,
+                    "cluster_events must be sorted by step"
+                );
+                prev = *from;
+                assert!(
+                    (ev.rank() as usize) < n,
+                    "cluster event names rank {} outside the {n}-rank cluster",
+                    ev.rank()
+                );
+            }
+            // The cluster may never go fully inactive — walk the timeline.
+            let mut active = initial_active(n, &self.cluster_events);
+            assert!(
+                active.iter().any(|&a| a),
+                "cluster events leave no initially active rank"
+            );
+            for (_, ev) in &self.cluster_events {
+                active[ev.rank() as usize] = matches!(ev, ClusterEvent::Join { .. });
+                assert!(
+                    active.iter().any(|&a| a),
+                    "cluster events leave the cluster with no active rank"
+                );
+            }
+            // Initial SDs must sit on initially-active ranks (a rank that
+            // has not joined yet cannot own anything).
+            let init = initial_active(n, &self.cluster_events);
+            let owners = self.partition.initial_owners(&sds, n as u32);
+            for (sd, &o) in owners.iter().enumerate() {
+                assert!(
+                    init[o as usize],
+                    "initial partition places SD {sd} on rank {o}, which \
+                     only joins later"
+                );
+            }
+        }
         // Memory-aware configuration checks, skipped entirely for
         // memory-blind clusters (no footprint table to build).
         if self.cluster.has_memory_caps() {
@@ -556,6 +718,7 @@ impl Scenario {
             record_error: self.record_error,
             work: self.work.clone(),
             work_schedule: self.work_schedule.clone(),
+            cluster_events: self.cluster_events.clone(),
             net: self.net,
             lb_input: self.lb_input,
             intra_step_stealing: self.intra_step_stealing,
@@ -1072,6 +1235,107 @@ mod tests {
         assert_eq!(sc.work_at(0), &WorkModel::Uniform);
         assert!(matches!(sc.work_at(3), WorkModel::Crack { .. }));
         assert_eq!(sc.work_at(6), &WorkModel::Uniform);
+    }
+
+    #[test]
+    fn membership_masks_follow_the_event_timeline() {
+        let events = vec![
+            (2, ClusterEvent::Join { rank: 3 }),
+            (4, ClusterEvent::Drain { rank: 1 }),
+            (6, ClusterEvent::Fail { rank: 0 }),
+        ];
+        // rank 3's first event is Join: it starts inactive
+        assert_eq!(initial_active(4, &events), vec![true, true, true, false]);
+        assert_eq!(active_at(4, &events, 1), vec![true, true, true, false]);
+        assert_eq!(active_at(4, &events, 2), vec![true, true, true, true]);
+        assert_eq!(active_at(4, &events, 5), vec![true, false, true, true]);
+        assert_eq!(active_at(4, &events, 6), vec![false, false, true, true]);
+        // only Fail marks a rank failed; Drain does not
+        assert_eq!(failed_at(4, &events, 5), vec![false; 4]);
+        assert_eq!(failed_at(4, &events, 6), vec![true, false, false, false]);
+        // a later Join clears the failed state (elastic replacement)
+        let rejoin = vec![
+            (2, ClusterEvent::Fail { rank: 0 }),
+            (5, ClusterEvent::Join { rank: 0 }),
+        ];
+        assert_eq!(initial_active(2, &rejoin), vec![true, true]);
+        assert_eq!(active_at(2, &rejoin, 3), vec![false, true]);
+        assert_eq!(active_at(2, &rejoin, 5), vec![true, true]);
+        assert_eq!(failed_at(2, &rejoin, 3), vec![true, false]);
+        assert_eq!(failed_at(2, &rejoin, 5), vec![false, false]);
+    }
+
+    fn elastic_scenario() -> Scenario {
+        Scenario::square(16, 2.0, 4, 8)
+            .on(ClusterSpec::uniform(2, 1))
+            .with_lb(LbSchedule::every(2).with_spec(LbSpec::repartition(
+                LbSpec::greedy_steal(1),
+                f64::INFINITY,
+                1,
+                u64::MAX,
+            )))
+            .with_cluster_events(vec![(3, ClusterEvent::Drain { rank: 1 })])
+    }
+
+    #[test]
+    fn elastic_scenario_validates() {
+        elastic_scenario().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "require an LbSpec::Repartition policy")]
+    fn cluster_events_require_a_repartition_policy() {
+        elastic_scenario()
+            .with_lb(LbSchedule::every(2).with_spec(LbSpec::greedy_steal(1)))
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be sorted by step")]
+    fn unsorted_cluster_events_rejected() {
+        elastic_scenario()
+            .with_cluster_events(vec![
+                (4, ClusterEvent::Drain { rank: 1 }),
+                (2, ClusterEvent::Join { rank: 1 }),
+            ])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the 2-rank cluster")]
+    fn cluster_event_rank_range_checked() {
+        elastic_scenario()
+            .with_cluster_events(vec![(3, ClusterEvent::Fail { rank: 7 })])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "take effect from step 1")]
+    fn cluster_event_at_step_zero_rejected() {
+        elastic_scenario()
+            .with_cluster_events(vec![(0, ClusterEvent::Drain { rank: 1 })])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no active rank")]
+    fn fully_draining_the_cluster_rejected() {
+        elastic_scenario()
+            .with_cluster_events(vec![
+                (3, ClusterEvent::Drain { rank: 0 }),
+                (3, ClusterEvent::Drain { rank: 1 }),
+            ])
+            .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "which only joins later")]
+    fn initial_partition_must_avoid_unjoined_ranks() {
+        // Metis over 2 ranks places SDs on rank 1, but rank 1 only joins
+        // at step 3.
+        elastic_scenario()
+            .with_cluster_events(vec![(3, ClusterEvent::Join { rank: 1 })])
+            .validate();
     }
 
     #[test]

@@ -383,6 +383,13 @@ pub struct RunRecord {
     pub final_cut_bytes: Option<u64>,
     /// The inter-rack share of `final_cut_bytes`.
     pub final_inter_rack_cut_bytes: Option<u64>,
+    /// Epochs where a drift monitor re-invoked the partitioner
+    /// ([`crate::balance::EpochTrace::replan`]); 0 without an
+    /// [`crate::balance::LbSpec::Repartition`] in the chain.
+    pub replans: usize,
+    /// Peak live/fresh cut ratio ([`crate::balance::EpochTrace::cut_drift`])
+    /// seen across the run's epochs; 0.0 when no drift monitor ran.
+    pub max_cut_drift: f64,
 }
 
 impl RunRecord {
@@ -403,6 +410,12 @@ impl RunRecord {
             epochs: report.epoch_traces.len(),
             final_cut_bytes: last.map(|t| t.ghost_bytes_after),
             final_inter_rack_cut_bytes: last.map(|t| t.inter_rack_ghost_bytes_after),
+            replans: report.epoch_traces.iter().filter(|t| t.replan).count(),
+            max_cut_drift: report
+                .epoch_traces
+                .iter()
+                .map(|t| t.cut_drift)
+                .fold(0.0, f64::max),
         }
     }
 
@@ -478,6 +491,10 @@ impl RunRecord {
             "final_inter_rack_cut_bytes",
             self.final_inter_rack_cut_bytes,
         );
+        s.push(',');
+        json_uint(&mut s, "replans", self.replans as u64);
+        s.push(',');
+        json_f64(&mut s, "max_cut_drift", self.max_cut_drift);
         s.push('}');
         s
     }
@@ -558,6 +575,8 @@ impl RunRecord {
             epochs: uint("epochs")? as usize,
             final_cut_bytes: opt_uint("final_cut_bytes")?,
             final_inter_rack_cut_bytes: opt_uint("final_inter_rack_cut_bytes")?,
+            replans: uint("replans")? as usize,
+            max_cut_drift: guarded_f64(field("max_cut_drift")?, "'max_cut_drift'")?,
         })
     }
 }
@@ -1259,6 +1278,8 @@ mod tests {
             epochs: 1,
             final_cut_bytes: Some(99),
             final_inter_rack_cut_bytes: None,
+            replans: 2,
+            max_cut_drift: f64::INFINITY,
         };
         let line = record.to_json_line();
         assert!(!line.contains('\n'), "one record, one line: {line}");
@@ -1277,6 +1298,11 @@ mod tests {
         assert_eq!(back.ghost_bytes, 1 << 60);
         assert_eq!(back.final_cut_bytes, Some(99));
         assert_eq!(back.final_inter_rack_cut_bytes, None);
+        assert_eq!(back.replans, 2);
+        assert!(
+            back.max_cut_drift.is_nan(),
+            "non-finite drift guards to null, parses as NaN"
+        );
     }
 
     #[test]
@@ -1325,6 +1351,8 @@ mod tests {
             epochs: 0,
             final_cut_bytes: None,
             final_inter_rack_cut_bytes: None,
+            replans: 0,
+            max_cut_drift: 0.0,
         };
         let records = vec![
             mk(0, "0", 0.0, 1.0, 2),

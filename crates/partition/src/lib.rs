@@ -32,6 +32,7 @@ pub mod dual;
 pub mod graph;
 pub mod kway;
 pub mod metrics;
+pub mod repart;
 pub mod sdgraph;
 
 pub use baseline::{block_partition, strip_partition};
@@ -39,4 +40,5 @@ pub use dual::{part_mesh_dual, sd_dual_graph};
 pub use graph::Csr;
 pub use kway::{part_graph, Partition, PartitionConfig};
 pub use metrics::{balance, edge_cut};
+pub use repart::repartition_capacitated;
 pub use sdgraph::{patch_wire_bytes, SdGraph};

@@ -165,6 +165,43 @@ impl SdGraph {
         }
         delta
     }
+
+    /// [`SdGraph::cut_bytes`] after applying a whole batch of
+    /// reassignments at once (later entries for the same SD win, exactly
+    /// as if the moves were applied in order). The per-move
+    /// [`SdGraph::cut_delta_bytes`] path re-reads every touched
+    /// neighbour list *per move* against a mutating owner table; this
+    /// scans each edge incident to a reassigned SD exactly once, so the
+    /// repartition differ can price an arbitrarily large diff in one
+    /// pass.
+    pub fn cut_after_reassign(&self, owners: &[u32], moves: &[(SdId, u32)]) -> u64 {
+        if moves.is_empty() {
+            return self.cut_bytes(owners);
+        }
+        let mut after: Vec<u32> = owners.to_vec();
+        let mut touched = vec![false; owners.len()];
+        for &(sd, to) in moves {
+            after[sd as usize] = to;
+            touched[sd as usize] = true;
+        }
+        let mut cut = self.cut_bytes(owners) as i64;
+        for v in 0..self.csr.n() as u32 {
+            if !touched[v as usize] {
+                continue;
+            }
+            for (u, w) in self.csr.neighbors(v) {
+                // Edges between two touched SDs are seen from both
+                // endpoints — only account them from the smaller id.
+                if touched[u as usize] && u < v {
+                    continue;
+                }
+                let was_cut = owners[v as usize] != owners[u as usize];
+                let is_cut = after[v as usize] != after[u as usize];
+                cut += w * (is_cut as i64 - was_cut as i64);
+            }
+        }
+        cut as u64
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +322,41 @@ mod tests {
                     "sd {sd} -> node {to}"
                 );
             }
+        }
+    }
+
+    /// The batch differ path must agree exactly with the sequential
+    /// per-move path (`cut_delta_bytes` + apply, move by move), including
+    /// repeated reassignments of the same SD where the last write wins.
+    #[test]
+    fn cut_after_reassign_matches_per_move_path() {
+        let sds = SdGrid::new(5, 4, 4);
+        let g = SdGraph::build(&sds, 2);
+        let owners: Vec<u32> = sds.ids().map(|id| id % 3).collect();
+        let batches: Vec<Vec<(SdId, u32)>> = vec![
+            vec![],
+            vec![(0, 2)],
+            vec![(0, 1), (1, 1), (7, 0), (13, 2)],
+            // every SD reassigned — a full-replan-sized diff
+            sds.ids().map(|id| (id, (id + 1) % 3)).collect(),
+            // same SD moved twice: last write wins
+            vec![(4, 1), (4, 2), (5, 0)],
+            // no-op moves mixed in
+            vec![(2, owners[2]), (9, 0)],
+        ];
+        for moves in &batches {
+            let mut seq = owners.clone();
+            let mut cut = g.cut_bytes(&seq) as i64;
+            for &(sd, to) in moves {
+                cut += g.cut_delta_bytes(&seq, sd, to);
+                seq[sd as usize] = to;
+            }
+            assert_eq!(
+                g.cut_after_reassign(&owners, moves),
+                cut as u64,
+                "batch {moves:?}"
+            );
+            assert_eq!(g.cut_after_reassign(&owners, moves), g.cut_bytes(&seq));
         }
     }
 

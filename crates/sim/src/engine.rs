@@ -6,7 +6,9 @@ use crate::cost::CostModel;
 pub use nlheat_core::balance::LbSpec;
 use nlheat_core::balance::{compute_metrics, EpochTrace, LbNetwork, LbPolicy, LbSchedule, Move};
 use nlheat_core::ownership::Ownership;
-use nlheat_core::scenario::{modeled_busy, LbInput, PartitionSpec};
+use nlheat_core::scenario::{
+    active_at, failed_at, modeled_busy, ClusterEvent, LbInput, PartitionSpec,
+};
 use nlheat_core::workload::WorkModel;
 use nlheat_mesh::{build_halo_plan, split_cases, Grid, HaloPlan, PatchSource, SdGrid, Stencil};
 use nlheat_netmodel::{LinkClass, Msg, NetSpec};
@@ -54,6 +56,12 @@ pub struct SimConfig {
     /// domain and the balancer must keep chasing it. The real runtime
     /// executes the same schedule.
     pub work_schedule: Vec<(usize, WorkModel)>,
+    /// Elastic cluster-membership timeline (`(from_step, event)`, sorted
+    /// by step; see [`ClusterEvent`]). Applied exactly like the real
+    /// runtime: events set the planner's active-rank mask and the failure
+    /// mask the ghost counters honour; nodes keep executing the SDs they
+    /// own until a replan evacuates them.
+    pub cluster_events: Vec<(usize, ClusterEvent)>,
     /// Optional load balancing.
     pub lb: Option<LbSchedule>,
     /// What the balancing policies plan from: simulated busy windows (the
@@ -86,6 +94,7 @@ impl SimConfig {
             overlap: true,
             work: WorkModel::Uniform,
             work_schedule: Vec::new(),
+            cluster_events: Vec::new(),
             lb: None,
             lb_input: LbInput::Measured,
         }
@@ -383,6 +392,13 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
         for v in scratch.arrivals.iter_mut() {
             v.clear();
         }
+        // Failure mask of this step: transfers to or from a fail-stopped
+        // rank still happen (the nodes keep executing until evacuated, so
+        // virtual time is unchanged) but stop counting toward the
+        // planner-grade counters — mirroring the real runtime, and
+        // keeping `cross_bytes == ghost_bytes + migration_bytes` intact.
+        let failed_now =
+            (!cfg.cluster_events.is_empty()).then(|| failed_at(nn, &cfg.cluster_events, step));
         for s in &view.sends {
             // pack cost delays the send readiness a little
             let ready = node_time[s.src as usize] + cfg.cost.copy_sec_per_cell * s.area as f64;
@@ -395,12 +411,17 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                 },
             );
             scratch.arrivals[s.sd as usize].push(arr);
-            cross_bytes += s.bytes;
-            ghost_bytes += s.bytes;
-            if s.inter_rack {
-                inter_rack_ghost_bytes += s.bytes;
+            let counted = failed_now
+                .as_ref()
+                .is_none_or(|f| !f[s.src as usize] && !f[s.dst as usize]);
+            if counted {
+                cross_bytes += s.bytes;
+                ghost_bytes += s.bytes;
+                if s.inter_rack {
+                    inter_rack_ghost_bytes += s.bytes;
+                }
+                messages += 1;
             }
-            messages += 1;
         }
 
         // --- per-node task graphs and scheduling ---
@@ -489,19 +510,22 @@ pub fn simulate(cfg: &SimConfig) -> SimRun {
                     cfg.cost.sec_per_dp,
                 ),
             };
+            // Under an elastic timeline the planner sees the membership
+            // mask in effect at this epoch (shared `active_at`, so both
+            // substrates see the same mask for the same scenario).
+            if !cfg.cluster_events.is_empty() {
+                lb_net.active = Some(Arc::new(active_at(nn, &cfg.cluster_events, step + 1)));
+            }
             let metrics = compute_metrics(&ownership.counts(), &busy_vec);
             let plan = policy.plan(&ownership, &metrics, &lb_net);
             // An empty plan pays the planning barrier but emits no
             // metrics: idle epochs must not skew migration accounting or
             // record no-op history entries.
             if !plan.moves.is_empty() {
-                epoch_traces.push(EpochTrace::record(
-                    step + 1,
-                    policy.name(),
-                    &plan,
-                    &ownership,
-                    &lb_net,
-                ));
+                epoch_traces.push(
+                    EpochTrace::record(step + 1, policy.name(), &plan, &ownership, &lb_net)
+                        .with_drift(policy.drift_info()),
+                );
                 // migration costs: tile payloads over the network
                 net.reset(barrier);
                 for mv in &plan.moves {
@@ -986,6 +1010,80 @@ mod tests {
                 spec.name()
             );
             assert_eq!(counts.iter().sum::<usize>(), 256, "{}", spec.name());
+        }
+    }
+
+    fn repart_lb(period: usize) -> LbSchedule {
+        LbSchedule::every(period).with_spec(LbSpec::repartition(
+            LbSpec::greedy_steal(1),
+            f64::INFINITY,
+            1,
+            u64::MAX,
+        ))
+    }
+
+    #[test]
+    fn join_event_spreads_load_onto_the_new_rank() {
+        // Rank 2 is declared but only joins at step 3; its first replan
+        // after the join must spread SDs onto it.
+        let mut cfg = SimConfig::paper(
+            400,
+            50,
+            12,
+            (0..3).map(|_| VirtualNode::with_cores(1)).collect(),
+        );
+        let sds = SdGrid::tile_mesh(400, 400, 50);
+        let owners: Vec<u32> = (0..sds.count()).map(|sd| (sd % 2) as u32).collect();
+        cfg.partition = PartitionSpec::Explicit(owners);
+        cfg.lb = Some(repart_lb(2));
+        cfg.cluster_events = vec![(3, ClusterEvent::Join { rank: 2 })];
+        cfg.lb_input = LbInput::Modeled;
+        let run = simulate(&cfg);
+        let counts = run.final_ownership.counts();
+        assert!(counts[2] > 0, "joined rank must receive work: {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 64);
+        assert!(run.epoch_traces.iter().any(|t| t.replan));
+    }
+
+    #[test]
+    fn fail_drops_ghost_contributions_drain_does_not() {
+        // Fail vs Drain on the same timeline: both zero the rank's
+        // capacity at the same step, so the membership masks — and under
+        // modeled planning the plan sequences — are identical. The Fail
+        // leg additionally drops the failed rank's in-flight ghost
+        // contributions from the planner-grade counters for the steps it
+        // spends failed, so it must count strictly fewer ghost bytes
+        // while the sim's cross-traffic partition invariant holds on
+        // both.
+        let mk = |ev: ClusterEvent| {
+            let mut cfg = SimConfig::paper(
+                400,
+                50,
+                10,
+                vec![VirtualNode::with_cores(1), VirtualNode::with_cores(1)],
+            );
+            cfg.lb = Some(repart_lb(2));
+            cfg.cluster_events = vec![(3, ev)];
+            cfg.lb_input = LbInput::Modeled;
+            simulate(&cfg)
+        };
+        let fail = mk(ClusterEvent::Fail { rank: 1 });
+        let drain = mk(ClusterEvent::Drain { rank: 1 });
+        assert_eq!(fail.lb_plans, drain.lb_plans, "same masks, same plans");
+        assert_eq!(fail.final_ownership.counts()[1], 0);
+        assert_eq!(drain.final_ownership.counts()[1], 0);
+        assert!(
+            fail.ghost_bytes < drain.ghost_bytes,
+            "fail must drop in-flight contributions: {} vs {}",
+            fail.ghost_bytes,
+            drain.ghost_bytes
+        );
+        for run in [&fail, &drain] {
+            assert_eq!(
+                run.cross_bytes,
+                run.ghost_bytes + run.migration_bytes,
+                "the cross-traffic partition must survive the event"
+            );
         }
     }
 

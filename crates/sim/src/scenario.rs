@@ -27,6 +27,7 @@ impl From<&Scenario> for SimConfig {
             overlap: sc.overlap,
             work: sc.work.clone(),
             work_schedule: sc.work_schedule.clone(),
+            cluster_events: sc.cluster_events.clone(),
             lb: sc.lb.clone(),
             lb_input: sc.lb_input,
         }

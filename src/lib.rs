@@ -59,8 +59,8 @@ pub mod prelude {
         Axis, FnSink, JsonlSink, MemorySink, RunRecord, ScenarioSweep, SweepSink, SweepSummary,
     };
     pub use nlheat_core::scenario::{
-        ClusterSpec, DistSubstrate, LbInput, PartitionSpec, RunExtras, RunReport, Scenario,
-        Substrate,
+        ClusterEvent, ClusterSpec, DistSubstrate, LbInput, PartitionSpec, RunExtras, RunReport,
+        Scenario, Substrate,
     };
     pub use nlheat_core::scenarios;
     pub use nlheat_core::shared::{SharedConfig, SharedSolver};

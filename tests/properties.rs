@@ -521,3 +521,203 @@ proptest! {
         }
     }
 }
+
+// ---------- cut-aware repartitioning ----------
+
+/// The shared random-ownership generator of the sections above, as a
+/// helper: pseudo-random but deterministic owners from a seed.
+fn scrambled_owners(count: usize, n_nodes: u32, seed: u64) -> Vec<u32> {
+    (0..count)
+        .map(|i| ((seed >> (i % 60)) as u32 ^ i as u32) % n_nodes)
+        .collect()
+}
+
+fn two_rack_lb_net() -> LbNetwork {
+    LbNetwork::new(
+        CommCost::from_spec(&NetSpec::Topology(TopologySpec {
+            ranks_per_node: 1,
+            nodes_per_rack: 2,
+            intra_node: LinkSpec::new(0.0, f64::INFINITY),
+            intra_rack: LinkSpec::new(1e-3, 1e6),
+            inter_rack: LinkSpec::new(0.5, 2e4),
+        })),
+        4 * 4 * 8 + 24,
+    )
+}
+
+// `LbSpec::Repartition` under adversarial inputs, across the whole staged
+// drain: every epoch's plan must be single-hop (the distributed driver
+// ships all moves concurrently from pre-epoch owners), and every epoch
+// where the drift monitor is driving (`drift_info().replan`) must stay
+// under `max_bytes_per_epoch` — the budget is what makes a replan safe to
+// run inside a balancing epoch. Uniform 16-cell tiles are 152 wire bytes,
+// so any budget of at least one tile makes the bound exact (the one-move
+// progress guarantee never needs to exceed it).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn repartition_drain_is_single_hop_and_budgeted(
+        nsx in 2i64..7,
+        nsy in 2i64..7,
+        n_nodes in 2u32..6,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.05f64..10.0, 8),
+        budget_tiles in 1u64..6,
+        threshold in 1.0f64..2.0,
+        halo in 1i64..6,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        let owners = scrambled_owners(count, n_nodes, owner_seed);
+        let net = two_rack_lb_net()
+            .with_sd_graph(Arc::new(SdGraph::build(&grid, halo)));
+        let budget = budget_tiles * (4 * 4 * 8 + 24);
+        let mut policy = LbSpec::repartition(LbSpec::tree(0.0), threshold, 1, budget).build();
+        let mut current = Ownership::new(grid, owners, n_nodes);
+        for _epoch in 0..12 {
+            let busy_vec: Vec<f64> =
+                (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+            let metrics = compute_metrics(&current.counts(), &busy_vec);
+            let plan = policy.plan(&current, &metrics, &net);
+            let replanning = policy.drift_info().expect("repartition reports drift").replan;
+            let mut arrived = std::collections::HashSet::new();
+            for m in &plan.moves {
+                prop_assert!(!arrived.contains(&m.sd), "SD {} re-moved", m.sd);
+                prop_assert_eq!(current.owner(m.sd), m.from, "stale source");
+                prop_assert!(m.from != m.to, "SD shipped to its own owner");
+                arrived.insert(m.sd);
+            }
+            if replanning {
+                prop_assert!(
+                    plan.comm.total_bytes <= budget,
+                    "replan epoch shipped {} B > budget {} B",
+                    plan.comm.total_bytes, budget
+                );
+            }
+            let mut check = current.clone();
+            for m in &plan.moves {
+                check.set_owner(m.sd, m.to);
+            }
+            prop_assert_eq!(&check, &plan.new_ownership);
+            prop_assert_eq!(check.counts().iter().sum::<usize>(), count);
+            current = plan.new_ownership;
+        }
+    }
+}
+
+// The capacity contract of a replan: whatever fresh partition the drift
+// monitor installs, applying the epoch's moves must leave every rank at or
+// under its declared `memory_bytes` — a rank with one footprint of
+// headroom must never be handed more than it can hold. Budget unbounded,
+// so the whole diff lands in the replan epoch (the adversarial case: the
+// largest possible burst of arrivals).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn repartition_never_overflows_destination_capacities(
+        nsx in 2i64..7,
+        nsy in 2i64..7,
+        n_nodes in 2u32..6,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.05f64..10.0, 8),
+        headroom in proptest::collection::vec(1u64..4, 8),
+        halo in 1i64..6,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        let owners = scrambled_owners(count, n_nodes, owner_seed);
+        let graph = Arc::new(SdGraph::build(&grid, halo));
+        let fp = Arc::new(graph.footprints());
+        let mut usage = vec![0u64; n_nodes as usize];
+        for (sd, &o) in owners.iter().enumerate() {
+            usage[o as usize] += fp[sd];
+        }
+        let max_fp = fp.iter().copied().max().unwrap_or(1).max(1);
+        // at least one max footprint of slack per rank keeps the caps
+        // feasible for single-vertex repair, yet tight enough to bind
+        let caps: Vec<u64> = usage
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| u + headroom[i % headroom.len()] * max_fp)
+            .collect();
+        let net = two_rack_lb_net()
+            .with_sd_graph(graph)
+            .with_memory(Arc::new(caps.clone()), fp.clone());
+        let mut policy =
+            LbSpec::repartition(LbSpec::tree(0.0), 0.5, 1, u64::MAX).build();
+        let own = Ownership::new(grid, owners, n_nodes);
+        let busy_vec: Vec<f64> =
+            (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+        let metrics = compute_metrics(&own.counts(), &busy_vec);
+        let plan = policy.plan(&own, &metrics, &net);
+        if !policy.drift_info().expect("repartition reports drift").replan {
+            return; // already at the fresh partition: nothing staged
+        }
+        let mut after = usage.clone();
+        for m in &plan.moves {
+            prop_assert_eq!(own.owner(m.sd), m.from);
+            after[m.from as usize] -= fp[m.sd as usize];
+            after[m.to as usize] += fp[m.sd as usize];
+        }
+        for (node, (&used, &cap)) in after.iter().zip(caps.iter()).enumerate() {
+            prop_assert!(
+                used <= cap,
+                "rank {} holds {} B after the replan, over its {} B capacity \
+                 (nsx={nsx} nsy={nsy} n_nodes={n_nodes} owner_seed={owner_seed} \
+                 headroom={headroom:?} halo={halo})",
+                node, used, cap
+            );
+        }
+    }
+}
+
+// The transparency contract: with an infinite drift threshold and no
+// membership events, the Repartition decorator must be *byte-identical*
+// to its inner policy — same moves, same claimed ownership, same comm
+// estimate, epoch after epoch — so wrapping an existing configuration
+// costs nothing until a threshold or a cluster event is configured.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn infinite_threshold_repartition_is_byte_identical_to_inner(
+        nsx in 2i64..7,
+        nsy in 2i64..7,
+        n_nodes in 2u32..6,
+        owner_seed in any::<u64>(),
+        busy in proptest::collection::vec(0.05f64..10.0, 8),
+        which in 0usize..4,
+        halo in 1i64..6,
+    ) {
+        let grid = SdGrid::new(nsx as usize, nsy as usize, 4);
+        let count = grid.count();
+        let owners = scrambled_owners(count, n_nodes, owner_seed);
+        let net = two_rack_lb_net()
+            .with_sd_graph(Arc::new(SdGraph::build(&grid, halo)));
+        let inner = match which {
+            0 => LbSpec::tree(0.0),
+            1 => LbSpec::tree(1.5),
+            2 => LbSpec::greedy_steal(1),
+            _ => LbSpec::diffusion(1.0, 6),
+        };
+        let mut plain = inner.clone().build();
+        let mut wrapped =
+            LbSpec::repartition(inner, f64::INFINITY, 1, u64::MAX).build();
+        let mut current = Ownership::new(grid, owners, n_nodes);
+        for _epoch in 0..4 {
+            let busy_vec: Vec<f64> =
+                (0..n_nodes as usize).map(|i| busy[i % busy.len()]).collect();
+            let metrics = compute_metrics(&current.counts(), &busy_vec);
+            let a = plain.plan(&current, &metrics, &net);
+            let b = wrapped.plan(&current, &metrics, &net);
+            prop_assert_eq!(&a.moves, &b.moves);
+            prop_assert_eq!(&a.new_ownership, &b.new_ownership);
+            prop_assert_eq!(a.comm, b.comm);
+            prop_assert_eq!(check_counts(&a.new_ownership), count);
+            current = a.new_ownership;
+        }
+    }
+}
+
+fn check_counts(own: &Ownership) -> usize {
+    own.counts().iter().sum()
+}

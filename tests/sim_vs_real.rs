@@ -74,6 +74,66 @@ fn multi_ring_traffic_agrees() {
     assert_eq!(rb, sb + 8 * sm);
 }
 
+/// Run a library scenario on both substrates and assert the planner made
+/// *identical* decisions — same epochs, same plans, move for move. Under
+/// `LbInput::Modeled` the planner sees deterministic busy times, so any
+/// divergence means the substrates disagree about membership masks,
+/// drift state, or epoch scheduling.
+fn assert_plan_parity(scenario: &Scenario) -> (RunReport, RunReport) {
+    let real = scenario.run_dist();
+    let sim = scenario.run_sim();
+    real.check_invariants();
+    sim.check_invariants();
+    assert_eq!(
+        real.lb_history, sim.lb_history,
+        "epoch schedules must match"
+    );
+    assert_eq!(real.lb_plans, sim.lb_plans, "plan sequences must match");
+    assert_eq!(
+        real.final_ownership.owners(),
+        sim.final_ownership.owners(),
+        "identical plans must land identical ownership"
+    );
+    (real, sim)
+}
+
+#[test]
+fn elastic_scale_out_plans_identically_on_both_substrates() {
+    let scenario = scenarios::elastic_scale_out(true);
+    let (real, _) = assert_plan_parity(&scenario);
+    let counts = real.final_ownership.counts();
+    assert!(
+        counts[2] > 0 && counts[3] > 0,
+        "joined ranks must end up owning SDs: {counts:?}"
+    );
+}
+
+#[test]
+fn rank_failure_plans_identically_on_both_substrates() {
+    let scenario = scenarios::rank_failure(true);
+    let (real, _) = assert_plan_parity(&scenario);
+    let counts = real.final_ownership.counts();
+    assert_eq!(counts[3], 0, "failed rank must be evacuated: {counts:?}");
+    assert!(real.migrations > 0, "evacuation must move SDs");
+}
+
+#[test]
+fn cut_drift_replans_identically_on_both_substrates() {
+    let scenario = scenarios::cut_drift(true);
+    let (real, sim) = assert_plan_parity(&scenario);
+    let drift = |r: &RunReport| {
+        r.epoch_traces
+            .iter()
+            .map(|t| (t.step, t.replan))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(drift(&real), drift(&sim), "drift decisions must match");
+    assert!(
+        real.epoch_traces.iter().any(|t| t.replan),
+        "the drift monitor must fire on the decayed start"
+    );
+}
+
 #[test]
 fn sim_strong_scaling_shape_matches_theory() {
     // With communication negligible and one core per node, the speedup on
